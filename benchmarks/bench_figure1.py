@@ -1,0 +1,77 @@
+"""Figure 1 / Section II-D — reduction tables and XOR costs.
+
+Paper: the GF(2^4) construction under P1 = x^4+x^3+1 costs 9 reduction
+XORs, under P2 = x^4+x+1 only 6; the partial-product XOR count is the
+same for every P(x).
+
+Here: the tables are regenerated symbolically, the costs asserted
+exactly, and the claim "the AND/XOR count for the partial products is
+identical across P(x)" is checked on the emitted netlists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import Table
+from repro.analysis.xor_count import figure1_report, xor_cost_comparison
+from repro.fieldmath.reduction import reduction_xor_cost
+from repro.gen.schoolbook import generate_schoolbook
+from repro.netlist.gate import GateType
+
+P1 = 0b11001
+P2 = 0b10011
+
+
+def test_figure1_reduction_tables(benchmark):
+    report = benchmark(lambda: figure1_report([P1, P2]))
+    assert "reduction XOR count: 9" in report
+    assert "reduction XOR count: 6" in report
+    emit("figure1_reduction_tables", report)
+
+
+def test_figure1_xor_costs_exact(benchmark):
+    costs = benchmark(
+        lambda: (reduction_xor_cost(P1), reduction_xor_cost(P2))
+    )
+    assert costs == (9, 6)
+
+
+def test_figure1_netlist_xor_counts(benchmark):
+    """The gate-level netlists carry exactly the predicted XOR split:
+    the s_k stage is P-independent, the reduction stage differs by
+    9 vs 6."""
+
+    def build():
+        return generate_schoolbook(P1), generate_schoolbook(P2)
+
+    net1, net2 = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    def xor_count(netlist):
+        return sum(
+            1 for gate in netlist.gates if gate.gtype is GateType.XOR
+        )
+
+    def and_count(netlist):
+        return sum(
+            1 for gate in netlist.gates if gate.gtype is GateType.AND
+        )
+
+    # AND plane: m^2 = 16 gates, identical.
+    assert and_count(net1) == and_count(net2) == 16
+    # XOR totals differ by exactly the reduction difference (9 - 6).
+    assert xor_count(net1) - xor_count(net2) == 3
+
+    table = Table(
+        ["P(x)", "AND gates", "XOR gates", "reduction XORs"],
+        title="Figure 1: GF(2^4) multiplier cost per P(x)",
+    )
+    from repro.fieldmath.bitpoly import bitpoly_str
+
+    for net, modulus in ((net1, P1), (net2, P2)):
+        table.add_row(
+            [bitpoly_str(modulus), and_count(net), xor_count(net),
+             reduction_xor_cost(modulus)]
+        )
+    emit("figure1_netlist_costs", table.render())

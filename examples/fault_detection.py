@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Trojan/fault screening of GF(2^m) multipliers with the extractor.
+
+A single wrong gate in a field multiplier silently corrupts every
+cryptographic operation built on it.  The paper's closing step — the
+golden-model equivalence check against the *recovered* P(x) — is a
+screening tool: it needs no specification at all, because the
+specification is reverse engineered from the netlist itself.
+
+This example injects every class of single fault into a clean
+multiplier, runs the diagnosis decision tree on each mutant, and
+tabulates the verdicts.  It also shows the wrong-basis case: a
+Massey-Omura (normal basis) multiplier, which is functionally a
+*correct* field multiplier yet must not pass a polynomial-basis audit.
+
+Run:  python examples/fault_detection.py
+"""
+
+from repro import diagnose, generate_massey_omura, generate_mastrovito
+from repro.analysis.tables import Table
+from repro.gen.faults import flip_gate, stuck_at, swap_input
+from repro.netlist.netlist import Netlist
+
+
+def _mutants(clean: Netlist):
+    """One representative mutant per fault class, plus extras."""
+    xor_gates = [
+        g.output for g in clean.gates if g.gtype.value == "XOR"
+    ]
+    and_gates = [
+        g.output for g in clean.gates if g.gtype.value == "AND"
+    ]
+    yield flip_gate(clean, xor_gates[0], seed=1)
+    yield flip_gate(clean, and_gates[0], seed=2)
+    yield swap_input(clean, xor_gates[-1], seed=3)
+    yield swap_input(clean, and_gates[len(and_gates) // 2], seed=4)
+    yield stuck_at(clean, xor_gates[len(xor_gates) // 2], 0)
+    yield stuck_at(clean, and_gates[-1], 1)
+
+
+def main() -> None:
+    secret = 0b1000011011  # x^9 + x^4 + x^3 + x + 1
+    clean = generate_mastrovito(secret)
+    print(
+        f"clean design: {clean.name}, {len(clean)} gates "
+        f"(P(x) withheld from the auditor)\n"
+    )
+
+    table = Table(
+        ["design", "fault", "verdict", "recovered P(x)"],
+        title="single-fault screening, GF(2^9) Mastrovito",
+    )
+
+    baseline = diagnose(clean)
+    table.add_row(
+        [clean.name, "(none)", baseline.verdict.value,
+         baseline.extraction.polynomial_str]
+    )
+
+    caught = 0
+    total = 0
+    for mutant, fault in _mutants(clean):
+        result = diagnose(mutant)
+        recovered = (
+            result.extraction.polynomial_str
+            if result.extraction is not None
+            else "-"
+        )
+        table.add_row(
+            [mutant.name[:28], str(fault)[:40], result.verdict.value,
+             recovered]
+        )
+        total += 1
+        if not result.is_clean:
+            caught += 1
+
+    # The wrong-basis specimen: correct multiplier, wrong coordinate
+    # system — a polynomial-basis audit must reject it too.
+    normal = generate_massey_omura(0b1000011011)
+    result = diagnose(normal)
+    table.add_row(
+        [normal.name, "(normal basis)", result.verdict.value,
+         result.extraction.polynomial_str
+         if result.extraction else "-"]
+    )
+
+    print(table.render())
+    print(
+        f"\n{caught}/{total} injected faults rejected; "
+        "clean design verified; normal-basis design rejected: "
+        f"{'yes' if not result.is_clean else 'NO'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

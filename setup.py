@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 517 editable
+builds (which require ``bdist_wheel``) fail.  Keeping a ``setup.py``
+and omitting ``[build-system]`` from pyproject.toml lets pip fall back
+to the legacy ``setup.py develop`` editable path, which works without
+wheel.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

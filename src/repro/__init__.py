@@ -1,0 +1,117 @@
+"""repro — Reverse engineering of irreducible polynomials in GF(2^m).
+
+A full reproduction of Yu, Holcomb, Ciesielski, *"Reverse Engineering
+of Irreducible Polynomials in GF(2^m) Arithmetic"* (DATE 2017): given a
+flattened gate-level netlist of a GF(2^m) multiplier — any algorithm,
+any synthesis — recover the irreducible polynomial P(x) the field was
+constructed with, and verify the design against the golden ``A·B mod
+P(x)`` specification.
+
+Quickstart::
+
+    from repro import (
+        generate_mastrovito, extract_irreducible_polynomial,
+        verify_multiplier, bitpoly_parse,
+    )
+
+    netlist = generate_mastrovito(bitpoly_parse("x^8 + x^4 + x^3 + x + 1"))
+    result = extract_irreducible_polynomial(netlist, jobs=4)
+    print(result.polynomial_str)            # x^8 + x^4 + x^3 + x + 1
+    print(verify_multiplier(netlist, result).equivalent)   # True
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.fieldmath import (
+    GF2m,
+    bitpoly_parse,
+    bitpoly_str,
+    is_irreducible,
+    nist_polynomial,
+)
+from repro.gen import (
+    decorate_with_redundancy,
+    flip_gate,
+    generate_digit_serial,
+    generate_interleaved,
+    generate_karatsuba,
+    generate_massey_omura,
+    generate_mastrovito,
+    generate_montgomery,
+    generate_montgomery_step,
+    generate_schoolbook,
+    random_fault,
+    stuck_at,
+    swap_input,
+)
+from repro.gf2 import Gf2Poly, parse_poly
+from repro.netlist import (
+    Gate,
+    GateType,
+    Netlist,
+    NetlistBuilder,
+    read_blif,
+    read_eqn,
+    read_verilog,
+    write_blif,
+    write_eqn,
+    write_verilog,
+)
+from repro.rewrite import backward_rewrite, extract_expressions
+from repro.extract import (
+    Diagnosis,
+    ExtractionResult,
+    Verdict,
+    VerificationReport,
+    diagnose,
+    extract_irreducible_polynomial,
+    format_extraction_report,
+    verify_multiplier,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GF2m",
+    "bitpoly_parse",
+    "bitpoly_str",
+    "is_irreducible",
+    "nist_polynomial",
+    "decorate_with_redundancy",
+    "flip_gate",
+    "generate_digit_serial",
+    "generate_interleaved",
+    "generate_karatsuba",
+    "generate_massey_omura",
+    "generate_mastrovito",
+    "generate_montgomery",
+    "generate_montgomery_step",
+    "generate_schoolbook",
+    "random_fault",
+    "stuck_at",
+    "swap_input",
+    "Gf2Poly",
+    "parse_poly",
+    "Gate",
+    "GateType",
+    "Netlist",
+    "NetlistBuilder",
+    "read_blif",
+    "read_eqn",
+    "read_verilog",
+    "write_blif",
+    "write_eqn",
+    "write_verilog",
+    "backward_rewrite",
+    "extract_expressions",
+    "Diagnosis",
+    "ExtractionResult",
+    "Verdict",
+    "VerificationReport",
+    "diagnose",
+    "extract_irreducible_polynomial",
+    "format_extraction_report",
+    "verify_multiplier",
+    "__version__",
+]

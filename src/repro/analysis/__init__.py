@@ -1,0 +1,42 @@
+"""Analysis and reporting utilities for the evaluation harnesses.
+
+``xor_count``
+    the Section II-D / Figure 1 analysis: reduction tables and XOR
+    cost of candidate irreducible polynomials;
+``tables``
+    paper-style ASCII tables (Tables I-IV are regenerated in this
+    format by the benchmark harnesses);
+``instrument``
+    runtime/peak-memory measurement helpers shared by the benchmarks;
+``predict``
+    the quantitative cost model behind Table IV / Figure 4: per-column
+    XOR estimates from P(x) alone, polynomial ranking, and the
+    predicted-vs-measured correlation.
+"""
+
+from repro.analysis.xor_count import (
+    figure1_report,
+    multiplication_example,
+    xor_cost_comparison,
+)
+from repro.analysis.tables import Table
+from repro.analysis.instrument import Measurement, measure
+from repro.analysis.predict import (
+    cost_correlation,
+    predicted_column_cost,
+    predicted_total_cost,
+    rank_polynomials,
+)
+
+__all__ = [
+    "figure1_report",
+    "multiplication_example",
+    "xor_cost_comparison",
+    "Table",
+    "Measurement",
+    "measure",
+    "cost_correlation",
+    "predicted_column_cost",
+    "predicted_total_cost",
+    "rank_polynomials",
+]

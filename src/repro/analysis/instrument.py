@@ -1,0 +1,67 @@
+"""Runtime and peak-memory instrumentation for the benchmarks.
+
+The paper reports wall-clock runtime and peak resident memory per
+extraction.  RSS is meaningless to compare across interpreters, so the
+harnesses report the ``tracemalloc`` peak (Python-heap bytes actually
+allocated) along with wall/CPU time.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+
+@dataclass
+class Measurement:
+    """One measured call: value, times, and peak allocation."""
+
+    value: Any
+    wall_s: float
+    cpu_s: float
+    peak_bytes: Optional[int]
+
+    @property
+    def peak_mb(self) -> Optional[float]:
+        if self.peak_bytes is None:
+            return None
+        return self.peak_bytes / (1024 * 1024)
+
+    def memory_str(self) -> str:
+        """Render like the paper's Mem column (MB / GB)."""
+        if self.peak_bytes is None:
+            return "n/a"
+        mb = self.peak_bytes / (1024 * 1024)
+        if mb >= 1024:
+            return f"{mb / 1024:.1f} GB"
+        return f"{mb:.1f} MB"
+
+
+def measure(
+    func: Callable[[], Any],
+    track_memory: bool = True,
+) -> Measurement:
+    """Run ``func`` once, recording wall time, CPU time and heap peak.
+
+    >>> measurement = measure(lambda: sum(range(1000)))
+    >>> measurement.value
+    499500
+    >>> measurement.wall_s >= 0
+    True
+    """
+    peak: Optional[int] = None
+    if track_memory:
+        tracemalloc.start()
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    try:
+        value = func()
+    finally:
+        wall = time.perf_counter() - wall_start
+        cpu = time.process_time() - cpu_start
+        if track_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+    return Measurement(value=value, wall_s=wall, cpu_s=cpu, peak_bytes=peak)

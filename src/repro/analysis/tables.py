@@ -1,0 +1,120 @@
+"""Paper-style ASCII tables.
+
+Every benchmark harness renders its results in the same row/column
+format as the corresponding table in the paper, via this tiny table
+builder (left-aligned text, right-aligned numbers, a rule under the
+header).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class Table:
+    """Accumulate rows, render aligned ASCII.
+
+    >>> t = Table(["m", "P(x)", "runtime(s)"])
+    >>> t.add_row([64, "x^64+x^21+x^19+x^4+1", 9.2])
+    >>> print(t.render())          # doctest: +NORMALIZE_WHITESPACE
+    m   P(x)                   runtime(s)
+    --  --------------------   ----------
+    64  x^64+x^21+x^19+x^4+1          9.2
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        self.title = title
+        self._headers = [str(h) for h in headers]
+        self._rows: List[List[str]] = []
+        self._numeric = [True] * len(self._headers)
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        rendered = []
+        for idx, cell in enumerate(cells):
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.1f}" if cell >= 10 else f"{cell:.3f}")
+            else:
+                rendered.append(str(cell))
+            if idx < len(self._numeric) and not isinstance(
+                cell, (int, float)
+            ):
+                self._numeric[idx] = False
+        if len(rendered) != len(self._headers):
+            raise ValueError(
+                f"row has {len(rendered)} cells, expected "
+                f"{len(self._headers)}"
+            )
+        self._rows.append(rendered)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self._headers[col]), *(len(r[col]) for r in self._rows))
+            if self._rows
+            else len(self._headers[col])
+            for col in range(len(self._headers))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(
+            h.ljust(widths[i]) for i, h in enumerate(self._headers)
+        )
+        lines.append(header.rstrip())
+        lines.append("  ".join("-" * widths[i] for i in range(len(widths))))
+        for row in self._rows:
+            cells = []
+            for idx, cell in enumerate(row):
+                if self._numeric[idx]:
+                    cells.append(cell.rjust(widths[idx]))
+                else:
+                    cells.append(cell.ljust(widths[idx]))
+            lines.append("  ".join(cells).rstrip())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def ascii_series_plot(
+    series: dict,
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "output bit position",
+    y_label: str = "runtime (s)",
+) -> str:
+    """A rough terminal scatter plot for the Figure-4 style data.
+
+    ``series`` maps a label to a list of ``(x, y)`` points.  Each
+    series is drawn with its own marker character.
+    """
+    markers = "ox+*#@%&"
+    points = [
+        (x, y) for values in series.values() for x, y in values
+    ]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1
+    y_span = (y_max - y_min) or 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (label, values) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        for x, y in values:
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = [f"{y_label}  (y: {y_min:.3g} .. {y_max:.3g})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}  (x: {x_min} .. {x_max})")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={label}"
+        for i, label in enumerate(series)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Section II-D / Figure 1 analysis: the XOR cost of choosing P(x).
+
+The paper motivates the whole problem with a GF(2^4) example: the same
+multiplication reduced by ``P1 = x^4+x^3+1`` costs 9 reduction XORs,
+by ``P2 = x^4+x+1`` only 6, so every irreducible polynomial yields a
+*unique* implementation and designers pick P(x) per target
+architecture.  These helpers regenerate that figure and the cost
+comparison for arbitrary polynomials.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.fieldmath.bitpoly import bitpoly_degree, bitpoly_str
+from repro.fieldmath.reduction import (
+    reduction_table,
+    reduction_xor_cost,
+)
+from repro.analysis.tables import Table
+
+
+def figure1_report(moduli: Sequence[int]) -> str:
+    """The Figure 1 reproduction: reduction tables plus XOR counts.
+
+    >>> print(figure1_report([0b11001, 0b10011]))  # doctest: +ELLIPSIS
+    GF(2^4) multiplication ...
+    """
+    if not moduli:
+        raise ValueError("need at least one polynomial")
+    m = bitpoly_degree(moduli[0])
+    lines = [
+        f"GF(2^{m}) multiplication under different irreducible polynomials",
+        "",
+    ]
+    for modulus in moduli:
+        if bitpoly_degree(modulus) != m:
+            raise ValueError("all polynomials must share one degree")
+        lines.append(reduction_table(modulus))
+        lines.append(
+            f"reduction XOR count: {reduction_xor_cost(modulus)}"
+        )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def xor_cost_comparison(named_moduli: Dict[str, int]) -> Table:
+    """Tabulate total multiplier XOR cost per candidate P(x).
+
+    Total = (m-1)^2 XORs to accumulate the partial products (identical
+    for every P(x), as the paper notes) + the P(x)-dependent reduction
+    XORs.
+    """
+    table = Table(
+        ["name", "P(x)", "pp XORs", "reduction XORs", "total XORs"],
+        title="XOR cost per irreducible polynomial",
+    )
+    for name, modulus in named_moduli.items():
+        m = bitpoly_degree(modulus)
+        pp_cost = (m - 1) ** 2
+        red_cost = reduction_xor_cost(modulus)
+        table.add_row(
+            [name, bitpoly_str(modulus), pp_cost, red_cost, pp_cost + red_cost]
+        )
+    return table
+
+
+def multiplication_example(modulus: int) -> str:
+    """Worked GF(2^m) example in the style of Section II-C.
+
+    Renders the symbolic output expressions ``z_i`` of ``A·B mod P``
+    for a small field, matching the z0..z3 expansion the paper prints
+    for ``P2 = x^4 + x + 1``.
+    """
+    from repro.rewrite.signature import spec_expressions
+
+    m = bitpoly_degree(modulus)
+    if m > 8:
+        raise ValueError("example rendering is meant for small fields")
+    lines = [f"A·B mod {bitpoly_str(modulus)} over GF(2^{m}):"]
+    for bit, expression in enumerate(spec_expressions(modulus)):
+        lines.append(f"  z{bit} = {expression}")
+    return "\n".join(lines)

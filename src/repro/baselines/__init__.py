@@ -1,0 +1,51 @@
+"""Baseline techniques the paper positions itself against.
+
+Section I/II argue that (a) existing computer-algebra verification of
+GF circuits needs the irreducible polynomial to be *known* [1], and
+(b) BDD- and SAT-based techniques do not scale on Galois-field
+arithmetic at all.  This package implements all three comparators so
+the claims can be measured rather than cited:
+
+``groebner``
+    Gröbner-basis-style ideal-membership verification *with a known
+    P(x)* — the [1]-style flow our extraction removes the precondition
+    from;
+``sat``
+    Tseitin encoding + a DPLL SAT solver, used for miter-based
+    equivalence checking;
+``bdd``
+    a hash-consed ROBDD engine, used to build output BDDs of GF
+    multipliers and watch the node counts explode;
+``simprobe``
+    the one-vector simulation shortcut (``x · x^(m-1) = P'(x)``) —
+    thousands of times faster than extraction and unsound on buggy
+    designs, quantifying what the algebraic method actually buys.
+"""
+
+from repro.baselines.groebner import GroebnerReport, verify_known_polynomial
+from repro.baselines.sat import (
+    DpllSolver,
+    SatResult,
+    equivalence_check_sat,
+    tseitin_encode,
+)
+from repro.baselines.bdd import BddManager, build_output_bdds
+from repro.baselines.simprobe import (
+    ProbeResult,
+    probe_polynomial,
+    probe_then_extract,
+)
+
+__all__ = [
+    "GroebnerReport",
+    "verify_known_polynomial",
+    "DpllSolver",
+    "SatResult",
+    "equivalence_check_sat",
+    "tseitin_encode",
+    "BddManager",
+    "build_output_bdds",
+    "ProbeResult",
+    "probe_polynomial",
+    "probe_then_extract",
+]

@@ -1,0 +1,302 @@
+"""Command-line interface: ``repro <command>``.
+
+Commands mirror the paper's tool flow:
+
+``gen``
+    emit a gate-level GF(2^m) multiplier netlist for a given P(x);
+``extract``
+    reverse engineer P(x) from a netlist file (Algorithm 2);
+``audit``
+    extract + verify against the golden model + full report;
+``synth``
+    optimize/technology-map a netlist (the Table III flow);
+``diagnose``
+    full triage of an unknown netlist (verified multiplier / buggy /
+    wrong basis / malformed), with a counterexample when one exists;
+``inject``
+    write a single-fault mutant of a netlist (for screening demos);
+``reduction``
+    print the Figure-1 reduction table and XOR cost for a P(x);
+``search``
+    list irreducible trinomials/pentanomials of a degree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.xor_count import figure1_report
+from repro.extract.extractor import extract_irreducible_polynomial
+from repro.extract.report import format_extraction_report
+from repro.extract.verify import verify_multiplier
+from repro.fieldmath.bitpoly import bitpoly_parse, bitpoly_str
+from repro.fieldmath.irreducible import (
+    find_irreducible_pentanomials,
+    find_irreducible_trinomials,
+    is_irreducible,
+)
+from repro.extract.diagnose import diagnose
+from repro.gen.faults import flip_gate, random_fault, stuck_at, swap_input
+from repro.gen.digit_serial import generate_digit_serial
+from repro.gen.interleaved import generate_interleaved
+from repro.gen.karatsuba import generate_karatsuba
+from repro.gen.mastrovito import generate_mastrovito
+from repro.gen.montgomery import generate_montgomery
+from repro.gen.normal_basis import generate_massey_omura
+from repro.gen.schoolbook import generate_schoolbook
+from repro.netlist.blif_io import read_blif, write_blif
+from repro.netlist.eqn_io import read_eqn, write_eqn
+from repro.netlist.verilog_io import read_verilog, write_verilog
+from repro.synth.pipeline import synthesize
+
+_GENERATORS = {
+    "mastrovito": generate_mastrovito,
+    "montgomery": generate_montgomery,
+    "schoolbook": generate_schoolbook,
+    "karatsuba": generate_karatsuba,
+    "interleaved": generate_interleaved,
+    "interleaved-lsb": lambda modulus: generate_interleaved(
+        modulus, msb_first=False
+    ),
+    "digit-serial": generate_digit_serial,
+    "massey-omura": generate_massey_omura,
+}
+
+_WRITERS = {"eqn": write_eqn, "blif": write_blif, "v": write_verilog}
+_READERS = {"eqn": read_eqn, "blif": read_blif, "v": read_verilog}
+
+
+def _infer_format(path: str, explicit: Optional[str]) -> str:
+    if explicit:
+        return explicit
+    for ext, name in ((".eqn", "eqn"), (".blif", "blif"), (".v", "v")):
+        if path.endswith(ext):
+            return name
+    raise SystemExit(
+        f"cannot infer netlist format of {path!r}; pass --format"
+    )
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    modulus = bitpoly_parse(args.p)
+    if not is_irreducible(modulus):
+        print(
+            f"warning: {bitpoly_str(modulus)} is reducible; the netlist "
+            "will not implement a field multiplier",
+            file=sys.stderr,
+        )
+    netlist = _GENERATORS[args.algorithm](modulus)
+    if args.synthesize:
+        netlist = synthesize(netlist)
+    fmt = _infer_format(args.output, args.format)
+    _WRITERS[fmt](netlist, args.output)
+    stats = netlist.stats()
+    print(
+        f"wrote {args.output}: GF(2^{len(netlist.outputs)}) "
+        f"{args.algorithm}, {stats.num_equations} equations"
+    )
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    fmt = _infer_format(args.netlist, args.format)
+    netlist = _READERS[fmt](args.netlist)
+    result = extract_irreducible_polynomial(
+        netlist, jobs=args.jobs, term_limit=args.term_limit
+    )
+    print(f"P(x) = {result.polynomial_str}")
+    if not result.irreducible:
+        print("warning: extracted polynomial is NOT irreducible")
+        return 1
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    fmt = _infer_format(args.netlist, args.format)
+    netlist = _READERS[fmt](args.netlist)
+    result = extract_irreducible_polynomial(
+        netlist,
+        jobs=args.jobs,
+        term_limit=args.term_limit,
+        measure_memory=args.jobs == 1,
+    )
+    verification = verify_multiplier(netlist, result)
+    print(
+        format_extraction_report(
+            result, verification, netlist_gates=len(netlist)
+        )
+    )
+    return 0 if verification.equivalent else 1
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    in_fmt = _infer_format(args.netlist, args.format)
+    netlist = _READERS[in_fmt](args.netlist)
+    optimized = synthesize(
+        netlist,
+        map_cells=not args.no_map,
+        use_xor_cells=not args.nand_only,
+    )
+    out_fmt = _infer_format(args.output, args.format)
+    _WRITERS[out_fmt](optimized, args.output)
+    print(
+        f"synthesized {args.netlist}: {len(netlist)} -> "
+        f"{len(optimized)} gates"
+    )
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    fmt = _infer_format(args.netlist, args.format)
+    netlist = _READERS[fmt](args.netlist)
+    diagnosis = diagnose(
+        netlist,
+        jobs=args.jobs,
+        term_limit=args.term_limit,
+        find_counterexample=not args.no_counterexample,
+    )
+    print(diagnosis.render())
+    return 0 if diagnosis.is_clean else 1
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    fmt = _infer_format(args.netlist, args.format)
+    netlist = _READERS[fmt](args.netlist)
+    if args.kind == "random":
+        mutant, fault = random_fault(netlist, seed=args.seed)
+    elif args.gate is None:
+        raise SystemExit(f"--gate is required for --kind {args.kind}")
+    elif args.kind == "gate-flip":
+        mutant, fault = flip_gate(netlist, args.gate, seed=args.seed)
+    elif args.kind == "input-swap":
+        mutant, fault = swap_input(netlist, args.gate, seed=args.seed)
+    elif args.kind == "stuck-at-0":
+        mutant, fault = stuck_at(netlist, args.gate, 0)
+    else:  # stuck-at-1
+        mutant, fault = stuck_at(netlist, args.gate, 1)
+    out_fmt = _infer_format(args.output, args.format)
+    _WRITERS[out_fmt](mutant, args.output)
+    print(f"injected {fault}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_reduction(args: argparse.Namespace) -> int:
+    moduli = [bitpoly_parse(text) for text in args.p]
+    print(figure1_report(moduli))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    trinomials = find_irreducible_trinomials(args.m, limit=args.limit)
+    if trinomials:
+        print(f"irreducible trinomials of degree {args.m}:")
+        for poly in trinomials:
+            print(f"  {bitpoly_str(poly)}")
+    else:
+        print(f"no irreducible trinomials of degree {args.m}")
+    pentanomials = find_irreducible_pentanomials(args.m, limit=args.limit)
+    print(f"first irreducible pentanomials of degree {args.m}:")
+    for poly in pentanomials:
+        print(f"  {bitpoly_str(poly)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reverse engineering of irreducible polynomials in GF(2^m) "
+            "arithmetic (DATE 2017 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("gen", help="generate a multiplier netlist")
+    gen.add_argument("--p", required=True, help='P(x), e.g. "x^4+x+1"')
+    gen.add_argument(
+        "--algorithm",
+        choices=sorted(_GENERATORS),
+        default="mastrovito",
+    )
+    gen.add_argument("--synthesize", action="store_true")
+    gen.add_argument("--format", choices=sorted(_WRITERS), default=None)
+    gen.add_argument("-o", "--output", required=True)
+    gen.set_defaults(func=_cmd_gen)
+
+    extract = sub.add_parser("extract", help="recover P(x) from a netlist")
+    extract.add_argument("netlist")
+    extract.add_argument("--jobs", type=int, default=1)
+    extract.add_argument("--term-limit", type=int, default=None)
+    extract.add_argument("--format", choices=sorted(_READERS), default=None)
+    extract.set_defaults(func=_cmd_extract)
+
+    audit = sub.add_parser(
+        "audit", help="extract P(x), verify, print a full report"
+    )
+    audit.add_argument("netlist")
+    audit.add_argument("--jobs", type=int, default=1)
+    audit.add_argument("--term-limit", type=int, default=None)
+    audit.add_argument("--format", choices=sorted(_READERS), default=None)
+    audit.set_defaults(func=_cmd_audit)
+
+    synth = sub.add_parser("synth", help="optimize/map a netlist")
+    synth.add_argument("netlist")
+    synth.add_argument("-o", "--output", required=True)
+    synth.add_argument("--no-map", action="store_true")
+    synth.add_argument("--nand-only", action="store_true")
+    synth.add_argument("--format", choices=sorted(_READERS), default=None)
+    synth.set_defaults(func=_cmd_synth)
+
+    diag = sub.add_parser(
+        "diagnose", help="triage an unknown netlist (full decision tree)"
+    )
+    diag.add_argument("netlist")
+    diag.add_argument("--jobs", type=int, default=1)
+    diag.add_argument("--term-limit", type=int, default=None)
+    diag.add_argument("--no-counterexample", action="store_true")
+    diag.add_argument("--format", choices=sorted(_READERS), default=None)
+    diag.set_defaults(func=_cmd_diagnose)
+
+    inject = sub.add_parser(
+        "inject", help="write a single-fault mutant of a netlist"
+    )
+    inject.add_argument("netlist")
+    inject.add_argument(
+        "--kind",
+        choices=[
+            "random", "gate-flip", "input-swap", "stuck-at-0", "stuck-at-1",
+        ],
+        default="random",
+    )
+    inject.add_argument("--gate", default=None, help="target gate output net")
+    inject.add_argument("--seed", type=int, default=0)
+    inject.add_argument("-o", "--output", required=True)
+    inject.add_argument("--format", choices=sorted(_READERS), default=None)
+    inject.set_defaults(func=_cmd_inject)
+
+    reduction = sub.add_parser(
+        "reduction", help="print Figure-1 reduction tables"
+    )
+    reduction.add_argument("--p", action="append", required=True)
+    reduction.set_defaults(func=_cmd_reduction)
+
+    search = sub.add_parser(
+        "search", help="find irreducible tri/pentanomials"
+    )
+    search.add_argument("--m", type=int, required=True)
+    search.add_argument("--limit", type=int, default=4)
+    search.set_defaults(func=_cmd_search)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

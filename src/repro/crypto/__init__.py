@@ -1,0 +1,42 @@
+"""Cryptographic applications of GF(2^m) — the paper's motivation.
+
+The introduction motivates reverse engineering of field polynomials
+with ECC and AES hardware.  This package supplies those application
+layers on top of :mod:`repro.fieldmath`, so the examples can carry a
+recovered P(x) all the way to a working protocol:
+
+``ecc``
+    binary-field elliptic curves (ECC): point arithmetic, scalar
+    multiplication, Diffie-Hellman, plus the NIST K-163 parameters;
+``aes_field``
+    the AES byte field GF(2^8): S-box from field inversion + affine
+    map, the MixColumns column transform, and the circuit constants.
+"""
+
+from repro.crypto.ecc import (
+    INFINITY,
+    BinaryCurve,
+    Point,
+    koblitz_curve_k163,
+)
+from repro.crypto.aes_field import (
+    AES_MODULUS,
+    aes_sbox,
+    aes_inv_sbox,
+    mix_column,
+    inv_mix_column,
+    xtime,
+)
+
+__all__ = [
+    "INFINITY",
+    "BinaryCurve",
+    "Point",
+    "koblitz_curve_k163",
+    "AES_MODULUS",
+    "aes_sbox",
+    "aes_inv_sbox",
+    "mix_column",
+    "inv_mix_column",
+    "xtime",
+]

@@ -1,0 +1,137 @@
+"""The AES byte field GF(2^8) and its round-function primitives.
+
+AES fixes the irreducible polynomial ``x^8 + x^4 + x^3 + x + 1``
+(0x11B).  Hardware implementations instantiate GF(2^8) multipliers and
+inverters for SubBytes and MixColumns — precisely the components the
+paper's technique audits.  This module provides the word-level
+reference: the S-box built from field inversion plus the affine map,
+and the MixColumns column transform, all validated against FIPS-197
+vectors in the tests.
+
+The ``aes_sbox_audit`` example closes the loop: it generates a
+gate-level multiplier over 0x11B, recovers the polynomial with the
+extractor, and rebuilds this reference field from the recovered mask.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.fieldmath.gf2m import GF2m
+
+#: The AES field polynomial x^8 + x^4 + x^3 + x + 1.
+AES_MODULUS = 0x11B
+
+#: The AES field itself (module-level: it is a fixed constant of AES).
+_FIELD = GF2m(AES_MODULUS)
+
+#: Affine-map constant of SubBytes.
+_AFFINE_CONSTANT = 0x63
+
+
+def _affine_forward(value: int) -> int:
+    """The SubBytes affine map ``b_i <- b_i ^ b_{i+4} ^ b_{i+5} ^
+    b_{i+6} ^ b_{i+7} ^ c_i`` (indices mod 8)."""
+    result = 0
+    for i in range(8):
+        bit = 0
+        for offset in (0, 4, 5, 6, 7):
+            bit ^= (value >> ((i + offset) % 8)) & 1
+        bit ^= (_AFFINE_CONSTANT >> i) & 1
+        result |= bit << i
+    return result
+
+
+def _affine_inverse(value: int) -> int:
+    """Inverse of the SubBytes affine map."""
+    result = 0
+    for i in range(8):
+        bit = 0
+        for offset in (2, 5, 7):
+            bit ^= (value >> ((i + offset) % 8)) & 1
+        bit ^= (0x05 >> i) & 1
+        result |= bit << i
+    return result
+
+
+def aes_sbox(byte: int, field: GF2m = _FIELD) -> int:
+    """SubBytes: field inversion (0 -> 0) then the affine map.
+
+    ``field`` is injectable so the audit example can run the S-box on
+    a field rebuilt from a *recovered* polynomial.
+
+    >>> hex(aes_sbox(0x00)), hex(aes_sbox(0x53))
+    ('0x63', '0xed')
+    """
+    if not 0 <= byte < 256:
+        raise ValueError("S-box input must be a byte")
+    inverse = field.inv(byte) if byte else 0
+    return _affine_forward(inverse)
+
+
+def aes_inv_sbox(byte: int, field: GF2m = _FIELD) -> int:
+    """InvSubBytes: inverse affine map, then field inversion.
+
+    >>> aes_inv_sbox(aes_sbox(0xCA))
+    202
+    """
+    if not 0 <= byte < 256:
+        raise ValueError("S-box input must be a byte")
+    linear = _affine_inverse(byte)
+    return field.inv(linear) if linear else 0
+
+
+def xtime(byte: int, field: GF2m = _FIELD) -> int:
+    """Multiplication by x (i.e. 0x02) — the MixColumns primitive.
+
+    >>> hex(xtime(0x80))
+    '0x1b'
+    """
+    return field.mul(byte, 0x02)
+
+
+#: MixColumns circulant matrix rows (multipliers of the column bytes).
+_MIX_ROWS = ((2, 3, 1, 1), (1, 2, 3, 1), (1, 1, 2, 3), (3, 1, 1, 2))
+_INV_MIX_ROWS = (
+    (14, 11, 13, 9),
+    (9, 14, 11, 13),
+    (13, 9, 14, 11),
+    (11, 13, 9, 14),
+)
+
+
+def _mix(column: Sequence[int], rows, field: GF2m) -> List[int]:
+    if len(column) != 4:
+        raise ValueError("a MixColumns column has exactly 4 bytes")
+    out = []
+    for row in rows:
+        acc = 0
+        for coefficient, byte in zip(row, column):
+            acc ^= field.mul(coefficient, byte)
+        out.append(acc)
+    return out
+
+
+def mix_column(column: Sequence[int], field: GF2m = _FIELD) -> List[int]:
+    """The MixColumns transform of one state column.
+
+    FIPS-197 test vector:
+
+    >>> [hex(b) for b in mix_column([0xDB, 0x13, 0x53, 0x45])]
+    ['0x8e', '0x4d', '0xa1', '0xbc']
+    """
+    return _mix(column, _MIX_ROWS, field)
+
+
+def inv_mix_column(column: Sequence[int], field: GF2m = _FIELD) -> List[int]:
+    """The InvMixColumns transform (inverse of :func:`mix_column`).
+
+    >>> inv_mix_column(mix_column([1, 2, 3, 4]))
+    [1, 2, 3, 4]
+    """
+    return _mix(column, _INV_MIX_ROWS, field)
+
+
+def sbox_table(field: GF2m = _FIELD) -> List[int]:
+    """The full 256-entry S-box table for a given byte field."""
+    return [aes_sbox(byte, field) for byte in range(256)]

@@ -1,0 +1,217 @@
+"""Elliptic curves over binary fields GF(2^m).
+
+A non-supersingular binary curve is
+
+    E: y^2 + x·y = x^3 + a·x^2 + b      (b != 0)
+
+with points in GF(2^m) x GF(2^m) plus the point at infinity.  This is
+the curve family behind the NIST B-/K- curves whose field sizes (163,
+233, 283, 409, 571) are exactly the multiplier widths of the paper's
+Tables I and II — ECC hardware is where those GF multipliers live.
+
+The module implements the affine group law, double-and-add scalar
+multiplication, and Diffie-Hellman on top of it.  Field arithmetic
+goes through :class:`~repro.fieldmath.gf2m.GF2m`, so a curve can be
+instantiated directly from a *recovered* irreducible polynomial — the
+``ecc_key_exchange`` example does exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.fieldmath.bitpoly import bitpoly_str
+from repro.fieldmath.gf2m import GF2m
+from repro.fieldmath.polynomial_db import nist_polynomial
+
+#: The point at infinity (the group identity).
+INFINITY: Optional["Point"] = None
+
+
+@dataclass(frozen=True)
+class Point:
+    """An affine point (x, y); the identity is ``None`` (INFINITY)."""
+
+    x: int
+    y: int
+
+    def __str__(self) -> str:
+        return f"({self.x:#x}, {self.y:#x})"
+
+
+class BinaryCurve:
+    """``y^2 + xy = x^3 + a·x^2 + b`` over GF(2^m).
+
+    >>> curve = BinaryCurve(GF2m(0b10011), a=0b1000, b=0b1001)
+    >>> points = curve.enumerate_points()
+    >>> all(curve.is_on_curve(p) for p in points if p is not None)
+    True
+    """
+
+    def __init__(self, field: GF2m, a: int, b: int):
+        if b == 0:
+            raise ValueError(
+                "b must be nonzero (the curve would be singular)"
+            )
+        self.field = field
+        self.a = a
+        self.b = b
+
+    def __repr__(self) -> str:
+        return (
+            f"BinaryCurve(GF(2^{self.field.m}) mod "
+            f"{bitpoly_str(self.field.modulus)}, a={self.a:#x}, "
+            f"b={self.b:#x})"
+        )
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def is_on_curve(self, point: Optional[Point]) -> bool:
+        """True for the identity and for affine points satisfying E."""
+        if point is None:
+            return True
+        gf = self.field
+        x, y = point.x, point.y
+        lhs = gf.add(gf.mul(y, y), gf.mul(x, y))
+        x_sq = gf.mul(x, x)
+        rhs = gf.add(
+            gf.add(gf.mul(x_sq, x), gf.mul(self.a, x_sq)), self.b
+        )
+        return lhs == rhs
+
+    def _require_on_curve(self, point: Optional[Point]) -> None:
+        if not self.is_on_curve(point):
+            raise ValueError(f"{point} is not on {self!r}")
+
+    # ------------------------------------------------------------------
+    # Group law
+    # ------------------------------------------------------------------
+
+    def negate(self, point: Optional[Point]) -> Optional[Point]:
+        """The inverse of a point: ``-(x, y) = (x, x + y)``."""
+        if point is None:
+            return None
+        return Point(point.x, self.field.add(point.x, point.y))
+
+    def add(
+        self, lhs: Optional[Point], rhs: Optional[Point]
+    ) -> Optional[Point]:
+        """The affine group law (handles identity/doubling/inverses)."""
+        gf = self.field
+        if lhs is None:
+            return rhs
+        if rhs is None:
+            return lhs
+        if lhs.x == rhs.x:
+            if gf.add(lhs.y, rhs.y) == lhs.x or (
+                lhs.x == 0 and lhs.y == rhs.y
+            ):
+                # rhs = -lhs (covers the x = 0 self-inverse case too).
+                return None
+            if lhs.y == rhs.y:
+                return self.double(lhs)
+            return None  # same x, inverse y
+        slope = gf.div(gf.add(lhs.y, rhs.y), gf.add(lhs.x, rhs.x))
+        x3 = gf.add(
+            gf.add(gf.add(gf.mul(slope, slope), slope), self.a),
+            gf.add(lhs.x, rhs.x),
+        )
+        y3 = gf.add(
+            gf.add(gf.mul(slope, gf.add(lhs.x, x3)), x3), lhs.y
+        )
+        return Point(x3, y3)
+
+    def double(self, point: Optional[Point]) -> Optional[Point]:
+        """Point doubling; 2P = infinity when x = 0."""
+        if point is None:
+            return None
+        gf = self.field
+        if point.x == 0:
+            return None
+        slope = gf.add(point.x, gf.div(point.y, point.x))
+        x3 = gf.add(gf.add(gf.mul(slope, slope), slope), self.a)
+        y3 = gf.add(
+            gf.add(gf.mul(point.x, point.x), gf.mul(slope, x3)), x3
+        )
+        return Point(x3, y3)
+
+    def scalar_mult(
+        self, scalar: int, point: Optional[Point]
+    ) -> Optional[Point]:
+        """``scalar · point`` by left-to-right double-and-add.
+
+        Negative scalars multiply the point's inverse.
+        """
+        if scalar < 0:
+            return self.scalar_mult(-scalar, self.negate(point))
+        result: Optional[Point] = None
+        addend = point
+        while scalar:
+            if scalar & 1:
+                result = self.add(result, addend)
+            addend = self.double(addend)
+            scalar >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+
+    def enumerate_points(self) -> List[Optional[Point]]:
+        """All points including infinity (small fields only)."""
+        if self.field.m > 12:
+            raise ValueError("refusing to enumerate a large curve")
+        points: List[Optional[Point]] = [None]
+        for x in self.field.elements():
+            for y in self.field.elements():
+                candidate = Point(x, y)
+                if self.is_on_curve(candidate):
+                    points.append(candidate)
+        return points
+
+    def order_of(self, point: Optional[Point], bound: int = 1 << 16) -> int:
+        """Order of a point in the group (bounded walk)."""
+        current = point
+        for order in range(1, bound + 1):
+            if current is None:
+                return order
+            current = self.add(current, point)
+        raise ValueError("order exceeds bound")
+
+    def diffie_hellman(
+        self,
+        base: Point,
+        private_a: int,
+        private_b: int,
+    ) -> Tuple[Optional[Point], Optional[Point], Optional[Point]]:
+        """One ECDH exchange: returns (pub_a, pub_b, shared).
+
+        The shared secret is computed from A's side; the symmetry
+        ``d_A · (d_B · G) == d_B · (d_A · G)`` is checked by the tests.
+        """
+        self._require_on_curve(base)
+        pub_a = self.scalar_mult(private_a, base)
+        pub_b = self.scalar_mult(private_b, base)
+        shared = self.scalar_mult(private_a, pub_b)
+        return pub_a, pub_b, shared
+
+
+def koblitz_curve_k163() -> Tuple[BinaryCurve, Point, int]:
+    """The NIST K-163 Koblitz curve: (curve, generator, group order).
+
+    K-163 lives in GF(2^163) under the NIST field polynomial
+    ``x^163 + x^7 + x^6 + x^3 + 1``.  The constants are self-checking:
+    the tests assert the generator satisfies the curve equation and
+    that ``order · G`` is the identity.
+    """
+    field = GF2m(nist_polynomial(163))
+    curve = BinaryCurve(field, a=1, b=1)
+    generator = Point(
+        0x02FE13C0537BBC11ACAA07D793DE4E6D5E5C94EEE8,
+        0x0289070FB05D38FF58321F2E800536D538CCDAA3D9,
+    )
+    order = 0x04000000000000000000020108A2E0CC0D99F8A5EF
+    return curve, generator, order

@@ -1,0 +1,47 @@
+"""Irreducible-polynomial extraction (Algorithm 2) and verification.
+
+``outfield``
+    the first out-field product set ``P_m = {a_i·b_j : i+j = m}``;
+``extractor``
+    Algorithm 2 — extract every output bit's expression, then decide
+    ``x^i ∈ P(x)`` by testing whether ``P_m`` appears in bit i's
+    expression (Theorem 3);
+``verify``
+    the closing step of the paper's flow — build the golden
+    specification from the extracted P(x) and check per-bit algebraic
+    equivalence, plus an independent simulation cross-check;
+``report``
+    human-readable extraction/verification reports;
+``diagnose``
+    full triage of unknown netlists (verified multiplier / buggy /
+    wrong basis / malformed), with counterexamples.
+"""
+
+from repro.extract.outfield import outfield_products
+from repro.extract.extractor import (
+    ExtractionResult,
+    extract_irreducible_polynomial,
+    extract_from_expressions,
+)
+from repro.extract.verify import VerificationReport, verify_multiplier
+from repro.extract.report import format_extraction_report
+from repro.extract.diagnose import Diagnosis, Verdict, diagnose
+from repro.extract.squarer import (
+    SquarerExtractionResult,
+    extract_squarer_polynomial,
+)
+
+__all__ = [
+    "outfield_products",
+    "ExtractionResult",
+    "extract_irreducible_polynomial",
+    "extract_from_expressions",
+    "VerificationReport",
+    "verify_multiplier",
+    "format_extraction_report",
+    "Diagnosis",
+    "Verdict",
+    "diagnose",
+    "SquarerExtractionResult",
+    "extract_squarer_polynomial",
+]

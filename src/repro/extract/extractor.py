@@ -1,0 +1,135 @@
+"""Algorithm 2 — extracting the irreducible polynomial P(x).
+
+The flow (Section III, Example 2):
+
+1. For each output bit ``z_i``, apply backward rewriting (Algorithm 1)
+   to obtain its canonical GF(2) expression over the primary inputs.
+2. Initialise ``P(x) = x^m`` (Theorem 3: x^m is always present).
+3. For each bit i, add ``x^i`` to P(x) iff the entire out-field product
+   set ``P_m`` occurs in the expression of ``z_i``.
+
+The extractor is black-box over the implementation: Mastrovito,
+Montgomery, schoolbook, synthesized/technology-mapped — anything that
+computes ``A·B mod P(x)`` with the standard port naming.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.extract.outfield import outfield_products
+from repro.fieldmath.bitpoly import bitpoly_str
+from repro.fieldmath.irreducible import is_irreducible
+from repro.gf2.polynomial import Gf2Poly
+from repro.netlist.netlist import Netlist, NetlistError
+from repro.rewrite.parallel import ExtractionRun, extract_expressions
+
+
+class ExtractionError(RuntimeError):
+    """The netlist does not look like an m-bit GF(2^m) multiplier."""
+
+
+@dataclass
+class ExtractionResult:
+    """Everything Algorithm 2 learned about the design."""
+
+    #: The recovered irreducible polynomial as a bit mask.
+    modulus: int
+    #: Field size (number of output bits).
+    m: int
+    #: Whether the recovered P(x) passes the Rabin irreducibility test.
+    irreducible: bool
+    #: Which output bits contained the full out-field set P_m.
+    member_bits: List[int]
+    #: The per-bit extraction run (expressions + stats).
+    run: ExtractionRun
+    #: Wall-clock time of the whole extraction (rewriting + analysis).
+    total_time_s: float = 0.0
+
+    @property
+    def polynomial_str(self) -> str:
+        """P(x) in the paper's notation, e.g. ``x^4 + x + 1``."""
+        return bitpoly_str(self.modulus)
+
+    def expression_of(self, bit: int) -> Gf2Poly:
+        """Canonical expression of output bit ``z_bit``."""
+        return self.run.expressions[f"z{bit}"]
+
+
+def _multiplier_ports(netlist: Netlist) -> int:
+    """Validate the standard a/b/z port naming; return m."""
+    m = len(netlist.outputs)
+    if m < 1:
+        raise ExtractionError("netlist has no outputs")
+    expected_outputs = {f"z{i}" for i in range(m)}
+    if set(netlist.outputs) != expected_outputs:
+        raise ExtractionError(
+            f"outputs must be named z0..z{m - 1}, got {netlist.outputs}"
+        )
+    expected_inputs = {f"a{i}" for i in range(m)} | {
+        f"b{i}" for i in range(m)
+    }
+    if set(netlist.inputs) != expected_inputs:
+        raise ExtractionError(
+            f"inputs must be named a0..a{m - 1}, b0..b{m - 1}; "
+            f"got {sorted(netlist.inputs)[:6]}..."
+        )
+    return m
+
+
+def extract_from_expressions(
+    expressions: Dict[str, Gf2Poly], m: int
+) -> tuple:
+    """Algorithm 2 lines 2 and 6-9 given already-extracted expressions.
+
+    Returns ``(modulus, member_bits)``.
+    """
+    products = outfield_products(m)
+    modulus = 1 << m  # line 2: P(x) initialised to x^m
+    member_bits: List[int] = []
+    for bit in range(m):
+        expression = expressions[f"z{bit}"]
+        if expression.contains_all(products):
+            modulus |= 1 << bit  # line 7: P(x) += x^i
+            member_bits.append(bit)
+    return modulus, member_bits
+
+
+def extract_irreducible_polynomial(
+    netlist: Netlist,
+    jobs: int = 1,
+    term_limit: Optional[int] = None,
+    measure_memory: bool = False,
+) -> ExtractionResult:
+    """Reverse engineer P(x) from a gate-level GF(2^m) multiplier.
+
+    ``jobs`` controls the parallel effort (the paper runs 16 threads);
+    ``term_limit`` bounds intermediate expression size per bit (the
+    paper's memory-out condition).
+
+    >>> from repro.gen.mastrovito import generate_mastrovito
+    >>> result = extract_irreducible_polynomial(generate_mastrovito(0b10011))
+    >>> result.polynomial_str
+    'x^4 + x + 1'
+    """
+    started = time.perf_counter()
+    m = _multiplier_ports(netlist)
+    run = extract_expressions(
+        netlist,
+        outputs=[f"z{i}" for i in range(m)],
+        jobs=jobs,
+        term_limit=term_limit,
+        measure_memory=measure_memory,
+    )
+    modulus, member_bits = extract_from_expressions(run.expressions, m)
+    total = time.perf_counter() - started
+    return ExtractionResult(
+        modulus=modulus,
+        m=m,
+        irreducible=is_irreducible(modulus),
+        member_bits=member_bits,
+        run=run,
+        total_time_s=total,
+    )

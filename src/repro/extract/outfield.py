@@ -1,0 +1,41 @@
+"""The first out-field product set ``P_m`` (Theorem 3).
+
+Out-field products are the partial products ``a_i·b_j`` with
+``i + j >= m`` — they belong to product coefficients ``s_{i+j}`` that
+must be reduced modulo P(x).  The *first* out-field set is the one of
+weight exactly m::
+
+    P_m = { a_{m-1}·b_1, a_{m-2}·b_2, ..., a_1·b_{m-1} }
+
+Since ``s_m·x^m mod P(x) = s_m·P'(x)`` with ``P(x) = x^m + P'(x)``,
+the entire set P_m appears in the expression of output bit ``z_i``
+exactly when ``x^i`` is a term of P'(x) — the membership test of
+Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gf2.monomial import Monomial
+
+
+def outfield_products(
+    m: int, a_prefix: str = "a", b_prefix: str = "b"
+) -> List[Monomial]:
+    """The monomials of ``P_m`` for an m-bit multiplier.
+
+    For ``m = 1`` the set is empty (no index pair sums to 1 inside the
+    operand range); Algorithm 2's membership test is then vacuously
+    true for bit 0, correctly yielding ``P(x) = x + 1`` — the only
+    irreducible polynomial of degree 1 with a constant term.
+
+    >>> sorted(sorted(mono) for mono in outfield_products(3))
+    [['a1', 'b2'], ['a2', 'b1']]
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    return [
+        frozenset({f"{a_prefix}{i}", f"{b_prefix}{m - i}"})
+        for i in range(1, m)
+    ]

@@ -1,0 +1,119 @@
+"""Univariate GF(2)[x] arithmetic and GF(2^m) field substrate.
+
+Polynomials over GF(2) are represented as Python integers whose bit ``i``
+is the coefficient of ``x^i`` — e.g. ``0b10011`` is ``x^4 + x + 1``.
+Python's arbitrary-precision integers make this representation exact for
+the paper's largest field, GF(2^571).
+
+Contents:
+
+``bitpoly``
+    carry-less multiply, divmod, gcd, modular exponentiation,
+    parsing/printing of ``x^233 + x^74 + 1`` style strings.
+``irreducible``
+    Rabin irreducibility test; trinomial/pentanomial search.
+``gf2m``
+    the field GF(2^m) itself (element arithmetic, inversion); the golden
+    word-level model our gate-level multipliers are validated against.
+``polynomial_db``
+    NIST-recommended and architecture-optimal irreducible polynomials
+    used in the paper's Tables I-IV.
+``montgomery_math``
+    word-level Montgomery multiplication reference model.
+``reduction``
+    Mastrovito reduction rows (``x^{m+t} mod P``) and the XOR-cost model
+    of Section II-D / Figure 1.
+``element``
+    operator-overloaded field elements on top of :class:`GF2m`.
+``linalg2``
+    GF(2) linear algebra on bitmask matrices (rank / solve / invert),
+    used by the normal-basis construction and diagnosis.
+``normal``
+    normal bases (conjugate orbits) and the Massey-Omura λ-matrix.
+``tower``
+    composite fields GF((2^k)^2) — the Canright/Satoh AES structure.
+"""
+
+from repro.fieldmath.bitpoly import (
+    bitpoly_degree,
+    bitpoly_divmod,
+    bitpoly_from_exponents,
+    bitpoly_gcd,
+    bitpoly_mod,
+    bitpoly_mul,
+    bitpoly_mulmod,
+    bitpoly_parse,
+    bitpoly_powmod,
+    bitpoly_str,
+    bitpoly_to_exponents,
+)
+from repro.fieldmath.irreducible import (
+    find_irreducible_pentanomials,
+    find_irreducible_trinomials,
+    is_irreducible,
+)
+from repro.fieldmath.element import FieldElement
+from repro.fieldmath.gf2m import GF2m
+from repro.fieldmath.linalg2 import (
+    gf2_invert,
+    gf2_rank,
+    gf2_solve,
+    matvec,
+    transpose,
+)
+from repro.fieldmath.polynomial_db import (
+    ARCH_OPTIMAL_233,
+    NIST_POLYNOMIALS,
+    PAPER_POLYNOMIALS,
+    arch_optimal_polynomials,
+    nist_polynomial,
+    scaled_arch_suite,
+)
+from repro.fieldmath.montgomery_math import mont_mul, mont_r2, to_mont, from_mont
+from repro.fieldmath.normal import NormalBasis, find_normal_element
+from repro.fieldmath.tower import TowerField
+from repro.fieldmath.reduction import (
+    reduction_rows,
+    reduction_table,
+    reduction_xor_cost,
+)
+
+__all__ = [
+    "bitpoly_degree",
+    "bitpoly_divmod",
+    "bitpoly_from_exponents",
+    "bitpoly_gcd",
+    "bitpoly_mod",
+    "bitpoly_mul",
+    "bitpoly_mulmod",
+    "bitpoly_parse",
+    "bitpoly_powmod",
+    "bitpoly_str",
+    "bitpoly_to_exponents",
+    "find_irreducible_pentanomials",
+    "find_irreducible_trinomials",
+    "is_irreducible",
+    "FieldElement",
+    "GF2m",
+    "gf2_invert",
+    "gf2_rank",
+    "gf2_solve",
+    "matvec",
+    "transpose",
+    "ARCH_OPTIMAL_233",
+    "NIST_POLYNOMIALS",
+    "PAPER_POLYNOMIALS",
+    "arch_optimal_polynomials",
+    "nist_polynomial",
+    "scaled_arch_suite",
+    "mont_mul",
+    "mont_r2",
+    "to_mont",
+    "from_mont",
+    "NormalBasis",
+    "find_normal_element",
+    "TowerField",
+    "reduction_rows",
+    "reduction_table",
+    "reduction_xor_cost",
+]

@@ -1,0 +1,160 @@
+"""Operator-overloaded GF(2^m) field elements.
+
+:class:`GF2m` works on bare integers, which keeps the hot paths fast
+but reads poorly in application code (the ECC substrate, examples).
+:class:`FieldElement` binds a value to its field so arithmetic composes
+with Python operators:
+
+>>> from repro.fieldmath.gf2m import GF2m
+>>> field = GF2m(0b10011)
+>>> a, b = FieldElement(field, 0b0110), FieldElement(field, 0b0111)
+>>> (a * b).value
+8
+>>> (a / a).value
+1
+
+Elements of different fields never mix; mixing raises ``ValueError``
+rather than silently reducing modulo the wrong polynomial.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.fieldmath.bitpoly import bitpoly_str
+from repro.fieldmath.gf2m import GF2m
+
+#: Values accepted where an element is expected: a raw int is lifted
+#: into the same field.
+ElementLike = Union["FieldElement", int]
+
+
+class FieldElement:
+    """An element of a specific GF(2^m) field.
+
+    Instances are immutable and hashable; ``==`` compares both the
+    field and the value.
+    """
+
+    __slots__ = ("_field", "_value")
+
+    def __init__(self, field: GF2m, value: int):
+        if not 0 <= value < field.order:
+            raise ValueError(
+                f"{value:#x} is not an element of GF(2^{field.m})"
+            )
+        self._field = field
+        self._value = value
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def field(self) -> GF2m:
+        """The field this element belongs to."""
+        return self._field
+
+    @property
+    def value(self) -> int:
+        """The element as an integer bit mask (bit i = coeff of x^i)."""
+        return self._value
+
+    def is_zero(self) -> bool:
+        return self._value == 0
+
+    # ------------------------------------------------------------------
+    # Coercion helpers
+    # ------------------------------------------------------------------
+
+    def _coerce(self, other: ElementLike) -> "FieldElement":
+        if isinstance(other, FieldElement):
+            if other._field != self._field:
+                raise ValueError(
+                    "cannot mix elements of GF(2^"
+                    f"{self._field.m}) and GF(2^{other._field.m}) with "
+                    f"moduli {bitpoly_str(self._field.modulus)} vs "
+                    f"{bitpoly_str(other._field.modulus)}"
+                )
+            return other
+        if isinstance(other, int):
+            return FieldElement(self._field, other)
+        raise TypeError(f"cannot coerce {other!r} into a field element")
+
+    def _wrap(self, value: int) -> "FieldElement":
+        return FieldElement(self._field, value)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: ElementLike) -> "FieldElement":
+        return self._wrap(
+            self._field.add(self._value, self._coerce(other)._value)
+        )
+
+    __radd__ = __add__
+    #: Characteristic 2: subtraction is addition.
+    __sub__ = __add__
+    __rsub__ = __add__
+
+    def __mul__(self, other: ElementLike) -> "FieldElement":
+        return self._wrap(
+            self._field.mul(self._value, self._coerce(other)._value)
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ElementLike) -> "FieldElement":
+        return self._wrap(
+            self._field.div(self._value, self._coerce(other)._value)
+        )
+
+    def __rtruediv__(self, other: ElementLike) -> "FieldElement":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: int) -> "FieldElement":
+        return self._wrap(self._field.pow(self._value, exponent))
+
+    def inverse(self) -> "FieldElement":
+        """Multiplicative inverse; raises ``ZeroDivisionError`` on 0."""
+        return self._wrap(self._field.inv(self._value))
+
+    def square(self) -> "FieldElement":
+        """The Frobenius square ``x^2``."""
+        return self._wrap(self._field.square(self._value))
+
+    def sqrt(self) -> "FieldElement":
+        """The unique square root."""
+        return self._wrap(self._field.sqrt(self._value))
+
+    def trace(self) -> int:
+        """The absolute trace, an int in {0, 1}."""
+        return self._field.trace(self._value)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FieldElement):
+            return (
+                self._field == other._field and self._value == other._value
+            )
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._field, self._value))
+
+    def __bool__(self) -> bool:
+        return self._value != 0
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return (
+            f"FieldElement(GF(2^{self._field.m}), {self._value:#x})"
+        )

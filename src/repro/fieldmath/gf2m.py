@@ -1,0 +1,232 @@
+"""The binary extension field GF(2^m) in polynomial basis.
+
+This is the golden word-level model of the reproduction: every
+gate-level multiplier emitted by :mod:`repro.gen` is validated against
+:meth:`GF2m.mul`, and the extraction verifier rebuilds specification
+polynomials from it.
+
+Elements are integers in ``[0, 2^m)`` whose bit ``i`` is the coefficient
+of ``x^i`` — the same representation as :mod:`repro.fieldmath.bitpoly`,
+reduced modulo the field's irreducible polynomial.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.fieldmath.bitpoly import (
+    bitpoly_degree,
+    bitpoly_divmod,
+    bitpoly_mod,
+    bitpoly_mul,
+    bitpoly_str,
+)
+from repro.fieldmath.irreducible import is_irreducible
+
+
+class GF2m:
+    """The field GF(2^m) constructed from an irreducible polynomial.
+
+    >>> field = GF2m(0b10011)           # GF(2^4), P = x^4 + x + 1
+    >>> field.m
+    4
+    >>> field.mul(0b0110, 0b0111)       # (x^2+x)(x^2+x+1)
+    8
+    >>> field.mul(field.inv(13), 13)
+    1
+    """
+
+    def __init__(self, modulus: int, check_irreducible: bool = True):
+        degree = bitpoly_degree(modulus)
+        if degree < 1:
+            raise ValueError("field modulus must have degree >= 1")
+        if check_irreducible and not is_irreducible(modulus):
+            raise ValueError(
+                f"{bitpoly_str(modulus)} is reducible; "
+                "it does not define a field"
+            )
+        self._modulus = modulus
+        self._m = degree
+
+    # ------------------------------------------------------------------
+    # Field metadata
+    # ------------------------------------------------------------------
+
+    @property
+    def modulus(self) -> int:
+        """The irreducible polynomial P(x) as a bit mask."""
+        return self._modulus
+
+    @property
+    def m(self) -> int:
+        """The extension degree (field has 2^m elements)."""
+        return self._m
+
+    @property
+    def order(self) -> int:
+        """Number of field elements, 2^m."""
+        return 1 << self._m
+
+    def __repr__(self) -> str:
+        return f"GF2m({bitpoly_str(self._modulus)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, GF2m):
+            return self._modulus == other._modulus
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("GF2m", self._modulus))
+
+    # ------------------------------------------------------------------
+    # Element arithmetic
+    # ------------------------------------------------------------------
+
+    def _check(self, value: int) -> int:
+        if not 0 <= value < self.order:
+            raise ValueError(
+                f"{value:#x} is not an element of GF(2^{self._m})"
+            )
+        return value
+
+    def add(self, lhs: int, rhs: int) -> int:
+        """Addition = coefficient-wise XOR (characteristic 2)."""
+        return self._check(lhs) ^ self._check(rhs)
+
+    #: Subtraction coincides with addition in characteristic 2.
+    sub = add
+
+    def mul(self, lhs: int, rhs: int) -> int:
+        """Multiplication modulo the irreducible polynomial."""
+        product = bitpoly_mul(self._check(lhs), self._check(rhs))
+        return bitpoly_mod(product, self._modulus)
+
+    def square(self, value: int) -> int:
+        """Squaring (the Frobenius map, linear over GF(2))."""
+        return self.mul(value, value)
+
+    def pow(self, base: int, exponent: int) -> int:
+        """Exponentiation by square-and-multiply.
+
+        Negative exponents are supported via inversion.
+        """
+        if exponent < 0:
+            base = self.inv(base)
+            exponent = -exponent
+        result = 1
+        base = self._check(base)
+        while exponent:
+            if exponent & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            exponent >>= 1
+        return result
+
+    def inv(self, value: int) -> int:
+        """Multiplicative inverse by the extended Euclidean algorithm."""
+        self._check(value)
+        if value == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^m)")
+        # Invariant: old_s * value + (...) * modulus = old_r over GF(2)[x]
+        old_r, r = value, self._modulus
+        old_s, s = 1, 0
+        while r != 0:
+            quotient, remainder = bitpoly_divmod(old_r, r)
+            old_r, r = r, remainder
+            old_s, s = s, old_s ^ bitpoly_mul(quotient, s)
+        assert old_r == 1, "gcd must be 1 for an irreducible modulus"
+        return bitpoly_mod(old_s, self._modulus)
+
+    def div(self, lhs: int, rhs: int) -> int:
+        """``lhs / rhs`` in the field."""
+        return self.mul(lhs, self.inv(rhs))
+
+    def sqrt(self, value: int) -> int:
+        """The unique square root (Frobenius is a bijection).
+
+        ``sqrt(x) = x^(2^(m-1))`` because squaring m times is the
+        identity map on GF(2^m).
+
+        >>> field = GF2m(0b10011)
+        >>> field.square(field.sqrt(9))
+        9
+        """
+        result = self._check(value)
+        for _ in range(self._m - 1):
+            result = self.mul(result, result)
+        return result
+
+    def trace(self, value: int) -> int:
+        """The absolute trace ``Tr(x) = x + x^2 + x^4 + ... + x^(2^(m-1))``.
+
+        The trace is GF(2)-linear and always lands in {0, 1}; exactly
+        half the field elements have trace 1.
+
+        >>> field = GF2m(0b1011)
+        >>> sorted({field.trace(v) for v in field.elements()})
+        [0, 1]
+        """
+        acc = 0
+        term = self._check(value)
+        for _ in range(self._m):
+            acc ^= term
+            term = self.mul(term, term)
+        return acc
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+
+    def element_bits(self, value: int) -> List[int]:
+        """Coefficient list ``[z0, z1, ..., z_{m-1}]`` of an element."""
+        self._check(value)
+        return [(value >> idx) & 1 for idx in range(self._m)]
+
+    def from_bits(self, bits: List[int]) -> int:
+        """Inverse of :meth:`element_bits`."""
+        if len(bits) > self._m:
+            raise ValueError("too many coefficient bits")
+        value = 0
+        for idx, bit in enumerate(bits):
+            if bit & 1:
+                value |= 1 << idx
+        return value
+
+    def elements(self) -> Iterator[int]:
+        """Iterate over all field elements (use only for small m)."""
+        if self._m > 20:
+            raise ValueError("refusing to enumerate a field with 2^m > 2^20")
+        return iter(range(self.order))
+
+    def is_generator(self, value: int) -> bool:
+        """True when ``value`` generates the multiplicative group."""
+        self._check(value)
+        if value == 0:
+            return False
+        group_order = self.order - 1
+        for prime in _distinct_prime_factors(group_order):
+            if self.pow(value, group_order // prime) == 1:
+                return False
+        return True
+
+    def find_generator(self) -> int:
+        """Smallest generator of the multiplicative group (small m only)."""
+        for candidate in range(2, self.order):
+            if self.is_generator(candidate):
+                return candidate
+        # GF(2) has trivial group; 1 generates it.
+        return 1
+
+
+def _distinct_prime_factors(value: int) -> List[int]:
+    factors = []
+    candidate = 2
+    while candidate * candidate <= value:
+        if value % candidate == 0:
+            factors.append(candidate)
+            while value % candidate == 0:
+                value //= candidate
+        candidate += 1 if candidate == 2 else 2
+    if value > 1:
+        factors.append(value)
+    return factors

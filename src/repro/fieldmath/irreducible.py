@@ -1,0 +1,177 @@
+"""Irreducibility testing and search over GF(2)[x].
+
+The reproduction needs two things the paper takes from the literature:
+
+* a way to *verify* that the NIST / architecture-optimal polynomials in
+  the database really are irreducible (sanity for every experiment), and
+* a way to *search* for irreducible trinomials and pentanomials of a
+  given degree, so the scaled-down Table IV suite can be built for any
+  bit-width (Section II-D: P(x) is either a trinomial ``x^m + x^a + 1``
+  or a pentanomial ``x^m + x^a + x^b + x^c + 1``).
+
+The test is Rabin's: ``f`` of degree ``n`` is irreducible over GF(2) iff
+
+* ``x^(2^n) ≡ x (mod f)``, and
+* ``gcd(x^(2^(n/p)) - x, f) = 1`` for every prime divisor ``p`` of ``n``.
+
+Squaring mod ``f`` is cheap in the bit-mask representation, so the test
+handles degree 571 comfortably.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.fieldmath.bitpoly import (
+    bitpoly_degree,
+    bitpoly_from_exponents,
+    bitpoly_gcd,
+    bitpoly_mod,
+    bitpoly_mulmod,
+)
+
+_X = 0b10  # the polynomial x
+
+
+def _prime_factors(value: int) -> List[int]:
+    """Distinct prime factors of a positive integer."""
+    factors = []
+    candidate = 2
+    while candidate * candidate <= value:
+        if value % candidate == 0:
+            factors.append(candidate)
+            while value % candidate == 0:
+                value //= candidate
+        candidate += 1 if candidate == 2 else 2
+    if value > 1:
+        factors.append(value)
+    return factors
+
+
+def _frobenius_power(steps: int, modulus: int) -> int:
+    """Compute ``x^(2^steps) mod modulus`` by repeated squaring of x."""
+    acc = bitpoly_mod(_X, modulus)
+    for _ in range(steps):
+        acc = bitpoly_mulmod(acc, acc, modulus)
+    return acc
+
+
+def is_irreducible(poly: int) -> bool:
+    """Rabin irreducibility test over GF(2).
+
+    >>> is_irreducible(0b10011)            # x^4 + x + 1
+    True
+    >>> is_irreducible(0b11111)            # x^4+x^3+x^2+x+1 (irreducible)
+    True
+    >>> is_irreducible(0b10101)            # x^4+x^2+1 = (x^2+x+1)^2
+    False
+    """
+    degree = bitpoly_degree(poly)
+    if degree <= 0:
+        return False
+    if degree == 1:
+        return True
+    if not poly & 1:
+        return False  # divisible by x
+    # x^(2^n) must reduce to x.
+    if _frobenius_power(degree, poly) != _X:
+        return False
+    for prime in _prime_factors(degree):
+        probe = _frobenius_power(degree // prime, poly) ^ _X
+        if bitpoly_gcd(probe, poly) != 1:
+            return False
+    return True
+
+
+def iter_irreducible_trinomials(degree: int) -> Iterator[int]:
+    """Yield irreducible ``x^m + x^a + 1`` for ``0 < a < m``, ascending a."""
+    if degree < 2:
+        return
+    for middle in range(1, degree):
+        candidate = bitpoly_from_exponents([degree, middle, 0])
+        if is_irreducible(candidate):
+            yield candidate
+
+
+def find_irreducible_trinomials(degree: int, limit: int | None = None) -> List[int]:
+    """Irreducible trinomials of the given degree (possibly empty).
+
+    >>> [hex(p) for p in find_irreducible_trinomials(4)]
+    ['0x13', '0x19']
+    >>> find_irreducible_trinomials(8)   # famously none of degree 8
+    []
+    """
+    out = []
+    for poly in iter_irreducible_trinomials(degree):
+        out.append(poly)
+        if limit is not None and len(out) >= limit:
+            break
+    return out
+
+
+def iter_irreducible_pentanomials(degree: int) -> Iterator[int]:
+    """Yield irreducible ``x^m + x^a + x^b + x^c + 1`` (a > b > c > 0)."""
+    if degree < 4:
+        return
+    for high in range(3, degree):
+        for mid in range(2, high):
+            for low in range(1, mid):
+                candidate = bitpoly_from_exponents([degree, high, mid, low, 0])
+                if is_irreducible(candidate):
+                    yield candidate
+
+
+def find_irreducible_pentanomials(degree: int, limit: int = 4) -> List[int]:
+    """First ``limit`` irreducible pentanomials of the given degree.
+
+    NIST follows the convention of choosing the pentanomial only when no
+    irreducible trinomial of that degree exists [16]; the search order
+    here (lexicographic in (a, b, c)) mirrors the standard tables.
+
+    >>> from repro.fieldmath.bitpoly import bitpoly_str
+    >>> bitpoly_str(find_irreducible_pentanomials(8, limit=1)[0])
+    'x^8 + x^4 + x^3 + x + 1'
+    """
+    out = []
+    for poly in iter_irreducible_pentanomials(degree):
+        out.append(poly)
+        if len(out) >= limit:
+            break
+    return out
+
+
+def find_high_degree_pentanomial(degree: int, min_high: int) -> int | None:
+    """Find an irreducible pentanomial whose second exponent is >= min_high.
+
+    Used to build scaled-down analogues of the architecture-optimal
+    polynomials of Table IV, which have large middle exponents
+    (e.g. Intel-Pentium's ``x^233 + x^201 + x^105 + x^9 + 1``).
+    """
+    for high in range(degree - 1, min_high - 1, -1):
+        for mid in range(high - 1, 1, -1):
+            for low in range(1, mid):
+                candidate = bitpoly_from_exponents([degree, high, mid, low, 0])
+                if is_irreducible(candidate):
+                    return candidate
+    return None
+
+
+def default_irreducible(degree: int) -> int:
+    """A canonical irreducible polynomial of the given degree.
+
+    Prefers the lexicographically-first trinomial, falling back to the
+    first pentanomial, then to an exhaustive search over all
+    polynomials (degrees where neither form exists do not occur below
+    10000, but the fallback keeps the function total).
+    """
+    trinomials = find_irreducible_trinomials(degree, limit=1)
+    if trinomials:
+        return trinomials[0]
+    pentanomials = find_irreducible_pentanomials(degree, limit=1)
+    if pentanomials:
+        return pentanomials[0]
+    for tail in range(1, 1 << degree):
+        candidate = (1 << degree) | tail
+        if is_irreducible(candidate):
+            return candidate
+    raise ValueError(f"no irreducible polynomial of degree {degree}")

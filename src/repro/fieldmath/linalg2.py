@@ -1,0 +1,141 @@
+"""Linear algebra over GF(2) with integer-bitmask rows.
+
+A matrix is a list of ``width``-bit integers, one per row; bit ``j`` of
+row ``i`` is entry ``(i, j)``.  This compact form is all the
+normal-basis construction and the diagnosis machinery need: rank,
+solving ``A x = b``, and inversion, each by Gaussian elimination with
+XOR row operations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def gf2_rank(rows: Sequence[int]) -> int:
+    """Rank of a GF(2) matrix given as bitmask rows.
+
+    >>> gf2_rank([0b01, 0b10, 0b11])
+    2
+    """
+    rank = 0
+    reduced: List[int] = []
+    for row in rows:
+        for pivot in reduced:
+            row = min(row, row ^ pivot)
+        if row:
+            reduced.append(row)
+            reduced.sort(reverse=True)
+            rank += 1
+    return rank
+
+
+def gf2_solve(
+    rows: Sequence[int], rhs: Sequence[int], width: int
+) -> Optional[int]:
+    """Solve ``A x = b`` over GF(2); returns x as a bitmask or None.
+
+    ``rows[i]`` is row i of A (bit j = A[i][j]); ``rhs[i]`` is b[i];
+    ``width`` is the number of unknowns.  Returns one solution when the
+    system is consistent (the free variables, if any, are set to 0).
+
+    >>> bin(gf2_solve([0b11, 0b01], [1, 1], 2))
+    '0b1'
+    """
+    augmented = [
+        (row, bit & 1) for row, bit in zip(rows, rhs)
+    ]
+    pivots: List[Tuple[int, int]] = []  # (column, row index in echelon)
+    echelon: List[Tuple[int, int]] = []
+    for row, bit in augmented:
+        for column, idx in pivots:
+            if (row >> column) & 1:
+                row ^= echelon[idx][0]
+                bit ^= echelon[idx][1]
+        if row == 0:
+            if bit:
+                return None  # 0 = 1: inconsistent
+            continue
+        column = row.bit_length() - 1
+        pivots.append((column, len(echelon)))
+        echelon.append((row, bit))
+
+    # Back-substitute to make each pivot column isolated.
+    for idx in range(len(echelon) - 1, -1, -1):
+        row, bit = echelon[idx]
+        column = pivots[idx][0]
+        for upper in range(idx):
+            urow, ubit = echelon[upper]
+            if (urow >> column) & 1:
+                echelon[upper] = (urow ^ row, ubit ^ bit)
+
+    solution = 0
+    for (column, _), (row, bit) in zip(pivots, echelon):
+        if bit:
+            solution |= 1 << column
+    return solution
+
+
+def gf2_invert(rows: Sequence[int], width: int) -> Optional[List[int]]:
+    """Inverse of a square GF(2) matrix, or None when singular.
+
+    >>> gf2_invert([0b01, 0b11], 2)
+    [1, 3]
+    """
+    if len(rows) != width:
+        raise ValueError("matrix must be square")
+    # Gauss-Jordan on [A | I]; after full elimination the left half is
+    # the identity (pivot of row i at column i) and the right half A^-1.
+    augmented = [(row, 1 << idx) for idx, row in enumerate(rows)]
+    for column in range(width):
+        pivot = next(
+            (
+                idx
+                for idx in range(column, width)
+                if (augmented[idx][0] >> column) & 1
+            ),
+            None,
+        )
+        if pivot is None:
+            return None
+        augmented[column], augmented[pivot] = (
+            augmented[pivot],
+            augmented[column],
+        )
+        prow, pinv = augmented[column]
+        for idx in range(width):
+            if idx != column and (augmented[idx][0] >> column) & 1:
+                augmented[idx] = (
+                    augmented[idx][0] ^ prow,
+                    augmented[idx][1] ^ pinv,
+                )
+    return [inv for _, inv in augmented]
+
+
+def transpose(rows: Sequence[int], width: int) -> List[int]:
+    """Transpose a GF(2) bitmask matrix.
+
+    >>> transpose([0b01, 0b11], 2)
+    [3, 2]
+    """
+    out = [0] * width
+    for i, row in enumerate(rows):
+        for j in range(width):
+            if (row >> j) & 1:
+                out[j] |= 1 << i
+    return out
+
+
+def matvec(rows: Sequence[int], vector: int) -> int:
+    """Multiply a GF(2) matrix by a column vector (both bitmasks).
+
+    Row ``i`` of the result is ``parity(rows[i] & vector)``.
+
+    >>> matvec([0b11, 0b10], 0b01)
+    1
+    """
+    result = 0
+    for i, row in enumerate(rows):
+        if bin(row & vector).count("1") & 1:
+            result |= 1 << i
+    return result

@@ -1,0 +1,147 @@
+"""Database of the irreducible polynomials used in the paper.
+
+Three groups:
+
+* :data:`NIST_POLYNOMIALS` — the NIST-recommended P(x) for the binary
+  curves B-163 .. B-571 [16], used in Tables I and II;
+* :data:`PAPER_POLYNOMIALS` — the full per-bit-width list that appears
+  in the paper's tables, which additionally includes the m=64 and m=96
+  pentanomials the authors used;
+* :data:`ARCH_OPTIMAL_233` — Scott's architecture-optimal polynomials
+  for GF(2^233) [3], used in Table IV and Figure 4.
+
+For scaled-down runs (pure-Python engine), :func:`scaled_arch_suite`
+builds a structurally analogous four-polynomial suite at any bit-width:
+one NIST-style low-exponent pentanomial, one trinomial, and two
+high-exponent pentanomials mimicking the Pentium/MSP430 entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.fieldmath.bitpoly import bitpoly_from_exponents, bitpoly_str
+from repro.fieldmath.irreducible import (
+    find_high_degree_pentanomial,
+    find_irreducible_pentanomials,
+    find_irreducible_trinomials,
+)
+
+#: NIST-recommended irreducible polynomials for binary fields [16].
+NIST_POLYNOMIALS: Dict[int, int] = {
+    163: bitpoly_from_exponents([163, 7, 6, 3, 0]),
+    233: bitpoly_from_exponents([233, 74, 0]),
+    283: bitpoly_from_exponents([283, 12, 7, 5, 0]),
+    409: bitpoly_from_exponents([409, 87, 0]),
+    571: bitpoly_from_exponents([571, 10, 5, 2, 0]),
+}
+
+#: The per-bit-width polynomials exactly as printed in Tables I and II.
+#: The paper lists x^163+x^80+x^47+x^9+1 for m=163 (an alternative
+#: irreducible pentanomial rather than the NIST curve polynomial); we
+#: follow the table verbatim.
+PAPER_POLYNOMIALS: Dict[int, int] = {
+    64: bitpoly_from_exponents([64, 21, 19, 4, 0]),
+    96: bitpoly_from_exponents([96, 44, 7, 2, 0]),
+    163: bitpoly_from_exponents([163, 80, 47, 9, 0]),
+    233: bitpoly_from_exponents([233, 74, 0]),
+    283: bitpoly_from_exponents([283, 12, 7, 5, 0]),
+    409: bitpoly_from_exponents([409, 87, 0]),
+    571: bitpoly_from_exponents([571, 10, 5, 2, 0]),
+}
+
+#: Scott's optimal irreducible polynomials for GF(2^233) per
+#: architecture [3], as listed in Table IV.
+ARCH_OPTIMAL_233: Dict[str, int] = {
+    "Intel-Pentium": bitpoly_from_exponents([233, 201, 105, 9, 0]),
+    "ARM": bitpoly_from_exponents([233, 159, 0]),
+    "MSP430": bitpoly_from_exponents([233, 185, 121, 105, 0]),
+    "NIST-recommended": bitpoly_from_exponents([233, 74, 0]),
+}
+
+
+def nist_polynomial(m: int) -> int:
+    """The NIST-recommended P(x) for bit-width ``m``.
+
+    >>> bitpoly_str(nist_polynomial(233))
+    'x^233 + x^74 + 1'
+    """
+    try:
+        return NIST_POLYNOMIALS[m]
+    except KeyError:
+        raise KeyError(
+            f"no NIST-recommended polynomial for m={m}; "
+            f"available: {sorted(NIST_POLYNOMIALS)}"
+        ) from None
+
+
+def paper_polynomial(m: int) -> int:
+    """The P(x) used in the paper's tables for bit-width ``m``."""
+    try:
+        return PAPER_POLYNOMIALS[m]
+    except KeyError:
+        raise KeyError(
+            f"paper tables have no entry for m={m}; "
+            f"available: {sorted(PAPER_POLYNOMIALS)}"
+        ) from None
+
+
+def arch_optimal_polynomials() -> List[Tuple[str, int]]:
+    """Table IV rows as ``(architecture, P(x))`` pairs, paper order."""
+    return list(ARCH_OPTIMAL_233.items())
+
+
+def scaled_arch_suite(m: int) -> List[Tuple[str, int]]:
+    """A four-polynomial suite at bit-width ``m`` analogous to Table IV.
+
+    Table IV compares four irreducible polynomials of the *same* degree
+    that differ in structure (one trinomial, three pentanomials with
+    very different middle exponents).  For scaled-down runs this builds
+    the same comparison at any ``m``:
+
+    * ``trinomial`` — lowest-middle-exponent irreducible trinomial
+      (the ARM/NIST-like cheap rows);
+    * ``pentanomial-low`` — lexicographically-first pentanomial (the
+      NIST-style choice when no trinomial exists);
+    * ``pentanomial-high`` — pentanomial with second exponent close to
+      ``m`` (Pentium-like: long reduction rows, expensive);
+    * ``trinomial-high`` or second high pentanomial — whichever exists,
+      to mirror the MSP430 row.
+
+    All returned polynomials are distinct and verified irreducible.
+    Degrees with no irreducible trinomial (e.g. every multiple of 8)
+    fall back to pentanomials only.
+    """
+    suite: List[Tuple[str, int]] = []
+    seen = set()
+
+    def push(label: str, poly: int | None) -> None:
+        if poly is not None and poly not in seen:
+            seen.add(poly)
+            suite.append((label, poly))
+
+    trinomials = find_irreducible_trinomials(m)
+    if trinomials:
+        push("trinomial", trinomials[0])
+        push("trinomial-high", trinomials[-1])
+    pentanomials = find_irreducible_pentanomials(m, limit=2)
+    for idx, poly in enumerate(pentanomials):
+        push(f"pentanomial-low{'' if idx == 0 else '-alt'}", poly)
+    push(
+        "pentanomial-high",
+        find_high_degree_pentanomial(m, min_high=max(2, (3 * m) // 4)),
+    )
+    if len(suite) > 4:
+        # Keep structural variety: first trinomial, low penta, then the
+        # high-exponent entries.
+        labels = {label for label, _ in suite}
+        preferred = [
+            "trinomial",
+            "pentanomial-low",
+            "pentanomial-high",
+            "trinomial-high",
+            "pentanomial-low-alt",
+        ]
+        ordered = [entry for name in preferred for entry in suite if entry[0] == name]
+        suite = ordered[:4] if len(labels) >= 4 else suite[:4]
+    return suite

@@ -1,0 +1,120 @@
+"""Mastrovito reduction matrices and the XOR-cost model of Section II-D.
+
+A GF(2^m) multiplication first forms the polynomial product
+``S(x) = A(x)·B(x)`` with coefficients ``s_0 .. s_{2m-2}`` and then
+reduces the *out-field* coefficients ``s_m .. s_{2m-2}`` modulo P(x).
+Because ``x^{m+t} mod P(x)`` is a fixed polynomial of degree < m, the
+reduction is linear: output bit ``z_i`` is the XOR of ``s_i`` and every
+``s_{m+t}`` whose reduction row has bit ``i`` set.
+
+Figure 1 of the paper draws exactly these rows for GF(2^4) and counts
+the XOR gates they cost: 9 for ``P1 = x^4+x^3+1`` and 6 for
+``P2 = x^4+x+1``.  The functions here regenerate that figure for any
+P(x) and feed both the Mastrovito netlist generator and the
+Figure-1 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.fieldmath.bitpoly import (
+    bitpoly_degree,
+    bitpoly_mod,
+    bitpoly_str,
+)
+
+
+def reduction_rows(modulus: int) -> List[int]:
+    """Rows ``r_t = x^{m+t} mod P(x)`` for ``t = 0 .. m-2``.
+
+    Row ``t`` is the bit mask of output columns that receive the
+    out-field coefficient ``s_{m+t}``.
+
+    >>> [bin(r) for r in reduction_rows(0b10011)]   # x^4+x+1
+    ['0b11', '0b110', '0b1100']
+    """
+    m = bitpoly_degree(modulus)
+    if m < 1:
+        raise ValueError("modulus must have degree >= 1")
+    rows = []
+    current = bitpoly_mod(1 << m, modulus)
+    for _ in range(m - 1):
+        rows.append(current)
+        current = bitpoly_mod(current << 1, modulus)
+    return rows
+
+
+def column_contributions(modulus: int) -> List[List[int]]:
+    """For each output bit ``z_i``, the list of ``s_k`` indices XORed in.
+
+    Index ``i`` always contributes ``s_i`` itself; out-field indices
+    ``m+t`` contribute when reduction row ``t`` has bit ``i`` set.
+
+    >>> column_contributions(0b10011)[0]     # z0 of GF(2^4), x^4+x+1
+    [0, 4]
+    """
+    m = bitpoly_degree(modulus)
+    rows = reduction_rows(modulus)
+    columns: List[List[int]] = [[i] for i in range(m)]
+    for t, row in enumerate(rows):
+        for i in range(m):
+            if (row >> i) & 1:
+                columns[i].append(m + t)
+    return columns
+
+
+def reduction_xor_cost(modulus: int) -> int:
+    """Number of 2-input XORs the reduction step costs (Section II-D).
+
+    Counted exactly as in the paper: terms per column minus one, summed
+    over columns.
+
+    >>> reduction_xor_cost(0b11001)   # P1 = x^4 + x^3 + 1
+    9
+    >>> reduction_xor_cost(0b10011)   # P2 = x^4 + x + 1
+    6
+    """
+    return sum(len(col) - 1 for col in column_contributions(modulus))
+
+
+def reduction_table(modulus: int) -> str:
+    """Render the Figure-1 style reduction table as ASCII.
+
+    Columns are ``z_{m-1} .. z_0`` (paper order, MSB left); the first
+    row holds the in-field coefficients ``s_{m-1} .. s_0`` and each
+    subsequent row shows where one out-field coefficient lands.
+    """
+    m = bitpoly_degree(modulus)
+    rows = reduction_rows(modulus)
+    width = max(4, len(f"s{2 * m - 2}") + 1)
+
+    def cell(text: str) -> str:
+        return text.rjust(width)
+
+    lines = [f"P(x) = {bitpoly_str(modulus)}"]
+    lines.append("".join(cell(f"s{i}") for i in range(m - 1, -1, -1)))
+    for t, row in enumerate(rows):
+        rendered = []
+        for i in range(m - 1, -1, -1):
+            rendered.append(cell(f"s{m + t}" if (row >> i) & 1 else "0"))
+        lines.append("".join(rendered))
+    lines.append("".join(cell(f"z{i}") for i in range(m - 1, -1, -1)))
+    return "\n".join(lines)
+
+
+def xor_cost_report(moduli: Dict[str, int]) -> str:
+    """Compare the reduction XOR cost of several polynomials.
+
+    Returns an ASCII table with one row per named polynomial, sorted in
+    input order — used by the Figure-1 benchmark and the crypto-audit
+    example.
+    """
+    header = f"{'name':<20} {'P(x)':<42} {'reduction XORs':>14}"
+    lines = [header, "-" * len(header)]
+    for name, modulus in moduli.items():
+        lines.append(
+            f"{name:<20} {bitpoly_str(modulus):<42} "
+            f"{reduction_xor_cost(modulus):>14}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Composite (tower) fields GF((2^k)^2).
+
+Compact cryptographic hardware often avoids a flat GF(2^{2k})
+implementation: the Canright/Satoh AES S-box computes the GF(2^8)
+inversion in GF((2^4)^2), where subfield operations are cheap table
+or gate-level primitives.  A tower element is ``h·Y + l`` with
+``h, l ∈ GF(2^k)`` and ``Y`` a root of the irreducible quadratic
+
+    Y^2 + Y + ν = 0,        ν ∈ GF(2^k), Tr(ν) = 1.
+
+Multiplication follows from the quadratic relation:
+
+    (h1·Y + l1)(h2·Y + l2)
+        = (h1·h2 + h1·l2 + h2·l1)·Y + (l1·l2 + ν·h1·h2).
+
+The tower is a field of 2^{2k} elements, but its *coordinate encoding*
+differs from any polynomial basis of GF(2^{2k}) — which is exactly why
+:mod:`repro.gen.tower` matters to the extraction story: a tower
+multiplier is functionally a GF(2^{2k}) multiplier, yet Theorem 3's
+out-field pattern does not exist in its bit-level expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.fieldmath.bitpoly import bitpoly_str
+from repro.fieldmath.gf2m import GF2m
+
+
+class TowerField:
+    """GF((2^k)^2) with elements packed as ``(h << k) | l``.
+
+    >>> tower = TowerField(GF2m(0b10011))      # GF((2^4)^2)
+    >>> tower.order
+    256
+    >>> tower.mul(tower.inv(0x53), 0x53)
+    1
+    """
+
+    def __init__(self, base: GF2m, nu: int | None = None):
+        self.base = base
+        self.k = base.m
+        self.nu = self._default_nu() if nu is None else nu
+        if self.base.trace(self.nu) != 1:
+            raise ValueError(
+                f"nu={self.nu:#x} has trace 0 over GF(2^{self.k}); "
+                "Y^2 + Y + nu is reducible and defines no field"
+            )
+
+    def _default_nu(self) -> int:
+        for candidate in self.base.elements():
+            if candidate and self.base.trace(candidate) == 1:
+                return candidate
+        raise AssertionError("every field has trace-1 elements")
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Extension degree over GF(2): the tower has 2^(2k) elements."""
+        return 2 * self.k
+
+    @property
+    def order(self) -> int:
+        return 1 << (2 * self.k)
+
+    def __repr__(self) -> str:
+        return (
+            f"TowerField(GF((2^{self.k})^2) over "
+            f"{bitpoly_str(self.base.modulus)}, nu={self.nu:#x})"
+        )
+
+    # ------------------------------------------------------------------
+    # Packing
+    # ------------------------------------------------------------------
+
+    def split(self, value: int) -> Tuple[int, int]:
+        """Unpack ``value`` into (high, low) subfield coordinates."""
+        if not 0 <= value < self.order:
+            raise ValueError(f"{value:#x} is not a tower element")
+        return value >> self.k, value & ((1 << self.k) - 1)
+
+    def join(self, high: int, low: int) -> int:
+        """Pack subfield coordinates into a tower element."""
+        return (high << self.k) | low
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def add(self, lhs: int, rhs: int) -> int:
+        """Coordinate-wise XOR (characteristic 2)."""
+        self.split(lhs), self.split(rhs)
+        return lhs ^ rhs
+
+    def mul(self, lhs: int, rhs: int) -> int:
+        """Tower multiplication via the quadratic relation."""
+        gf = self.base
+        h1, l1 = self.split(lhs)
+        h2, l2 = self.split(rhs)
+        hh = gf.mul(h1, h2)
+        high = hh ^ gf.mul(h1, l2) ^ gf.mul(h2, l1)
+        low = gf.mul(l1, l2) ^ gf.mul(self.nu, hh)
+        return self.join(high, low)
+
+    def square(self, value: int) -> int:
+        return self.mul(value, value)
+
+    def inv(self, value: int) -> int:
+        """Inversion by the norm trick (the Itoh-Tsujii core).
+
+        For ``v = h·Y + l``: the norm ``Δ = l^2 + l·h + ν·h^2`` lives
+        in the subfield, and ``v^{-1} = (h·Y + (l + h)) / Δ``.
+        """
+        if value == 0:
+            raise ZeroDivisionError("0 has no inverse in GF((2^k)^2)")
+        gf = self.base
+        h, l = self.split(value)
+        delta = (
+            gf.mul(l, l)
+            ^ gf.mul(l, h)
+            ^ gf.mul(self.nu, gf.mul(h, h))
+        )
+        delta_inv = gf.inv(delta)
+        return self.join(
+            gf.mul(h, delta_inv), gf.mul(l ^ h, delta_inv)
+        )
+
+    def pow(self, base_value: int, exponent: int) -> int:
+        if exponent < 0:
+            base_value = self.inv(base_value)
+            exponent = -exponent
+        result = 1
+        while exponent:
+            if exponent & 1:
+                result = self.mul(result, base_value)
+            base_value = self.mul(base_value, base_value)
+            exponent >>= 1
+        return result

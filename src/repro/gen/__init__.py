@@ -1,0 +1,86 @@
+"""Gate-level GF(2^m) multiplier generators.
+
+The paper evaluates on multipliers produced by external generators
+(Kalla's benchmarks [1]); this package is our from-scratch equivalent.
+Every generator takes the irreducible polynomial P(x) as a bit mask and
+emits a flattened combinational :class:`~repro.netlist.netlist.Netlist`
+with inputs ``a0..a{m-1}``, ``b0..b{m-1}`` and outputs ``z0..z{m-1}``
+computing ``Z = A·B mod P(x)``:
+
+``mastrovito``
+    the classic Mastrovito structure — per-output XOR trees over the
+    shared partial products, with the reduction folded into the product
+    matrix (Tables I, III, IV; Figure 4);
+``schoolbook``
+    the two-stage structure of Figure 1 — explicit ``s_k`` coefficient
+    trees followed by a reduction network;
+``montgomery``
+    a *flattened* Montgomery multiplier — two unrolled bit-serial
+    Montgomery steps (``MM(A,B)`` then the ``x^{2m} mod P`` domain
+    correction) with no block boundaries in the emitted netlist
+    (Tables II, III);
+``karatsuba``
+    recursive Karatsuba-Ofman product stage (sub-quadratic AND count)
+    over the shared reduction network;
+``interleaved``
+    fully unrolled bit-serial shift-and-add datapath, MSB- or
+    LSB-first, with the reduction interleaved into every row;
+``normal_basis``
+    Massey-Omura multiplier over a *normal* basis — a correct field
+    multiplier that polynomial-basis extraction must reject (the
+    negative case for Theorem 3);
+``redundancy``
+    function-preserving decoration emulating raw generator output
+    (the pre-synthesis netlists of Tables I/II);
+``faults``
+    single-fault mutants (gate flip, input swap, stuck-at) for
+    exercising the golden-model verification;
+``paper_examples``
+    the concrete 2-bit and 4-bit circuits of Figures 1-3.
+"""
+
+from repro.gen.naming import input_nets, output_nets
+from repro.gen.partial_products import emit_partial_products
+from repro.gen.mastrovito import generate_mastrovito
+from repro.gen.schoolbook import generate_schoolbook
+from repro.gen.montgomery import generate_montgomery, generate_montgomery_step
+from repro.gen.karatsuba import generate_karatsuba
+from repro.gen.interleaved import generate_interleaved
+from repro.gen.digit_serial import generate_digit_serial
+from repro.gen.normal_basis import generate_massey_omura
+from repro.gen.squarer import generate_squarer, squaring_matrix
+from repro.gen.tower import generate_tower, tower_reference
+from repro.gen.redundancy import decorate_with_redundancy
+from repro.gen.faults import (
+    FaultDescription,
+    FaultError,
+    flip_gate,
+    random_fault,
+    stuck_at,
+    swap_input,
+)
+
+__all__ = [
+    "input_nets",
+    "output_nets",
+    "emit_partial_products",
+    "generate_mastrovito",
+    "generate_schoolbook",
+    "generate_montgomery",
+    "generate_montgomery_step",
+    "generate_karatsuba",
+    "generate_interleaved",
+    "generate_digit_serial",
+    "generate_massey_omura",
+    "generate_squarer",
+    "squaring_matrix",
+    "generate_tower",
+    "tower_reference",
+    "decorate_with_redundancy",
+    "FaultDescription",
+    "FaultError",
+    "flip_gate",
+    "random_fault",
+    "stuck_at",
+    "swap_input",
+]

@@ -1,0 +1,189 @@
+"""Fault injection — buggy multipliers for the diagnosis machinery.
+
+The extraction flow ends with a golden-model equivalence check.  To
+test that the check has teeth, this module manufactures single-fault
+variants of a correct netlist, the standard fault models of
+manufacturing test and trojan analysis:
+
+``gate_flip``
+    replace a gate's function by a different one of the same arity
+    (XOR -> OR, AND -> XOR, ...) — models a wrong cell in the library
+    binding or a one-gate trojan;
+``input_swap``
+    rewire one gate input to a different (topologically legal) net —
+    models a routing/netlist-editing error;
+``stuck_at``
+    replace a gate output by constant 0 or 1 — the classical
+    stuck-at fault.
+
+Faults are always *structural* and may turn out to be functionally
+benign (e.g. rewiring an XOR input to an equal-valued net).  The
+helpers report what was changed; deciding whether the change is
+observable is the extractor/verifier's job, and the test suite checks
+that every *observable* fault is caught.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.netlist.gate import Gate, GateType, gate_arity
+from repro.netlist.netlist import Netlist
+
+#: Gate-flip substitution candidates per type (same arity class).
+_FLIP_CANDIDATES = {
+    GateType.AND: (GateType.OR, GateType.XOR, GateType.NAND),
+    GateType.OR: (GateType.AND, GateType.XOR, GateType.NOR),
+    GateType.XOR: (GateType.OR, GateType.AND, GateType.XNOR),
+    GateType.NAND: (GateType.AND, GateType.NOR),
+    GateType.NOR: (GateType.OR, GateType.NAND),
+    GateType.XNOR: (GateType.XOR,),
+    GateType.INV: (GateType.BUF,),
+    GateType.BUF: (GateType.INV,),
+}
+
+
+class FaultError(ValueError):
+    """The requested fault cannot be injected into this netlist."""
+
+
+@dataclass(frozen=True)
+class FaultDescription:
+    """What a fault changed, for reports and test assertions."""
+
+    kind: str
+    gate: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} at {self.gate}: {self.detail}"
+
+
+def flip_gate(netlist: Netlist, gate_name: str, seed: int = 0) -> tuple:
+    """Replace the function of one gate; returns (netlist, description).
+
+    >>> from repro.gen.mastrovito import generate_mastrovito
+    >>> lean = generate_mastrovito(0b1011)
+    >>> buggy, fault = flip_gate(lean, lean.gates[0].output)
+    >>> fault.kind
+    'gate_flip'
+    """
+    target = netlist.driver_of(gate_name)
+    if target is None:
+        raise FaultError(f"no gate drives {gate_name!r}")
+    candidates = _FLIP_CANDIDATES.get(target.gtype)
+    if not candidates:
+        raise FaultError(
+            f"no flip candidate for {target.gtype.value} gate"
+        )
+    rng = random.Random(seed)
+    new_type = rng.choice(candidates)
+    mutated = _rebuild(
+        netlist,
+        gate_name,
+        Gate(target.output, new_type, target.inputs),
+        suffix="gateflip",
+    )
+    description = FaultDescription(
+        kind="gate_flip",
+        gate=gate_name,
+        detail=f"{target.gtype.value} -> {new_type.value}",
+    )
+    return mutated, description
+
+
+def swap_input(netlist: Netlist, gate_name: str, seed: int = 0) -> tuple:
+    """Rewire one input of a gate to another topologically earlier net."""
+    target = netlist.driver_of(gate_name)
+    if target is None:
+        raise FaultError(f"no gate drives {gate_name!r}")
+    rng = random.Random(seed)
+
+    # Legal replacement sources: primary inputs and outputs of gates
+    # strictly before the target in topological order (no cycles).
+    legal: List[str] = list(netlist.inputs)
+    for gate in netlist.topological_order():
+        if gate.output == gate_name:
+            break
+        legal.append(gate.output)
+    pin = rng.randrange(len(target.inputs))
+    choices = [net for net in legal if net != target.inputs[pin]]
+    if not choices:
+        raise FaultError("no alternative net available for rewiring")
+    replacement = rng.choice(choices)
+    new_inputs = list(target.inputs)
+    new_inputs[pin] = replacement
+    mutated = _rebuild(
+        netlist,
+        gate_name,
+        Gate(target.output, target.gtype, tuple(new_inputs)),
+        suffix="inputswap",
+    )
+    description = FaultDescription(
+        kind="input_swap",
+        gate=gate_name,
+        detail=(
+            f"pin {pin}: {target.inputs[pin]} -> {replacement}"
+        ),
+    )
+    return mutated, description
+
+
+def stuck_at(netlist: Netlist, gate_name: str, value: int) -> tuple:
+    """Tie a gate output to constant ``value`` (0 or 1)."""
+    if value not in (0, 1):
+        raise FaultError("stuck-at value must be 0 or 1")
+    target = netlist.driver_of(gate_name)
+    if target is None:
+        raise FaultError(f"no gate drives {gate_name!r}")
+    const = GateType.CONST1 if value else GateType.CONST0
+    mutated = _rebuild(
+        netlist, gate_name, Gate(gate_name, const, ()), suffix=f"sa{value}"
+    )
+    description = FaultDescription(
+        kind=f"stuck_at_{value}",
+        gate=gate_name,
+        detail=f"{target.gtype.value} output tied to {value}",
+    )
+    return mutated, description
+
+
+def random_fault(
+    netlist: Netlist, seed: int = 0, kinds: Optional[List[str]] = None
+) -> tuple:
+    """Inject one random fault; returns (netlist, description).
+
+    ``kinds`` restricts the fault models (default: all three).
+    """
+    rng = random.Random(seed)
+    chosen_kinds = list(kinds) if kinds else [
+        "gate_flip", "input_swap", "stuck_at"
+    ]
+    kind = rng.choice(chosen_kinds)
+    gates = [g for g in netlist.gates if g.gtype in _FLIP_CANDIDATES] \
+        if kind == "gate_flip" else list(netlist.gates)
+    if not gates:
+        raise FaultError("netlist has no gate eligible for this fault")
+    gate = rng.choice(gates)
+    if kind == "gate_flip":
+        return flip_gate(netlist, gate.output, seed=rng.randrange(1 << 30))
+    if kind == "input_swap":
+        return swap_input(netlist, gate.output, seed=rng.randrange(1 << 30))
+    return stuck_at(netlist, gate.output, rng.randrange(2))
+
+
+def _rebuild(
+    netlist: Netlist, gate_name: str, replacement: Gate, suffix: str
+) -> Netlist:
+    """Copy the netlist with one gate swapped out."""
+    mutated = Netlist(
+        f"{netlist.name}_{suffix}_{gate_name}", inputs=netlist.inputs
+    )
+    for gate in netlist.gates:
+        mutated.add_gate(replacement if gate.output == gate_name else gate)
+    for net in netlist.outputs:
+        mutated.add_output(net)
+    mutated.validate()
+    return mutated

@@ -1,0 +1,180 @@
+"""Flattened Montgomery multiplier generator.
+
+A Montgomery step computes ``MM(X, Y) = X·Y·x^{-m} mod P(x)`` with the
+bit-serial loop::
+
+    C = 0
+    for i in 0 .. m-1:
+        C = C xor x_i·Y                # conditional row add
+        C = (C xor c_0·P(x)) / x       # make divisible by x, shift
+
+Unrolling the loop gives pure combinational logic.  The full multiplier
+composes two steps, with the second operand the compile-time constant
+``R2 = x^{2m} mod P``::
+
+    Z = MM(MM(A, B), R2) = A·B·x^{-m}·x^{2m}·x^{-m} = A·B mod P(x)
+
+The emitted netlist is *flattened*: nothing marks the stage boundary,
+matching the paper's "we have no knowledge of the block boundaries"
+setup for Table II.  Unlike Mastrovito cones, every output bit's cone
+spans nearly the whole circuit (the ``c_0`` feedback mixes all bits),
+which is why backward rewriting is far more expensive on these
+netlists — the effect Table II measures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.fieldmath.bitpoly import bitpoly_degree, bitpoly_str
+from repro.fieldmath.montgomery_math import mont_r2
+from repro.gen.naming import input_nets, output_nets
+from repro.netlist.build import NetlistBuilder
+from repro.netlist.gate import GateType
+from repro.netlist.netlist import Netlist
+
+
+def _mm_rows_variable(
+    builder: NetlistBuilder,
+    x_nets: List[str],
+    y_nets: List[str],
+    modulus: int,
+) -> List[Optional[str]]:
+    """Unrolled Montgomery step with two variable operands.
+
+    Returns the m result nets (``None`` entries denote constant 0,
+    which only survive for degenerate moduli).
+    """
+    m = bitpoly_degree(modulus)
+    acc: List[Optional[str]] = [None] * m
+    for i in range(m):
+        # C ^= x_i * Y  — one AND row plus accumulate XORs.
+        for j in range(m):
+            product = builder.and2(x_nets[i], y_nets[j])
+            acc[j] = product if acc[j] is None else builder.xor2(acc[j], product)
+        acc = _reduce_shift(builder, acc, modulus)
+    return acc
+
+
+def _mm_rows_constant(
+    builder: NetlistBuilder,
+    x_const: int,
+    y_nets: List[Optional[str]],
+    modulus: int,
+) -> List[Optional[str]]:
+    """Unrolled Montgomery step with a constant first operand.
+
+    Constant-zero bits of ``x_const`` contribute no logic (the row add
+    folds away at generation time), exactly as a synthesizable RTL
+    description with a constant input would elaborate.
+    """
+    m = bitpoly_degree(modulus)
+    acc: List[Optional[str]] = [None] * m
+    for i in range(m):
+        if (x_const >> i) & 1:
+            for j in range(m):
+                if y_nets[j] is None:
+                    continue
+                acc[j] = (
+                    y_nets[j]
+                    if acc[j] is None
+                    else builder.xor2(acc[j], y_nets[j])
+                )
+        acc = _reduce_shift(builder, acc, modulus)
+    return acc
+
+
+def _reduce_shift(
+    builder: NetlistBuilder,
+    acc: List[Optional[str]],
+    modulus: int,
+) -> List[Optional[str]]:
+    """One ``C = (C xor c_0·P)/x`` step of the Montgomery loop.
+
+    Bit 0 of ``C xor c_0·P`` is always 0 (``p_0 = 1``), so the shift
+    drops it; the new top bit is ``c_0`` itself (``p_m = 1``).
+    """
+    m = len(acc)
+    c0 = acc[0]
+    shifted: List[Optional[str]] = [None] * m
+    for j in range(1, m):
+        bit = acc[j]
+        if c0 is not None and (modulus >> j) & 1:
+            bit = c0 if bit is None else builder.xor2(bit, c0)
+        shifted[j - 1] = bit
+    shifted[m - 1] = c0  # p_m = 1 by construction
+    return shifted
+
+
+def generate_montgomery_step(
+    modulus: int,
+    name: Optional[str] = None,
+) -> Netlist:
+    """A single unrolled Montgomery step ``Z = A·B·x^{-m} mod P(x)``.
+
+    Note this is *not* a modular multiplier — the result carries the
+    ``x^{-m}`` Montgomery factor.  Exposed separately so tests can
+    validate the step against the word-level reference
+    (:func:`repro.fieldmath.montgomery_math.mont_mul`) and so the
+    extraction experiments can demonstrate what happens on a circuit
+    that is not ``A·B mod P``.
+    """
+    m = bitpoly_degree(modulus)
+    if m < 1:
+        raise ValueError(f"P(x) = {bitpoly_str(modulus)} has degree < 1")
+    a_nets = input_nets(m, "a")
+    b_nets = input_nets(m, "b")
+    z_nets = output_nets(m)
+    builder = NetlistBuilder(
+        name or f"montgomery_step_m{m}", inputs=a_nets + b_nets
+    )
+    result = _mm_rows_variable(builder, a_nets, b_nets, modulus)
+    _bind_outputs(builder, result, z_nets)
+    builder.set_outputs(z_nets)
+    return builder.finish()
+
+
+def generate_montgomery(
+    modulus: int,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Flattened full Montgomery multiplier ``Z = A·B mod P(x)``.
+
+    Two composed, unrolled Montgomery steps; the correction constant
+    ``R2 = x^{2m} mod P`` is folded into the second step's logic.
+
+    >>> from repro.fieldmath.gf2m import GF2m
+    >>> net = generate_montgomery(0b10011)
+    >>> out = net.simulate({"a0": 1, "a1": 1, "a2": 0, "a3": 0,
+    ...                     "b0": 0, "b1": 1, "b2": 0, "b3": 0})
+    >>> sum(out[f"z{i}"] << i for i in range(4)) == GF2m(0b10011).mul(3, 2)
+    True
+    """
+    m = bitpoly_degree(modulus)
+    if m < 1:
+        raise ValueError(f"P(x) = {bitpoly_str(modulus)} has degree < 1")
+    a_nets = input_nets(m, "a")
+    b_nets = input_nets(m, "b")
+    z_nets = output_nets(m)
+    builder = NetlistBuilder(
+        name or f"montgomery_m{m}", inputs=a_nets + b_nets
+    )
+    stage1 = _mm_rows_variable(builder, a_nets, b_nets, modulus)
+    stage1_named: List[Optional[str]] = list(stage1)
+    stage2 = _mm_rows_constant(builder, mont_r2(modulus), stage1_named, modulus)
+    _bind_outputs(builder, stage2, z_nets)
+    builder.set_outputs(z_nets)
+    return builder.finish()
+
+
+def _bind_outputs(
+    builder: NetlistBuilder,
+    result: List[Optional[str]],
+    z_nets: List[str],
+) -> None:
+    """Alias the accumulator nets onto the named output ports."""
+    for net, z_name in zip(result, z_nets):
+        if net is None:
+            builder.emit(GateType.CONST0, (), output=z_name)
+        else:
+            builder.buf(net, output=z_name)

@@ -1,0 +1,41 @@
+"""Port naming conventions shared by all multiplier generators.
+
+The paper (and the extraction algorithm) assume the multiplier operands
+are ``A = sum a_i x^i`` and ``B = sum b_i x^i`` with the product
+``Z = sum z_i x^i``.  Every generator and the extractor agree on the
+net names ``a0..a{m-1}``, ``b0..b{m-1}``, ``z0..z{m-1}``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def input_nets(m: int, prefix: str) -> List[str]:
+    """Operand net names ``prefix0 .. prefix{m-1}`` (LSB first).
+
+    >>> input_nets(3, "a")
+    ['a0', 'a1', 'a2']
+    """
+    if m < 1:
+        raise ValueError("bit-width must be >= 1")
+    return [f"{prefix}{i}" for i in range(m)]
+
+
+def output_nets(m: int, prefix: str = "z") -> List[str]:
+    """Product net names ``z0 .. z{m-1}`` (LSB first)."""
+    return input_nets(m, prefix)
+
+
+def operand_value(nets: List[str], assignment: dict) -> int:
+    """Pack a named-bit assignment back into an integer (LSB first)."""
+    value = 0
+    for idx, net in enumerate(nets):
+        if assignment[net] & 1:
+            value |= 1 << idx
+    return value
+
+
+def value_assignment(nets: List[str], value: int) -> dict:
+    """Spread an integer over named bits (LSB first)."""
+    return {net: (value >> idx) & 1 for idx, net in enumerate(nets)}

@@ -1,0 +1,79 @@
+"""Massey-Omura normal-basis multiplier generator — the negative case.
+
+The paper's Theorem 3 is a statement about *polynomial basis*
+multipliers: output words are coefficient vectors over
+``{1, x, ..., x^(m-1)}`` and the out-field products ``P_m`` are folded
+back by P(x).  A normal-basis multiplier computes the same field
+product under a different coordinate encoding, so Algorithm 2 must
+*not* find an irreducible polynomial in it — there is none to find.
+
+This generator exists to pin that boundary down in tests and to give
+:mod:`repro.extract.diagnose` a realistic "multiplier, but not
+polynomial basis" specimen: extraction yields ``P(x) = x^m`` (no bit
+contains the full ``P_m`` set), which is reducible for every m > 1,
+and golden-model verification fails.
+
+The construction is the textbook Massey-Omura parallel multiplier:
+output coordinate ``z_k = Σ λ[i][j] · a_{(i+k) mod m} · b_{(j+k) mod m}``
+where λ is the multiplication matrix of the basis (all m output forms
+share one bilinear structure, cyclically shifted).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.fieldmath.bitpoly import bitpoly_degree, bitpoly_str
+from repro.fieldmath.gf2m import GF2m
+from repro.fieldmath.normal import NormalBasis
+from repro.gen.naming import input_nets, output_nets
+from repro.netlist.build import NetlistBuilder
+from repro.netlist.netlist import Netlist
+
+
+def generate_massey_omura(
+    modulus: int,
+    name: Optional[str] = None,
+    balanced: bool = True,
+) -> Netlist:
+    """Gate-level Massey-Omura multiplier over a normal basis.
+
+    ``modulus`` defines the underlying field GF(2^m) (it must still be
+    irreducible — the *field* is the same, only the basis differs).
+    Operands and result are normal-basis coordinate vectors.
+
+    >>> net = generate_massey_omura(0b1011)      # GF(2^3)
+    >>> sorted(net.outputs)
+    ['z0', 'z1', 'z2']
+    """
+    m = bitpoly_degree(modulus)
+    if m < 1:
+        raise ValueError(f"P(x) = {bitpoly_str(modulus)} has degree < 1")
+    field = GF2m(modulus)
+    basis = NormalBasis.find(field)
+    matrix = basis.multiplication_matrix()
+
+    a_nets = input_nets(m, "a")
+    b_nets = input_nets(m, "b")
+    z_nets = output_nets(m)
+    builder = NetlistBuilder(
+        name or f"massey_omura_m{m}",
+        inputs=a_nets + b_nets,
+        strash=True,  # the shifted forms reuse many a_i*b_j products
+        balanced_trees=balanced,
+    )
+
+    for k in range(m):
+        terms = []
+        for i in range(m):
+            row = matrix[i]
+            for j in range(m):
+                if (row >> j) & 1:
+                    terms.append(
+                        builder.and2(
+                            a_nets[(i + k) % m], b_nets[(j + k) % m]
+                        )
+                    )
+        builder.xor_tree(terms, output=z_nets[k])
+    builder.set_outputs(z_nets)
+    return builder.finish()

@@ -1,0 +1,50 @@
+"""Circuits taken verbatim from the paper, for tests and walkthroughs.
+
+:func:`paper_figure2_multiplier` rebuilds the post-synthesized 2-bit
+GF(2^2) multiplier of Figure 2 (irreducible polynomial x^2 + x + 1),
+reconstructed gate-for-gate from the Figure 3 rewriting trace:
+
+========  ======================  =========================
+gate      function                role in the trace
+========  ======================  =========================
+G6        s0 = NAND(a0, b0)       final step of the z0 thread
+G5        s2 = NAND(a1, b1)       shared by both threads
+G4        p0 = NAND(a1, b0)       z1 thread
+G3        p1 = NAND(a0, b1)       z1 thread
+G2        s1 = XOR(p0, p1)        z1 thread
+G1        z1 = XNOR(s1, s2)       output bit 1
+G0        z0 = XOR(s0, s2)        output bit 0
+========  ======================  =========================
+
+Backward rewriting must yield ``z0 = a0*b0 + a1*b1`` and
+``z1 = a0*b1 + a1*b0 + a1*b1`` exactly as in the paper's Example 1,
+and Algorithm 2 must recover ``P(x) = x^2 + x + 1`` (Example 2).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.gate import Gate, GateType
+from repro.netlist.netlist import Netlist
+
+
+def paper_figure2_multiplier() -> Netlist:
+    """The 2-bit GF(2^2) multiplier of Figure 2, P(x) = x^2 + x + 1.
+
+    >>> net = paper_figure2_multiplier()
+    >>> net.simulate({"a0": 1, "a1": 1, "b0": 0, "b1": 1})
+    {'z0': 1, 'z1': 0}
+    """
+    netlist = Netlist(
+        "paper_figure2",
+        inputs=["a0", "a1", "b0", "b1"],
+        outputs=["z0", "z1"],
+    )
+    netlist.add_gate(Gate("s0", GateType.NAND, ("a0", "b0")))   # G6
+    netlist.add_gate(Gate("s2", GateType.NAND, ("a1", "b1")))   # G5
+    netlist.add_gate(Gate("p0", GateType.NAND, ("a1", "b0")))   # G4
+    netlist.add_gate(Gate("p1", GateType.NAND, ("a0", "b1")))   # G3
+    netlist.add_gate(Gate("s1", GateType.XOR, ("p0", "p1")))    # G2
+    netlist.add_gate(Gate("z1", GateType.XNOR, ("s1", "s2")))   # G1
+    netlist.add_gate(Gate("z0", GateType.XOR, ("s0", "s2")))    # G0
+    netlist.validate()
+    return netlist

@@ -1,0 +1,42 @@
+"""Partial-product plane shared by the polynomial-basis generators.
+
+Every polynomial-basis GF(2^m) multiplier starts from the same m^2
+AND-gate plane ``pp[i][j] = a_i AND b_j``; the generators differ only
+in how they sum and reduce it.  The plane is emitted once and shared
+between all output cones — the logic sharing the paper notes does not
+break per-output-bit rewriting (Theorem 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.netlist.build import NetlistBuilder
+
+
+def emit_partial_products(
+    builder: NetlistBuilder,
+    a_nets: List[str],
+    b_nets: List[str],
+) -> Dict[Tuple[int, int], str]:
+    """Emit the AND plane; returns ``(i, j) -> net`` for ``a_i * b_j``."""
+    plane: Dict[Tuple[int, int], str] = {}
+    for i, a_net in enumerate(a_nets):
+        for j, b_net in enumerate(b_nets):
+            plane[(i, j)] = builder.and2(a_net, b_net)
+    return plane
+
+
+def coefficient_groups(m: int) -> List[List[Tuple[int, int]]]:
+    """Index pairs contributing to each product coefficient ``s_k``.
+
+    ``s_k = XOR of a_i*b_j with i + j = k`` for ``k = 0 .. 2m-2``.
+
+    >>> coefficient_groups(2)
+    [[(0, 0)], [(0, 1), (1, 0)], [(1, 1)]]
+    """
+    groups: List[List[Tuple[int, int]]] = [[] for _ in range(2 * m - 1)]
+    for i in range(m):
+        for j in range(m):
+            groups[i + j].append((i, j))
+    return groups

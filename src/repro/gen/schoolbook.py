@@ -1,0 +1,71 @@
+"""Two-stage schoolbook + reduction-network multiplier (Figure 1 shape).
+
+This generator materialises the intermediate product coefficients
+``s_0 .. s_{2m-2}`` as explicit nets (stage 1, the integer-style
+product without carries) and then implements the reduction table of
+Figure 1 as a second XOR stage (stage 2): output column ``z_i`` XORs
+``s_i`` with every out-field ``s_{m+t}`` whose reduction row
+``x^{m+t} mod P`` covers bit ``i``.
+
+Functionally identical to the Mastrovito generator; structurally
+different (deeper cones, shared ``s_k`` nets across columns), which
+gives the test suite a second implementation the extractor must handle
+"regardless of the algorithm".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.fieldmath.bitpoly import bitpoly_degree, bitpoly_str
+from repro.fieldmath.reduction import column_contributions
+from repro.gen.naming import input_nets, output_nets
+from repro.gen.partial_products import coefficient_groups, emit_partial_products
+from repro.netlist.build import NetlistBuilder
+from repro.netlist.netlist import Netlist
+
+
+def generate_schoolbook(
+    modulus: int,
+    name: Optional[str] = None,
+    balanced: bool = True,
+) -> Netlist:
+    """Gate-level schoolbook+reduction multiplier for ``A*B mod P(x)``.
+
+    >>> net = generate_schoolbook(0b10011)
+    >>> net.simulate({"a0": 1, "a1": 1, "a2": 0, "a3": 0,
+    ...               "b0": 1, "b1": 1, "b2": 0, "b3": 0})["z2"]
+    1
+    """
+    m = bitpoly_degree(modulus)
+    if m < 1:
+        raise ValueError(f"P(x) = {bitpoly_str(modulus)} has degree < 1")
+    a_nets = input_nets(m, "a")
+    b_nets = input_nets(m, "b")
+    z_nets = output_nets(m)
+    builder = NetlistBuilder(
+        name or f"schoolbook_m{m}",
+        inputs=a_nets + b_nets,
+        balanced_trees=balanced,
+    )
+
+    if m == 1:
+        builder.and2("a0", "b0", output="z0")
+        builder.set_outputs(z_nets)
+        return builder.finish()
+
+    plane = emit_partial_products(builder, a_nets, b_nets)
+
+    # Stage 1: the carry-free product coefficients s_k.
+    s_nets = []
+    for group in coefficient_groups(m):
+        nets = [plane[pair] for pair in group]
+        s_nets.append(builder.xor_tree(nets))
+
+    # Stage 2: the Figure-1 reduction table, one XOR column per output.
+    for i, contributions in enumerate(column_contributions(modulus)):
+        builder.xor_tree(
+            [s_nets[k] for k in contributions], output=z_nets[i]
+        )
+    builder.set_outputs(z_nets)
+    return builder.finish()

@@ -1,0 +1,47 @@
+"""Multivariate polynomial algebra over GF(2) with Boolean variables.
+
+This package is the computer-algebra core of the reproduction.  Every
+signal in a gate-level netlist is a Boolean variable, so the polynomial
+ring the paper works in is GF(2)[x1..xn] modulo the idempotence ideal
+<x^2 - x>.  In that quotient ring a *monomial* is simply a set of
+variables and a *polynomial* is a set of monomials; addition mod 2 is
+symmetric difference, which makes the mod-2 cancellation of
+Algorithm 1 (lines 7-11 of the paper) structural rather than a separate
+simplification pass.
+
+The public surface:
+
+``Monomial``
+    A ``frozenset`` of variable names.  ``ONE`` is the empty monomial.
+``Gf2Poly``
+    Immutable polynomial; supports ``+`` (XOR), ``*``, substitution,
+    evaluation and pretty-printing.
+``parse_poly`` / ``format_poly``
+    Text round-trip in the ``a0*b1 + a1*b0 + 1`` style used by the
+    paper's equations format.
+"""
+
+from repro.gf2.monomial import (
+    ONE,
+    Monomial,
+    monomial,
+    monomial_degree,
+    monomial_divides,
+    monomial_mul,
+    monomial_str,
+)
+from repro.gf2.polynomial import Gf2Poly
+from repro.gf2.parse import parse_poly, format_poly
+
+__all__ = [
+    "ONE",
+    "Monomial",
+    "monomial",
+    "monomial_degree",
+    "monomial_divides",
+    "monomial_mul",
+    "monomial_str",
+    "Gf2Poly",
+    "parse_poly",
+    "format_poly",
+]

@@ -1,0 +1,82 @@
+"""Monomials over GF(2) with Boolean (idempotent) variables.
+
+Because every netlist signal ``x`` satisfies ``x^2 = x`` in GF(2), a
+monomial never needs exponents: it is fully described by the *set* of
+variables it contains.  We represent a monomial as a ``frozenset`` of
+variable names, the constant monomial ``1`` being the empty frozenset.
+
+Using a plain ``frozenset`` (rather than a class) keeps the rewriting
+engine's inner loop allocation-free and hashable for set-of-monomial
+polynomials.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+#: A monomial is a frozenset of variable names; ``x^2 = x`` makes
+#: exponents unnecessary.
+Monomial = FrozenSet[str]
+
+#: The constant monomial ``1`` (empty product).
+ONE: Monomial = frozenset()
+
+
+def monomial(variables: Iterable[str] = ()) -> Monomial:
+    """Build a monomial from an iterable of variable names.
+
+    >>> sorted(monomial(["b0", "a1"]))
+    ['a1', 'b0']
+    >>> monomial() == ONE
+    True
+    """
+    return frozenset(variables)
+
+
+def monomial_degree(mono: Monomial) -> int:
+    """Number of distinct variables in the monomial (1 has degree 0)."""
+    return len(mono)
+
+
+def monomial_mul(lhs: Monomial, rhs: Monomial) -> Monomial:
+    """Product of two monomials.
+
+    With idempotent variables the product is the set union:
+    ``(a*b) * (b*c) = a*b*c``.
+    """
+    if not lhs:
+        return rhs
+    if not rhs:
+        return lhs
+    return lhs | rhs
+
+
+def monomial_divides(divisor: Monomial, mono: Monomial) -> bool:
+    """True when ``divisor`` divides ``mono`` (subset of variables)."""
+    return divisor <= mono
+
+
+def monomial_str(mono: Monomial, sep: str = "*") -> str:
+    """Render a monomial in a stable, human-friendly order.
+
+    Variables are sorted by ``(name-prefix, numeric suffix)`` so that
+    ``a2`` sorts before ``a10``, matching how the paper writes products
+    such as ``a0b1``.
+
+    >>> monomial_str(monomial(["b1", "a10", "a2"]))
+    'a2*a10*b1'
+    >>> monomial_str(ONE)
+    '1'
+    """
+    if not mono:
+        return "1"
+    return sep.join(sorted(mono, key=_var_sort_key))
+
+
+def _var_sort_key(name: str) -> tuple:
+    """Sort key splitting a trailing integer suffix: ``a10`` > ``a2``."""
+    idx = len(name)
+    while idx > 0 and name[idx - 1].isdigit():
+        idx -= 1
+    prefix, suffix = name[:idx], name[idx:]
+    return (prefix, int(suffix) if suffix else -1)

@@ -1,0 +1,142 @@
+"""Text round-trip for GF(2) polynomials.
+
+The grammar is the one used throughout the paper and by the equations
+netlist format: terms separated by ``+``, factors separated by ``*``
+(or juxtaposition is *not* supported — ``a0b1`` is a single variable
+name, ``a0*b1`` is a product), constants ``0`` and ``1``, and optional
+parenthesised subexpressions which multiply out, e.g.
+``(a + 1)*(b + 1)``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gf2.monomial import monomial_str
+from repro.gf2.monomial import _var_sort_key  # shared ordering
+from repro.gf2.polynomial import Gf2Poly
+
+
+class PolyParseError(ValueError):
+    """Raised when a polynomial string cannot be parsed."""
+
+
+def format_poly(poly: Gf2Poly, term_sep: str = " + ") -> str:
+    """Render a polynomial with deterministic term ordering.
+
+    Terms are ordered by (degree, variable names) so equal polynomials
+    always print identically — important for golden-file tests.
+
+    >>> from repro.gf2 import Gf2Poly
+    >>> format_poly(Gf2Poly.product(["a1", "b0"]) + Gf2Poly.one())
+    'a1*b0 + 1'
+    """
+    if poly.is_zero():
+        return "0"
+    rendered = sorted(
+        poly.monomials,
+        key=lambda mono: (-len(mono), [_var_sort_key(v) for v in sorted(mono)]),
+    )
+    return term_sep.join(monomial_str(mono) for mono in rendered)
+
+
+def parse_poly(text: str) -> Gf2Poly:
+    """Parse a polynomial expression over GF(2).
+
+    >>> str(parse_poly("a0*b1 + a1*b0 + a1*b1"))
+    'a0*b1 + a1*b0 + a1*b1'
+    >>> parse_poly("(a + 1)*(a + 1)") == parse_poly("a + 1")
+    True
+    >>> parse_poly("a + a")
+    Gf2Poly('0')
+    """
+    parser = _Parser(text)
+    poly = parser.parse_sum()
+    parser.expect_end()
+    return poly
+
+
+class _Parser:
+    """Tiny recursive-descent parser: sum -> product -> atom."""
+
+    def __init__(self, text: str):
+        self._tokens = _tokenize(text)
+        self._pos = 0
+
+    def _peek(self) -> str:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return ""
+
+    def _next(self) -> str:
+        token = self._peek()
+        self._pos += 1
+        return token
+
+    def parse_sum(self) -> Gf2Poly:
+        total = self.parse_product()
+        while self._peek() == "+":
+            self._next()
+            total = total + self.parse_product()
+        return total
+
+    def parse_product(self) -> Gf2Poly:
+        total = self.parse_atom()
+        while self._peek() == "*":
+            self._next()
+            total = total * self.parse_atom()
+        return total
+
+    def parse_atom(self) -> Gf2Poly:
+        token = self._next()
+        if token == "(":
+            inner = self.parse_sum()
+            if self._next() != ")":
+                raise PolyParseError("unbalanced parenthesis")
+            return inner
+        if token == "0":
+            return Gf2Poly.zero()
+        if token == "1":
+            return Gf2Poly.one()
+        if token and (token[0].isalpha() or token[0] == "_"):
+            return Gf2Poly.variable(token)
+        raise PolyParseError(f"unexpected token {token!r}")
+
+    def expect_end(self) -> None:
+        if self._pos != len(self._tokens):
+            raise PolyParseError(
+                f"trailing input at token {self._tokens[self._pos]!r}"
+            )
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    idx = 0
+    while idx < len(text):
+        char = text[idx]
+        if char.isspace():
+            idx += 1
+            continue
+        if char in "+*()":
+            tokens.append(char)
+            idx += 1
+            continue
+        if char.isalpha() or char == "_":
+            start = idx
+            while idx < len(text) and (text[idx].isalnum() or text[idx] in "_.[]"):
+                idx += 1
+            tokens.append(text[start:idx])
+            continue
+        if char.isdigit():
+            start = idx
+            while idx < len(text) and text[idx].isdigit():
+                idx += 1
+            literal = text[start:idx]
+            if literal not in ("0", "1"):
+                raise PolyParseError(
+                    f"only constants 0 and 1 exist in GF(2), got {literal!r}"
+                )
+            tokens.append(literal)
+            continue
+        raise PolyParseError(f"illegal character {char!r}")
+    return tokens

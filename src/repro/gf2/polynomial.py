@@ -1,0 +1,285 @@
+"""Immutable multivariate polynomials over GF(2) with Boolean variables.
+
+A :class:`Gf2Poly` is a set of :data:`~repro.gf2.monomial.Monomial`
+values.  All coefficients live in GF(2), so a monomial is either present
+(coefficient 1) or absent (coefficient 0) and addition is the symmetric
+difference of the monomial sets — exactly the cancellation rule of
+Algorithm 1 in the paper (monomials whose coefficient becomes even are
+removed).
+
+The class is deliberately small and allocation-conscious: the backward
+rewriting engine manipulates the underlying ``frozenset`` directly via
+:meth:`Gf2Poly.monomials` and rebuilds polynomials with
+:meth:`Gf2Poly.from_monomials`.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, FrozenSet, Iterable, Iterator, Mapping
+
+from repro.gf2.monomial import ONE, Monomial, monomial_mul, monomial_str
+
+
+class Gf2Poly:
+    """A polynomial in GF(2)[x1..xn] / <x^2 - x>.
+
+    Construction accepts an iterable of monomials *with multiplicity*:
+    monomials appearing an even number of times cancel.
+
+    >>> p = Gf2Poly([frozenset({"a"}), frozenset({"a"}), frozenset({"b"})])
+    >>> str(p)
+    'b'
+    """
+
+    __slots__ = ("_monomials",)
+
+    def __init__(self, monomials: Iterable[Monomial] = ()):
+        acc: set = set()
+        for mono in monomials:
+            if mono in acc:
+                acc.discard(mono)
+            else:
+                acc.add(mono)
+        self._monomials: FrozenSet[Monomial] = frozenset(acc)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_monomials(cls, monomials: AbstractSet[Monomial]) -> "Gf2Poly":
+        """Wrap an already-cancelled monomial set without re-scanning."""
+        poly = cls.__new__(cls)
+        poly._monomials = frozenset(monomials)
+        return poly
+
+    @classmethod
+    def zero(cls) -> "Gf2Poly":
+        """The zero polynomial (empty monomial set)."""
+        return cls.from_monomials(frozenset())
+
+    @classmethod
+    def one(cls) -> "Gf2Poly":
+        """The constant polynomial 1."""
+        return cls.from_monomials(frozenset({ONE}))
+
+    @classmethod
+    def variable(cls, name: str) -> "Gf2Poly":
+        """The polynomial consisting of a single variable."""
+        return cls.from_monomials(frozenset({frozenset({name})}))
+
+    @classmethod
+    def product(cls, names: Iterable[str]) -> "Gf2Poly":
+        """A single product monomial, e.g. ``product(["a0", "b1"])``."""
+        return cls.from_monomials(frozenset({frozenset(names)}))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def monomials(self) -> FrozenSet[Monomial]:
+        """The underlying (canonical, cancelled) monomial set."""
+        return self._monomials
+
+    def is_zero(self) -> bool:
+        return not self._monomials
+
+    def is_one(self) -> bool:
+        return self._monomials == frozenset({ONE})
+
+    def is_constant(self) -> bool:
+        return self.is_zero() or self.is_one()
+
+    def variables(self) -> FrozenSet[str]:
+        """The set of variables occurring in the polynomial."""
+        out: set = set()
+        for mono in self._monomials:
+            out |= mono
+        return frozenset(out)
+
+    def degree(self) -> int:
+        """Largest monomial degree; the zero polynomial has degree -1."""
+        if not self._monomials:
+            return -1
+        return max(len(mono) for mono in self._monomials)
+
+    def term_count(self) -> int:
+        """Number of monomials (the paper's expression-size metric)."""
+        return len(self._monomials)
+
+    def contains_monomial(self, mono: Monomial) -> bool:
+        """True when the given monomial has coefficient 1."""
+        return mono in self._monomials
+
+    def contains_all(self, monos: Iterable[Monomial]) -> bool:
+        """True when *every* given monomial is present.
+
+        This is the test of Algorithm 2 line 6: does the out-field
+        product set ``P_m`` exist in the expression of an output bit.
+        """
+        return all(mono in self._monomials for mono in monos)
+
+    def __len__(self) -> int:
+        return len(self._monomials)
+
+    def __iter__(self) -> Iterator[Monomial]:
+        return iter(self._monomials)
+
+    def __contains__(self, mono: Monomial) -> bool:
+        return mono in self._monomials
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Gf2Poly):
+            return self._monomials == other._monomials
+        if other == 0:
+            return self.is_zero()
+        if other == 1:
+            return self.is_one()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._monomials)
+
+    def __bool__(self) -> bool:
+        return bool(self._monomials)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: "Gf2Poly") -> "Gf2Poly":
+        """Addition mod 2 — symmetric difference of monomial sets."""
+        if not isinstance(other, Gf2Poly):
+            return NotImplemented
+        return Gf2Poly.from_monomials(self._monomials ^ other._monomials)
+
+    #: In GF(2), subtraction and addition coincide.
+    __sub__ = __add__
+    __xor__ = __add__
+
+    def __mul__(self, other: "Gf2Poly") -> "Gf2Poly":
+        """Product with mod-2 cancellation and idempotent variables."""
+        if not isinstance(other, Gf2Poly):
+            return NotImplemented
+        acc: set = set()
+        for lhs in self._monomials:
+            for rhs in other._monomials:
+                prod = monomial_mul(lhs, rhs)
+                if prod in acc:
+                    acc.discard(prod)
+                else:
+                    acc.add(prod)
+        return Gf2Poly.from_monomials(acc)
+
+    def substitute(self, name: str, replacement: "Gf2Poly") -> "Gf2Poly":
+        """Replace every occurrence of variable ``name`` by ``replacement``.
+
+        This is one iteration of Algorithm 1: the variable of a gate
+        output is replaced by the algebraic expression of the gate's
+        inputs, followed by mod-2 cancellation (structural here).
+        """
+        affected = [mono for mono in self._monomials if name in mono]
+        if not affected:
+            return self
+        acc = set(self._monomials)
+        acc.difference_update(affected)
+        repl = replacement._monomials
+        for mono in affected:
+            stripped = mono - {name}
+            for rep in repl:
+                prod = stripped | rep
+                if prod in acc:
+                    acc.discard(prod)
+                else:
+                    acc.add(prod)
+        return Gf2Poly.from_monomials(acc)
+
+    def substitute_many(self, bindings: Mapping[str, "Gf2Poly"]) -> "Gf2Poly":
+        """Substitute several variables simultaneously (no re-entry).
+
+        Unlike chained :meth:`substitute` calls, replacement polynomials
+        are *not* re-scanned for further bindings, which matches the
+        semantics of substituting independent gate outputs.
+        """
+        acc: set = set()
+        for mono in self._monomials:
+            hit = [name for name in mono if name in bindings]
+            if not hit:
+                _toggle(acc, mono)
+                continue
+            base = mono.difference(hit)
+            partials = [frozenset(base)]
+            for name in hit:
+                repl = bindings[name]._monomials
+                partials = _cross(partials, repl)
+            for prod in partials:
+                _toggle(acc, prod)
+        return Gf2Poly.from_monomials(acc)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        """Evaluate over GF(2) for a full Boolean assignment.
+
+        Raises ``KeyError`` when a variable is unassigned.
+
+        >>> p = Gf2Poly.variable("a") * Gf2Poly.variable("b") + Gf2Poly.one()
+        >>> p.evaluate({"a": 1, "b": 1})
+        0
+        """
+        total = 0
+        for mono in self._monomials:
+            value = 1
+            for name in mono:
+                if not assignment[name] & 1:
+                    value = 0
+                    break
+            total ^= value
+        return total
+
+    def restricted(self, assignment: Mapping[str, int]) -> "Gf2Poly":
+        """Partially evaluate: fix some variables, keep the rest symbolic."""
+        acc: set = set()
+        for mono in self._monomials:
+            keep = []
+            dead = False
+            for name in mono:
+                if name in assignment:
+                    if not assignment[name] & 1:
+                        dead = True
+                        break
+                else:
+                    keep.append(name)
+            if dead:
+                continue
+            _toggle(acc, frozenset(keep))
+        return Gf2Poly.from_monomials(acc)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        from repro.gf2.parse import format_poly
+
+        return format_poly(self)
+
+    def __repr__(self) -> str:
+        return f"Gf2Poly({str(self)!r})"
+
+
+def _toggle(acc: set, mono: Monomial) -> None:
+    """Add ``mono`` to ``acc`` with mod-2 semantics."""
+    if mono in acc:
+        acc.discard(mono)
+    else:
+        acc.add(mono)
+
+
+def _cross(partials: list, replacement: FrozenSet[Monomial]) -> list:
+    """Multiply a list of monomials by a replacement polynomial (mod 2)."""
+    acc: Dict[Monomial, int] = {}
+    for part in partials:
+        for rep in replacement:
+            prod = part | rep
+            acc[prod] = acc.get(prod, 0) ^ 1
+    return [mono for mono, coeff in acc.items() if coeff]

@@ -1,0 +1,222 @@
+""":class:`NetlistBuilder` — the emission layer for generators and synthesis.
+
+The multiplier generators and the synthesis passes all want the same
+conveniences when producing gates:
+
+* fresh internal net names (``n1, n2, ...``) without bookkeeping;
+* n-ary XOR/AND trees built either as *chains* (the shape a naive HDL
+  elaboration produces) or *balanced* trees (what a synthesis tool
+  produces);
+* optional **structural hashing**: emitting the same gate twice returns
+  the existing net instead of duplicating logic;
+* constant folding at the emission boundary (ANDing with 0, XORing
+  with 0, ...), so generators never emit degenerate gates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.netlist.gate import COMMUTATIVE_TYPES, Gate, GateType
+from repro.netlist.netlist import Netlist, NetlistError
+
+#: Net name the builder uses for the constant-0/1 cells when needed.
+CONST0_NET = "const0"
+CONST1_NET = "const1"
+
+
+class NetlistBuilder:
+    """Incrementally build a :class:`Netlist`.
+
+    >>> builder = NetlistBuilder("demo", inputs=["a", "b", "c"])
+    >>> s = builder.xor_tree(["a", "b", "c"])
+    >>> builder.set_outputs([s])
+    >>> net = builder.finish()
+    >>> net.simulate({"a": 1, "b": 1, "c": 1})[s]
+    1
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str] = (),
+        prefix: str = "n",
+        strash: bool = False,
+        balanced_trees: bool = True,
+    ):
+        self._netlist = Netlist(name, inputs=list(inputs))
+        self._prefix = prefix
+        self._counter = 0
+        self._strash = strash
+        self._cache: Dict[Tuple, str] = {}
+        self._balanced = balanced_trees
+        self._const_nets: Dict[GateType, str] = {}
+
+    # ------------------------------------------------------------------
+    # Net management
+    # ------------------------------------------------------------------
+
+    def fresh_net(self, hint: Optional[str] = None) -> str:
+        """A new, unused net name."""
+        while True:
+            self._counter += 1
+            name = f"{hint or self._prefix}{self._counter}"
+            if self._netlist.driver_of(name) is None and (
+                name not in self._netlist.inputs
+            ):
+                return name
+
+    def add_input(self, name: str) -> str:
+        self._netlist.add_input(name)
+        return name
+
+    def set_outputs(self, names: Sequence[str]) -> None:
+        for name in names:
+            self._netlist.add_output(name)
+
+    # ------------------------------------------------------------------
+    # Gate emission
+    # ------------------------------------------------------------------
+
+    def emit(
+        self,
+        gtype: GateType,
+        inputs: Sequence[str],
+        output: Optional[str] = None,
+    ) -> str:
+        """Emit one gate, returning the output net.
+
+        With structural hashing enabled, a commutative gate with the
+        same input set (or any gate with the same input tuple) returns
+        the previously created net — unless a specific ``output`` name
+        is requested.
+        """
+        inputs = tuple(inputs)
+        if self._strash and output is None:
+            key = self._strash_key(gtype, inputs)
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+        out = output or self.fresh_net()
+        self._netlist.add_gate(Gate(out, gtype, inputs))
+        if self._strash and output is None:
+            self._cache[self._strash_key(gtype, inputs)] = out
+        return out
+
+    def _strash_key(self, gtype: GateType, inputs: Tuple[str, ...]) -> Tuple:
+        if gtype in COMMUTATIVE_TYPES:
+            return (gtype, tuple(sorted(inputs)))
+        return (gtype, inputs)
+
+    # Convenience wrappers -------------------------------------------------
+
+    def const0(self) -> str:
+        """The constant-0 net (one CONST0 cell, shared)."""
+        if GateType.CONST0 not in self._const_nets:
+            self._const_nets[GateType.CONST0] = self.emit(
+                GateType.CONST0, (), output=self.fresh_net(CONST0_NET)
+            )
+        return self._const_nets[GateType.CONST0]
+
+    def const1(self) -> str:
+        """The constant-1 net (one CONST1 cell, shared)."""
+        if GateType.CONST1 not in self._const_nets:
+            self._const_nets[GateType.CONST1] = self.emit(
+                GateType.CONST1, (), output=self.fresh_net(CONST1_NET)
+            )
+        return self._const_nets[GateType.CONST1]
+
+    def buf(self, src: str, output: Optional[str] = None) -> str:
+        return self.emit(GateType.BUF, (src,), output)
+
+    def inv(self, src: str, output: Optional[str] = None) -> str:
+        return self.emit(GateType.INV, (src,), output)
+
+    def and2(self, a: str, b: str, output: Optional[str] = None) -> str:
+        return self.emit(GateType.AND, (a, b), output)
+
+    def or2(self, a: str, b: str, output: Optional[str] = None) -> str:
+        return self.emit(GateType.OR, (a, b), output)
+
+    def xor2(self, a: str, b: str, output: Optional[str] = None) -> str:
+        return self.emit(GateType.XOR, (a, b), output)
+
+    def nand2(self, a: str, b: str, output: Optional[str] = None) -> str:
+        return self.emit(GateType.NAND, (a, b), output)
+
+    def nor2(self, a: str, b: str, output: Optional[str] = None) -> str:
+        return self.emit(GateType.NOR, (a, b), output)
+
+    def xnor2(self, a: str, b: str, output: Optional[str] = None) -> str:
+        return self.emit(GateType.XNOR, (a, b), output)
+
+    def mux2(
+        self, sel: str, d1: str, d0: str, output: Optional[str] = None
+    ) -> str:
+        return self.emit(GateType.MUX2, (sel, d1, d0), output)
+
+    # Trees ---------------------------------------------------------------
+
+    def xor_tree(
+        self, nets: Sequence[str], output: Optional[str] = None
+    ) -> str:
+        """XOR of any number of nets (0 -> const0, 1 -> buf/alias)."""
+        return self._tree(GateType.XOR, nets, output, identity=self.const0)
+
+    def and_tree(
+        self, nets: Sequence[str], output: Optional[str] = None
+    ) -> str:
+        """AND of any number of nets (0 -> const1, 1 -> buf/alias)."""
+        return self._tree(GateType.AND, nets, output, identity=self.const1)
+
+    def or_tree(
+        self, nets: Sequence[str], output: Optional[str] = None
+    ) -> str:
+        """OR of any number of nets (0 -> const0, 1 -> buf/alias)."""
+        return self._tree(GateType.OR, nets, output, identity=self.const0)
+
+    def _tree(
+        self,
+        gtype: GateType,
+        nets: Sequence[str],
+        output: Optional[str],
+        identity,
+    ) -> str:
+        nets = list(nets)
+        if not nets:
+            source = identity()
+            return self.buf(source, output) if output else source
+        if len(nets) == 1:
+            if output is None:
+                return nets[0]
+            return self.buf(nets[0], output)
+        if self._balanced:
+            while len(nets) > 2:
+                paired = []
+                for idx in range(0, len(nets) - 1, 2):
+                    paired.append(self.emit(gtype, (nets[idx], nets[idx + 1])))
+                if len(nets) % 2:
+                    paired.append(nets[-1])
+                nets = paired
+            return self.emit(gtype, (nets[0], nets[1]), output)
+        acc = nets[0]
+        for net in nets[1:-1]:
+            acc = self.emit(gtype, (acc, net))
+        return self.emit(gtype, (acc, nets[-1]), output)
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+
+    @property
+    def netlist(self) -> Netlist:
+        """The netlist under construction (live reference)."""
+        return self._netlist
+
+    def finish(self, validate: bool = True) -> Netlist:
+        """Return the completed netlist, validating by default."""
+        if not self._netlist.outputs:
+            raise NetlistError("netlist has no outputs")
+        if validate:
+            self._netlist.validate()
+        return self._netlist

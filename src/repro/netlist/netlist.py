@@ -1,0 +1,308 @@
+"""The :class:`Netlist` container.
+
+A netlist is a DAG of :class:`~repro.netlist.gate.Gate` cells between
+declared primary inputs and primary outputs.  The operations the rest
+of the system relies on:
+
+* **validation** — single driver per net, no undriven non-PI nets, no
+  combinational cycles;
+* **topological order** — Algorithm 1 rewrites "in a topological order
+  of the netlist" (backwards);
+* **cone extraction** — Theorem 2 lets each output bit be processed in
+  its own transitive fan-in cone, which is what makes the method
+  parallel and memory-friendly;
+* **bit-parallel simulation** — the ground truth the generators and the
+  extraction verifier are tested against;
+* **statistics** — the paper's ``# eqns`` column is the gate count.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from repro.netlist.gate import Gate, GateType, evaluate_gate
+
+
+class NetlistError(ValueError):
+    """Structural problem in a netlist (multi-driver, cycle, ...)."""
+
+
+@dataclass
+class NetlistStats:
+    """Summary statistics in the units the paper reports."""
+
+    num_gates: int
+    num_inputs: int
+    num_outputs: int
+    depth: int
+    gate_counts: Dict[str, int]
+
+    @property
+    def num_equations(self) -> int:
+        """Alias: the paper's '# eqns' column is the gate count."""
+        return self.num_gates
+
+    def __str__(self) -> str:
+        counts = ", ".join(
+            f"{name}:{count}" for name, count in sorted(self.gate_counts.items())
+        )
+        return (
+            f"gates={self.num_gates} inputs={self.num_inputs} "
+            f"outputs={self.num_outputs} depth={self.depth} [{counts}]"
+        )
+
+
+class Netlist:
+    """A combinational gate-level netlist.
+
+    >>> net = Netlist("half_adder", inputs=["a", "b"], outputs=["s", "c"])
+    >>> net.add_gate(Gate("s", GateType.XOR, ("a", "b")))
+    >>> net.add_gate(Gate("c", GateType.AND, ("a", "b")))
+    >>> net.simulate({"a": 1, "b": 1})
+    {'s': 0, 'c': 1}
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str] = (),
+        outputs: Sequence[str] = (),
+    ):
+        self.name = name
+        self.inputs: List[str] = list(inputs)
+        self.outputs: List[str] = list(outputs)
+        self._gates: List[Gate] = []
+        self._driver: Dict[str, Gate] = {}
+        self._topo_cache: Optional[List[Gate]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_gate(self, gate: Gate) -> None:
+        """Append a gate; rejects double-driven nets immediately."""
+        if gate.output in self._driver:
+            raise NetlistError(f"net {gate.output!r} has multiple drivers")
+        if gate.output in self.inputs:
+            raise NetlistError(f"primary input {gate.output!r} cannot be driven")
+        self._driver[gate.output] = gate
+        self._gates.append(gate)
+        self._topo_cache = None
+
+    def add_input(self, name: str) -> None:
+        if name in self._driver:
+            raise NetlistError(f"net {name!r} is already driven by a gate")
+        if name not in self.inputs:
+            self.inputs.append(name)
+
+    def add_output(self, name: str) -> None:
+        if name not in self.outputs:
+            self.outputs.append(name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def gates(self) -> List[Gate]:
+        """Gates in insertion order (not necessarily topological)."""
+        return list(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def driver_of(self, net: str) -> Optional[Gate]:
+        """The gate driving ``net``, or ``None`` for PIs/undriven nets."""
+        return self._driver.get(net)
+
+    def nets(self) -> Set[str]:
+        """Every net name mentioned anywhere in the netlist."""
+        out: Set[str] = set(self.inputs) | set(self.outputs)
+        for gate in self._gates:
+            out.add(gate.output)
+            out.update(gate.inputs)
+        return out
+
+    def fanout_map(self) -> Dict[str, List[Gate]]:
+        """Map net -> gates that read it."""
+        fanout: Dict[str, List[Gate]] = {}
+        for gate in self._gates:
+            for net in gate.inputs:
+                fanout.setdefault(net, []).append(gate)
+        return fanout
+
+    def validate(self) -> None:
+        """Raise :class:`NetlistError` on any structural defect."""
+        driven = set(self._driver)
+        available = driven | set(self.inputs)
+        for gate in self._gates:
+            for net in gate.inputs:
+                if net not in available:
+                    raise NetlistError(
+                        f"gate {gate.output!r} reads undriven net {net!r}"
+                    )
+        for net in self.outputs:
+            if net not in available:
+                raise NetlistError(f"primary output {net!r} is undriven")
+        self.topological_order()  # raises on cycles
+
+    # ------------------------------------------------------------------
+    # Ordering and cones
+    # ------------------------------------------------------------------
+
+    def topological_order(self) -> List[Gate]:
+        """Gates ordered so every gate follows all its input drivers.
+
+        Kahn's algorithm; raises :class:`NetlistError` on combinational
+        cycles.  The result is cached until the netlist changes.
+        """
+        if self._topo_cache is not None:
+            return self._topo_cache
+        indegree: Dict[str, int] = {}
+        for gate in self._gates:
+            indegree[gate.output] = sum(
+                1 for net in gate.inputs if net in self._driver
+            )
+        ready = deque(
+            gate for gate in self._gates if indegree[gate.output] == 0
+        )
+        fanout = self.fanout_map()
+        order: List[Gate] = []
+        while ready:
+            gate = ready.popleft()
+            order.append(gate)
+            for consumer in fanout.get(gate.output, ()):
+                indegree[consumer.output] -= 1
+                if indegree[consumer.output] == 0:
+                    ready.append(consumer)
+        if len(order) != len(self._gates):
+            stuck = sorted(
+                out for out, deg in indegree.items() if deg > 0
+            )
+            raise NetlistError(
+                f"combinational cycle involving nets {stuck[:5]}"
+            )
+        self._topo_cache = order
+        return order
+
+    def cone(self, output: str) -> "Netlist":
+        """Transitive fan-in cone of one net, as a standalone netlist.
+
+        The cone's inputs are exactly the primary inputs it reaches;
+        its single output is ``output``.  Theorem 2 guarantees the
+        backward rewriting of output bit ``z_i`` only ever needs this
+        sub-netlist.
+        """
+        if output not in self._driver and output not in self.inputs:
+            raise NetlistError(f"unknown net {output!r}")
+        keep: Set[str] = set()
+        stack = [output]
+        while stack:
+            net = stack.pop()
+            if net in keep:
+                continue
+            keep.add(net)
+            gate = self._driver.get(net)
+            if gate is not None:
+                stack.extend(gate.inputs)
+        cone_inputs = [net for net in self.inputs if net in keep]
+        sub = Netlist(f"{self.name}.{output}", cone_inputs, [output])
+        for gate in self._gates:
+            if gate.output in keep:
+                sub.add_gate(gate)
+        return sub
+
+    def cone_gates(self, output: str) -> List[Gate]:
+        """Gates of the fan-in cone of ``output`` in topological order."""
+        keep: Set[str] = set()
+        stack = [output]
+        while stack:
+            net = stack.pop()
+            if net in keep:
+                continue
+            keep.add(net)
+            gate = self._driver.get(net)
+            if gate is not None:
+                stack.extend(gate.inputs)
+        return [gate for gate in self.topological_order() if gate.output in keep]
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def simulate(
+        self, assignment: Mapping[str, int], width: int = 1
+    ) -> Dict[str, int]:
+        """Bit-parallel simulation.
+
+        ``assignment`` maps every primary input to an int whose low
+        ``width`` bits are independent simulation lanes.  Returns the
+        primary output values (same packing).
+        """
+        mask = (1 << width) - 1
+        values: Dict[str, int] = {}
+        for net in self.inputs:
+            try:
+                values[net] = assignment[net] & mask
+            except KeyError:
+                raise NetlistError(f"missing value for input {net!r}") from None
+        for gate in self.topological_order():
+            operands = [values[net] for net in gate.inputs]
+            values[gate.output] = evaluate_gate(gate.gtype, operands, mask)
+        missing = [net for net in self.outputs if net not in values]
+        if missing:
+            raise NetlistError(f"outputs {missing} were never computed")
+        return {net: values[net] for net in self.outputs}
+
+    def simulate_all_nets(
+        self, assignment: Mapping[str, int], width: int = 1
+    ) -> Dict[str, int]:
+        """Like :meth:`simulate` but returns every internal net too."""
+        mask = (1 << width) - 1
+        values: Dict[str, int] = {
+            net: assignment[net] & mask for net in self.inputs
+        }
+        for gate in self.topological_order():
+            operands = [values[net] for net in gate.inputs]
+            values[gate.output] = evaluate_gate(gate.gtype, operands, mask)
+        return values
+
+    # ------------------------------------------------------------------
+    # Statistics / copying
+    # ------------------------------------------------------------------
+
+    def stats(self) -> NetlistStats:
+        """Gate counts, logic depth, and the paper's '# eqns' metric."""
+        counts: Dict[str, int] = {}
+        for gate in self._gates:
+            counts[gate.gtype.value] = counts.get(gate.gtype.value, 0) + 1
+        depth: Dict[str, int] = {net: 0 for net in self.inputs}
+        max_depth = 0
+        for gate in self.topological_order():
+            level = 1 + max(
+                (depth.get(net, 0) for net in gate.inputs), default=0
+            )
+            depth[gate.output] = level
+            max_depth = max(max_depth, level)
+        return NetlistStats(
+            num_gates=len(self._gates),
+            num_inputs=len(self.inputs),
+            num_outputs=len(self.outputs),
+            depth=max_depth,
+            gate_counts=counts,
+        )
+
+    def copy(self, name: Optional[str] = None) -> "Netlist":
+        """Shallow-ish copy (gates are immutable and shared)."""
+        dup = Netlist(name or self.name, self.inputs, self.outputs)
+        for gate in self._gates:
+            dup.add_gate(gate)
+        return dup
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, {len(self.inputs)} in, "
+            f"{len(self.outputs)} out, {len(self._gates)} gates)"
+        )

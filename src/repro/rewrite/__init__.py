@@ -1,0 +1,46 @@
+"""Backward rewriting over GF(2^m) — the paper's core engine.
+
+``gate_models``
+    the algebraic models of Eq. (1), extended to the complex standard
+    cells produced by technology mapping;
+``backward``
+    Algorithm 1 — per-output-bit backward rewriting with mod-2
+    cancellation, statistics (iteration counts, peak term counts,
+    per-step timing) and an optional Figure-3 style trace;
+``parallel``
+    the n-thread driver ("reverse engineer the irreducible polynomial
+    of an n-bit GF multiplier in n threads") — a process pool in
+    Python, with a sequential fallback;
+``signature``
+    output/input signatures ``Sig_out = Σ z_i x^i`` and the
+    specification expressions of ``A·B mod P(x)`` per output bit.
+"""
+
+from repro.rewrite.gate_models import gate_model, gate_model_poly
+from repro.rewrite.backward import (
+    BackwardRewriteError,
+    RewriteStats,
+    TermLimitExceeded,
+    backward_rewrite,
+    backward_rewrite_all,
+)
+from repro.rewrite.parallel import extract_expressions
+from repro.rewrite.signature import (
+    output_signature,
+    spec_expression,
+    spec_expressions,
+)
+
+__all__ = [
+    "gate_model",
+    "gate_model_poly",
+    "BackwardRewriteError",
+    "RewriteStats",
+    "TermLimitExceeded",
+    "backward_rewrite",
+    "backward_rewrite_all",
+    "extract_expressions",
+    "output_signature",
+    "spec_expression",
+    "spec_expressions",
+]

@@ -1,0 +1,171 @@
+"""Constant propagation over a netlist.
+
+Folds CONST0/CONST1 cells through downstream logic: ``AND(x, 0) -> 0``,
+``XOR(x, 0) -> x``, ``INV(1) -> 0`` and so on, then sweeps dangling
+gates.  Primary outputs that collapse to constants keep a CONST cell
+(an output must stay driven).
+
+The pass rewrites into a fresh netlist; the input is never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.gate import Gate, GateType
+from repro.netlist.netlist import Netlist
+
+#: Net value lattice: 0, 1, or a net name (symbolic).
+_Value = object
+
+
+def propagate_constants(netlist: Netlist) -> Netlist:
+    """Return an equivalent netlist with constants folded through.
+
+    >>> from repro.netlist.build import NetlistBuilder
+    >>> b = NetlistBuilder("t", inputs=["a"])
+    >>> zero = b.const0()
+    >>> out = b.and2("a", zero)
+    >>> b.set_outputs([out])
+    >>> folded = propagate_constants(b.finish())
+    >>> [g.gtype.value for g in folded.gates]
+    ['CONST0']
+    """
+    result = Netlist(netlist.name, inputs=netlist.inputs)
+    #: What each original net is now: 0, 1, or a net name in the result.
+    binding: Dict[str, object] = {net: net for net in netlist.inputs}
+    output_set = set(netlist.outputs)
+
+    for gate in netlist.topological_order():
+        operands = [binding[name] for name in gate.inputs]
+        folded = _fold(gate.gtype, operands)
+        if folded is None:
+            # Not foldable: emit with (possibly renamed) symbolic inputs;
+            # any residual constant operand gets a CONST cell on demand.
+            concrete = tuple(
+                _materialise(result, operand) for operand in operands
+            )
+            result.add_gate(Gate(gate.output, gate.gtype, concrete))
+            binding[gate.output] = gate.output
+        else:
+            binding[gate.output] = folded
+
+    for net in netlist.outputs:
+        value = binding.get(net)
+        if value is None:
+            raise ValueError(f"output {net!r} undriven during constprop")
+        if value != net:
+            # The output collapsed to a constant or an alias; re-drive it.
+            if value == 0:
+                result.add_gate(Gate(net, GateType.CONST0, ()))
+            elif value == 1:
+                result.add_gate(Gate(net, GateType.CONST1, ()))
+            else:
+                result.add_gate(Gate(net, GateType.BUF, (str(value),)))
+        result.add_output(net)
+
+    return _sweep(result)
+
+
+def _materialise(result: Netlist, operand: object) -> str:
+    """Turn a lattice value into a concrete net in the result netlist."""
+    if operand == 0:
+        name = "__const0"
+        if result.driver_of(name) is None:
+            result.add_gate(Gate(name, GateType.CONST0, ()))
+        return name
+    if operand == 1:
+        name = "__const1"
+        if result.driver_of(name) is None:
+            result.add_gate(Gate(name, GateType.CONST1, ()))
+        return name
+    return str(operand)
+
+
+def _fold(gtype: GateType, operands: List[object]) -> Optional[object]:
+    """Fold a gate over the 0/1/symbolic lattice; None = emit as-is.
+
+    Returns 0, 1, or a net name when the gate simplifies away entirely.
+    """
+    consts = [op for op in operands if op in (0, 1)]
+    syms = [op for op in operands if op not in (0, 1)]
+
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    if gtype is GateType.BUF:
+        return operands[0]
+    if gtype is GateType.INV:
+        if operands[0] in (0, 1):
+            return 1 - operands[0]  # type: ignore[operator]
+        return None
+    if gtype is GateType.AND:
+        if any(op == 0 for op in consts):
+            return 0
+        if not syms:
+            return 1
+        if len(set(syms)) == 1 and not consts:
+            return syms[0] if len(syms) == len(operands) else None
+        if consts:  # all remaining constants are 1 — drop them
+            return _fold_reduced(GateType.AND, syms)
+        return None
+    if gtype is GateType.OR:
+        if any(op == 1 for op in consts):
+            return 1
+        if not syms:
+            return 0
+        if consts:
+            return _fold_reduced(GateType.OR, syms)
+        return None
+    if gtype is GateType.XOR:
+        parity = sum(1 for op in consts if op == 1) & 1
+        if not syms:
+            return parity
+        if consts:
+            # XOR with residual parity needs an INV — not foldable here.
+            return None if parity else _fold_reduced(GateType.XOR, syms)
+        return None
+    if gtype in (GateType.NAND, GateType.NOR, GateType.XNOR):
+        inner = _fold(
+            {
+                GateType.NAND: GateType.AND,
+                GateType.NOR: GateType.OR,
+                GateType.XNOR: GateType.XOR,
+            }[gtype],
+            operands,
+        )
+        if inner in (0, 1):
+            return 1 - inner  # type: ignore[operator]
+        return None
+    if gtype is GateType.MUX2:
+        sel, d1, d0 = operands
+        if sel == 1:
+            return d1
+        if sel == 0:
+            return d0
+        if d1 == d0:
+            return d1
+        return None
+    if all(op in (0, 1) for op in operands):
+        # Complex cells with fully constant inputs: evaluate directly.
+        from repro.netlist.gate import evaluate_gate
+
+        return evaluate_gate(gtype, [int(op) for op in operands], mask=1)
+    return None
+
+
+def _fold_reduced(gtype: GateType, syms: List[object]) -> Optional[object]:
+    """A gate whose constant operands vanished: alias if one input left."""
+    if len(syms) == 1:
+        return syms[0]
+    # Cannot shrink the operand list in-place here (the Gate is emitted
+    # by the caller with the original arity); signal "not folded".
+    return None
+
+
+def _sweep(netlist: Netlist) -> Netlist:
+    """Drop gates whose output nobody reads (dead logic)."""
+    from repro.synth.sweep import sweep_dead_gates
+
+    return sweep_dead_gates(netlist)

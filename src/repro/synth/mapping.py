@@ -1,0 +1,255 @@
+"""Technology mapping onto a standard-cell library.
+
+Maps a generic AND/OR/XOR netlist onto the cell set a mapped design
+actually contains — ``INV/NAND2/NOR2/XOR2/XNOR2`` plus the complex
+``AOI21/AOI22/OAI21/OAI22`` cells — in three steps:
+
+1. decompose n-ary gates into 2-input trees;
+2. extract AOI/OAI patterns (``INV(OR(AND(a,b), c))`` and friends)
+   where the internal nets have a single fanout;
+3. map the remaining AND/OR gates to NAND/NOR + INV and fold the
+   inverter pairs this creates.
+
+``use_xor_cells=False`` additionally decomposes every XOR into the
+four-NAND construction, producing the kind of inverter-rich all-NAND
+netlist that stresses the extraction engine's complex-gate models the
+hardest (Table III's point is that extraction handles mapped netlists,
+and typically *faster* because synthesis shrank them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.gate import Gate, GateType, gate_arity
+from repro.netlist.netlist import Netlist
+from repro.synth.strash import structural_hash
+
+
+def technology_map(
+    netlist: Netlist,
+    use_xor_cells: bool = True,
+    extract_aoi: bool = True,
+) -> Netlist:
+    """Map onto the INV/NAND/NOR/XOR(+AOI/OAI) cell library.
+
+    The result is functionally equivalent (tested by simulation) and
+    contains no AND/OR/BUF cells except CONST drivers.
+
+    >>> from repro.gen.mastrovito import generate_mastrovito
+    >>> mapped = technology_map(generate_mastrovito(0b1011))
+    >>> {g.gtype.value for g in mapped.gates} <= {
+    ...     "INV", "NAND", "NOR", "XOR", "XNOR",
+    ...     "AOI21", "AOI22", "OAI21", "OAI22"}
+    True
+    """
+    staged = _decompose(netlist)
+    if extract_aoi:
+        staged = _extract_aoi_oai(staged)
+    mapped = _map_cells(staged, use_xor_cells=use_xor_cells)
+    return structural_hash(mapped)
+
+
+# ----------------------------------------------------------------------
+# Step 1: 2-input decomposition
+# ----------------------------------------------------------------------
+
+def _decompose(netlist: Netlist) -> Netlist:
+    """Split n-ary AND/OR/XOR gates into balanced 2-input trees."""
+    result = Netlist(netlist.name, inputs=netlist.inputs)
+    counter = 0
+
+    def fresh() -> str:
+        nonlocal counter
+        counter += 1
+        return f"__map{counter}"
+
+    for gate in netlist.topological_order():
+        if (
+            gate.gtype in (GateType.AND, GateType.OR, GateType.XOR)
+            and len(gate.inputs) > 2
+        ):
+            layer: List[str] = list(gate.inputs)
+            while len(layer) > 2:
+                paired = []
+                for idx in range(0, len(layer) - 1, 2):
+                    net = fresh()
+                    result.add_gate(
+                        Gate(net, gate.gtype, (layer[idx], layer[idx + 1]))
+                    )
+                    paired.append(net)
+                if len(layer) % 2:
+                    paired.append(layer[-1])
+                layer = paired
+            result.add_gate(Gate(gate.output, gate.gtype, (layer[0], layer[1])))
+        elif (
+            gate.gtype in (GateType.NAND, GateType.NOR, GateType.XNOR)
+            and len(gate.inputs) > 2
+        ):
+            # n-ary inverted gate: n-ary base tree + inverted final stage.
+            base = {
+                GateType.NAND: GateType.AND,
+                GateType.NOR: GateType.OR,
+                GateType.XNOR: GateType.XOR,
+            }[gate.gtype]
+            layer = list(gate.inputs)
+            while len(layer) > 2:
+                paired = []
+                for idx in range(0, len(layer) - 1, 2):
+                    net = fresh()
+                    result.add_gate(
+                        Gate(net, base, (layer[idx], layer[idx + 1]))
+                    )
+                    paired.append(net)
+                if len(layer) % 2:
+                    paired.append(layer[-1])
+                layer = paired
+            result.add_gate(Gate(gate.output, gate.gtype, (layer[0], layer[1])))
+        else:
+            result.add_gate(gate)
+
+    for net in netlist.outputs:
+        result.add_output(net)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Step 2: AOI/OAI pattern extraction
+# ----------------------------------------------------------------------
+
+def _extract_aoi_oai(netlist: Netlist) -> Netlist:
+    """Fuse INV(OR(AND,·)) and INV(AND(OR,·)) cones into AOI/OAI cells."""
+    drivers = {gate.output: gate for gate in netlist.gates}
+    fanout: Dict[str, int] = {}
+    for gate in netlist.gates:
+        for net in gate.inputs:
+            fanout[net] = fanout.get(net, 0) + 1
+    output_set = set(netlist.outputs)
+
+    def single_use_internal(net: str) -> bool:
+        return net not in output_set and fanout.get(net, 0) == 1
+
+    consumed: set = set()
+    replacement: Dict[str, Gate] = {}
+
+    for gate in netlist.gates:
+        if gate.gtype is not GateType.INV:
+            continue
+        src = drivers.get(gate.inputs[0])
+        if src is None or not single_use_internal(src.output):
+            continue
+        fused = _match_aoi(gate.output, src, drivers, single_use_internal)
+        if fused is not None:
+            new_gate, used = fused
+            replacement[gate.output] = new_gate
+            consumed.add(gate.output)
+            consumed.update(used)
+
+    result = Netlist(netlist.name, inputs=netlist.inputs)
+    for gate in netlist.topological_order():
+        if gate.output in replacement:
+            result.add_gate(replacement[gate.output])
+        elif gate.output in consumed:
+            continue
+        else:
+            result.add_gate(gate)
+    for net in netlist.outputs:
+        result.add_output(net)
+    return result
+
+
+def _match_aoi(
+    out: str,
+    src: Gate,
+    drivers: Dict[str, Gate],
+    single_use,
+) -> Optional[Tuple[Gate, List[str]]]:
+    """Try to fuse the cone rooted at INV(src) into one AOI/OAI cell."""
+
+    def driver_if(net: str, gtype: GateType) -> Optional[Gate]:
+        gate = drivers.get(net)
+        if gate is not None and gate.gtype is gtype and single_use(net):
+            return gate
+        return None
+
+    if src.gtype is GateType.OR and len(src.inputs) == 2:
+        left = driver_if(src.inputs[0], GateType.AND)
+        right = driver_if(src.inputs[1], GateType.AND)
+        if left is not None and len(left.inputs) == 2:
+            if right is not None and len(right.inputs) == 2:
+                return (
+                    Gate(out, GateType.AOI22, left.inputs + right.inputs),
+                    [src.output, left.output, right.output],
+                )
+            return (
+                Gate(out, GateType.AOI21, left.inputs + (src.inputs[1],)),
+                [src.output, left.output],
+            )
+        if right is not None and len(right.inputs) == 2:
+            return (
+                Gate(out, GateType.AOI21, right.inputs + (src.inputs[0],)),
+                [src.output, right.output],
+            )
+    if src.gtype is GateType.AND and len(src.inputs) == 2:
+        left = driver_if(src.inputs[0], GateType.OR)
+        right = driver_if(src.inputs[1], GateType.OR)
+        if left is not None and len(left.inputs) == 2:
+            if right is not None and len(right.inputs) == 2:
+                return (
+                    Gate(out, GateType.OAI22, left.inputs + right.inputs),
+                    [src.output, left.output, right.output],
+                )
+            return (
+                Gate(out, GateType.OAI21, left.inputs + (src.inputs[1],)),
+                [src.output, left.output],
+            )
+        if right is not None and len(right.inputs) == 2:
+            return (
+                Gate(out, GateType.OAI21, right.inputs + (src.inputs[0],)),
+                [src.output, right.output],
+            )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Step 3: NAND/NOR mapping
+# ----------------------------------------------------------------------
+
+def _map_cells(netlist: Netlist, use_xor_cells: bool) -> Netlist:
+    """Replace AND/OR (and optionally XOR) by library cells."""
+    result = Netlist(netlist.name, inputs=netlist.inputs)
+    counter = 0
+
+    def fresh() -> str:
+        nonlocal counter
+        counter += 1
+        return f"__tm{counter}"
+
+    for gate in netlist.topological_order():
+        gtype, inputs, out = gate.gtype, gate.inputs, gate.output
+        if gtype is GateType.AND and len(inputs) == 2:
+            inner = fresh()
+            result.add_gate(Gate(inner, GateType.NAND, inputs))
+            result.add_gate(Gate(out, GateType.INV, (inner,)))
+        elif gtype is GateType.OR and len(inputs) == 2:
+            inner = fresh()
+            result.add_gate(Gate(inner, GateType.NOR, inputs))
+            result.add_gate(Gate(out, GateType.INV, (inner,)))
+        elif gtype is GateType.BUF:
+            result.add_gate(gate)
+        elif gtype is GateType.XOR and not use_xor_cells:
+            # XOR(a,b) out of four NAND2 cells.
+            a, b = inputs
+            nab = fresh()
+            na = fresh()
+            nb = fresh()
+            result.add_gate(Gate(nab, GateType.NAND, (a, b)))
+            result.add_gate(Gate(na, GateType.NAND, (a, nab)))
+            result.add_gate(Gate(nb, GateType.NAND, (b, nab)))
+            result.add_gate(Gate(out, GateType.NAND, (na, nb)))
+        else:
+            result.add_gate(gate)
+
+    for net in netlist.outputs:
+        result.add_output(net)
+    return result

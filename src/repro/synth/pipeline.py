@@ -1,0 +1,46 @@
+"""The full synthesis pipeline — our stand-in for ``abc`` (Table III).
+
+``synthesize`` runs, in order: constant propagation, structural
+hashing, XOR-tree rebalancing with mod-2 leaf cancellation, another
+strash, then technology mapping onto the standard-cell library.  The
+result is the kind of netlist the paper's Table III extracts from:
+functionally identical, structurally reshaped, expressed in mapped
+cells (including inverted forms) rather than plain AND/XOR.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import Netlist
+from repro.synth.constprop import propagate_constants
+from repro.synth.mapping import technology_map
+from repro.synth.strash import structural_hash
+from repro.synth.xor_opt import rebalance_xor_trees
+
+
+def synthesize(
+    netlist: Netlist,
+    map_cells: bool = True,
+    use_xor_cells: bool = True,
+) -> Netlist:
+    """Optimize and (optionally) technology-map a netlist.
+
+    ``map_cells=False`` stops after the technology-independent passes
+    (constprop + strash + XOR rebalancing).  ``use_xor_cells=False``
+    additionally lowers XORs to NAND networks — the harshest mapped
+    form for the extraction engine.
+
+    >>> from repro.gen.mastrovito import generate_mastrovito
+    >>> flat = generate_mastrovito(0b10011, balanced=False)
+    >>> opt = synthesize(flat)
+    >>> opt.name.endswith("_syn")
+    True
+    """
+    staged = propagate_constants(netlist)
+    staged = structural_hash(staged)
+    staged = rebalance_xor_trees(staged)
+    staged = structural_hash(staged)
+    if map_cells:
+        staged = technology_map(staged, use_xor_cells=use_xor_cells)
+    staged.name = f"{netlist.name}_syn"
+    staged.validate()
+    return staged

@@ -1,0 +1,93 @@
+"""Structural hashing (strash): CSE, BUF aliasing, double-INV removal.
+
+Rewrites the netlist bottom-up, mapping every original net to a
+canonical net in the result:
+
+* two gates of the same type over the same (canonical) inputs collapse
+  into one — for commutative gates the input order is ignored;
+* ``BUF`` gates become pure aliases (unless they drive a primary
+  output, which must keep a driver of that name);
+* ``INV(INV(x))`` collapses to ``x``.
+
+This is the netlist-level analogue of ABC's ``strash`` and the
+workhorse of the Table III "optimized multiplier" flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.netlist.gate import COMMUTATIVE_TYPES, Gate, GateType
+from repro.netlist.netlist import Netlist
+from repro.synth.sweep import sweep_dead_gates
+
+
+def structural_hash(netlist: Netlist) -> Netlist:
+    """Return an equivalent netlist with shared structure deduplicated.
+
+    >>> from repro.netlist.build import NetlistBuilder
+    >>> b = NetlistBuilder("t", inputs=["a", "b"])
+    >>> x = b.and2("a", "b")
+    >>> y = b.and2("b", "a")          # same function, swapped inputs
+    >>> out = b.xor2(x, y)            # XOR(x, x) after strash
+    >>> b.set_outputs([out])
+    >>> len(structural_hash(b.finish()))
+    2
+    """
+    result = Netlist(netlist.name, inputs=netlist.inputs)
+    canonical: Dict[str, str] = {net: net for net in netlist.inputs}
+    table: Dict[Tuple, str] = {}
+    #: canonical net -> net it is the inversion of (for INV(INV(x)) -> x)
+    inversion_of: Dict[str, str] = {}
+    output_set = set(netlist.outputs)
+
+    for gate in netlist.topological_order():
+        inputs = tuple(canonical[name] for name in gate.inputs)
+        is_output = gate.output in output_set
+
+        # BUF: alias through, unless a PO needs a named driver.
+        if gate.gtype is GateType.BUF and not is_output:
+            canonical[gate.output] = inputs[0]
+            continue
+
+        # INV(INV(x)) -> x.
+        if gate.gtype is GateType.INV and not is_output:
+            target = inversion_of.get(inputs[0])
+            if target is not None:
+                canonical[gate.output] = target
+                continue
+
+        key = _key(gate.gtype, inputs)
+        existing = table.get(key)
+        if existing is not None and not is_output:
+            canonical[gate.output] = existing
+            continue
+        if existing is not None and is_output:
+            # Keep the PO name but reuse the computed value via BUF.
+            result.add_gate(Gate(gate.output, GateType.BUF, (existing,)))
+            canonical[gate.output] = gate.output
+            continue
+
+        result.add_gate(Gate(gate.output, gate.gtype, inputs))
+        canonical[gate.output] = gate.output
+        table[key] = gate.output
+        if gate.gtype is GateType.INV:
+            inversion_of[gate.output] = inputs[0]
+            # And remember the reverse direction too: INV of the input
+            # is this gate, so INV(this) can alias back to the input.
+            inversion_of.setdefault(inputs[0], gate.output)
+
+    for net in netlist.outputs:
+        target = canonical[net]
+        if target != net:
+            result.add_gate(Gate(net, GateType.BUF, (target,)))
+        result.add_output(net)
+    # Aliasing (BUF/INV-pair removal, CSE) strands the original drivers;
+    # sweep them so the gate count reflects live logic only.
+    return sweep_dead_gates(result)
+
+
+def _key(gtype: GateType, inputs: Tuple[str, ...]) -> Tuple:
+    if gtype in COMMUTATIVE_TYPES:
+        return (gtype, tuple(sorted(inputs)))
+    return (gtype, inputs)

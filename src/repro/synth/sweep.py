@@ -1,0 +1,39 @@
+"""Dead-logic sweep — drop gates outside every output's fan-in cone.
+
+Aliasing passes (BUF removal, double-inverter collapse, CSE) leave the
+original driver gates behind with no remaining readers.  ``sweep`` is
+the cleanup pass that removes them, the netlist-level analogue of
+ABC's dangling-node sweep.  Every other synthesis pass ends with it so
+gate counts reflect live logic only.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import Netlist
+
+
+def sweep_dead_gates(netlist: Netlist) -> Netlist:
+    """Return an equivalent netlist containing only live gates.
+
+    A gate is live when its output is a primary output or feeds,
+    transitively, a primary output.
+
+    >>> from repro.netlist.build import NetlistBuilder
+    >>> b = NetlistBuilder("t", inputs=["a", "b"])
+    >>> live = b.and2("a", "b")
+    >>> _dead = b.xor2("a", "b")
+    >>> b.set_outputs([live])
+    >>> len(sweep_dead_gates(b.finish()))
+    1
+    """
+    needed = set(netlist.outputs)
+    for gate in reversed(netlist.topological_order()):
+        if gate.output in needed:
+            needed.update(gate.inputs)
+    swept = Netlist(netlist.name, inputs=netlist.inputs)
+    for gate in netlist.topological_order():
+        if gate.output in needed:
+            swept.add_gate(gate)
+    for net in netlist.outputs:
+        swept.add_output(net)
+    return swept

@@ -1,0 +1,128 @@
+"""XOR-tree collection and balanced re-decomposition.
+
+GF(2^m) multipliers are dominated by XOR trees.  Naive elaboration
+produces long XOR *chains* (linear depth); this pass collects every
+maximal single-fanout XOR tree into its leaf multiset, cancels
+duplicate leaves mod 2 (``x ⊕ x = 0``), and re-emits a balanced tree —
+the transformation a synthesis tool's algebraic rewriting performs on
+these circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.netlist.gate import Gate, GateType
+from repro.netlist.netlist import Netlist
+
+
+def rebalance_xor_trees(netlist: Netlist) -> Netlist:
+    """Return an equivalent netlist with balanced, cancelled XOR trees.
+
+    >>> from repro.netlist.build import NetlistBuilder
+    >>> b = NetlistBuilder("t", inputs=["a", "b", "c"], balanced_trees=False)
+    >>> out = b.xor_tree(["a", "b", "c", "b"])      # chain, 'b' twice
+    >>> b.set_outputs([out])
+    >>> opt = rebalance_xor_trees(b.finish())
+    >>> len(opt)                                     # a ^ c only
+    1
+    >>> opt.simulate({"a": 1, "b": 1, "c": 0})[out]
+    1
+    """
+    fanout: Dict[str, int] = {}
+    consumers: Dict[str, List[Gate]] = {}
+    for gate in netlist.gates:
+        for net in gate.inputs:
+            fanout[net] = fanout.get(net, 0) + 1
+            consumers.setdefault(net, []).append(gate)
+    output_set = set(netlist.outputs)
+    drivers = {gate.output: gate for gate in netlist.gates}
+
+    def is_internal_xor(net: str) -> bool:
+        """Can this net be dissolved into its parent XOR tree?
+
+        Requires an XOR driver, a single consumer which is itself an
+        XOR (the tree that will absorb it), and not being a PO.
+        """
+        gate = drivers.get(net)
+        if (
+            gate is None
+            or gate.gtype is not GateType.XOR
+            or net in output_set
+            or fanout.get(net, 0) != 1
+        ):
+            return False
+        return consumers[net][0].gtype is GateType.XOR
+
+    def leaves_of(net: str, acc: Dict[str, int]) -> None:
+        gate = drivers[net]
+        for operand in gate.inputs:
+            if is_internal_xor(operand):
+                leaves_of(operand, acc)
+            else:
+                acc[operand] = acc.get(operand, 0) ^ 1
+
+    # Roots: XOR gates that are POs, multi-fanout, or feed non-XOR logic.
+    dissolved = set()
+    roots: List[Gate] = []
+    for gate in netlist.gates:
+        if gate.gtype is not GateType.XOR:
+            continue
+        if is_internal_xor(gate.output):
+            dissolved.add(gate.output)
+        else:
+            roots.append(gate)
+
+    result = Netlist(netlist.name, inputs=netlist.inputs)
+    counter = 0
+
+    def fresh() -> str:
+        nonlocal counter
+        counter += 1
+        return f"__xb{counter}"
+
+    emitted_const0 = None
+
+    def const0() -> str:
+        nonlocal emitted_const0
+        if emitted_const0 is None:
+            emitted_const0 = "__xb_zero"
+            result.add_gate(Gate(emitted_const0, GateType.CONST0, ()))
+        return emitted_const0
+
+    # Emit non-XOR gates untouched; rebuild each root's tree balanced.
+    for gate in netlist.topological_order():
+        if gate.gtype is GateType.XOR:
+            if gate.output in dissolved:
+                continue
+            parity: Dict[str, int] = {}
+            leaves_of(gate.output, parity)
+            leaves = sorted(net for net, p in parity.items() if p)
+            if not leaves:
+                result.add_gate(Gate(gate.output, GateType.CONST0, ()))
+                continue
+            if len(leaves) == 1:
+                result.add_gate(Gate(gate.output, GateType.BUF, (leaves[0],)))
+                continue
+            layer = leaves
+            while len(layer) > 2:
+                paired = []
+                for idx in range(0, len(layer) - 1, 2):
+                    net = fresh()
+                    result.add_gate(
+                        Gate(net, GateType.XOR, (layer[idx], layer[idx + 1]))
+                    )
+                    paired.append(net)
+                if len(layer) % 2:
+                    paired.append(layer[-1])
+                layer = paired
+            result.add_gate(
+                Gate(gate.output, GateType.XOR, (layer[0], layer[1]))
+            )
+        else:
+            result.add_gate(gate)
+
+    for net in netlist.outputs:
+        result.add_output(net)
+    result.validate()
+    return result

@@ -1,0 +1,109 @@
+"""Tests for the AES byte field against FIPS-197 vectors."""
+
+import pytest
+
+from repro.crypto.aes_field import (
+    AES_MODULUS,
+    aes_inv_sbox,
+    aes_sbox,
+    inv_mix_column,
+    mix_column,
+    sbox_table,
+    xtime,
+)
+from repro.fieldmath.gf2m import GF2m
+from repro.fieldmath.irreducible import is_irreducible
+
+#: The first row of the FIPS-197 S-box table.
+_SBOX_ROW0 = [
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5,
+    0x30, 0x01, 0x67, 0x2B, 0xFE, 0xD7, 0xAB, 0x76,
+]
+
+
+class TestModulus:
+    def test_is_the_aes_polynomial(self):
+        assert AES_MODULUS == 0x11B  # x^8 + x^4 + x^3 + x + 1
+
+    def test_irreducible(self):
+        assert is_irreducible(AES_MODULUS)
+
+
+class TestSbox:
+    def test_fips_row0(self):
+        assert [aes_sbox(b) for b in range(16)] == _SBOX_ROW0
+
+    def test_known_entries(self):
+        assert aes_sbox(0x53) == 0xED
+        assert aes_sbox(0xCA) == 0x74
+
+    def test_inverse_roundtrip(self):
+        for byte in range(256):
+            assert aes_inv_sbox(aes_sbox(byte)) == byte
+
+    def test_bijective(self):
+        assert len(set(sbox_table())) == 256
+
+    def test_no_fixed_points(self):
+        """A design property of the AES S-box."""
+        assert all(aes_sbox(b) != b for b in range(256))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            aes_sbox(256)
+        with pytest.raises(ValueError):
+            aes_inv_sbox(-1)
+
+    def test_wrong_field_changes_table(self):
+        """Running SubBytes over a different (irreducible) byte field
+        produces a different S-box — the security-audit motivation."""
+        other = GF2m(0x11D)  # x^8+x^4+x^3+x^2+1, also irreducible
+        table_right = sbox_table()
+        table_wrong = sbox_table(other)
+        assert table_right != table_wrong
+
+
+class TestXtime:
+    def test_no_reduction_below_0x80(self):
+        assert xtime(0x40) == 0x80
+
+    def test_reduction_at_0x80(self):
+        assert xtime(0x80) == 0x1B
+
+    def test_matches_field_mul(self):
+        field = GF2m(AES_MODULUS)
+        for byte in range(256):
+            assert xtime(byte) == field.mul(2, byte)
+
+
+class TestMixColumns:
+    def test_fips_vector(self):
+        assert mix_column([0xDB, 0x13, 0x53, 0x45]) == [
+            0x8E, 0x4D, 0xA1, 0xBC,
+        ]
+
+    def test_second_fips_vector(self):
+        assert mix_column([0xF2, 0x0A, 0x22, 0x5C]) == [
+            0x9F, 0xDC, 0x58, 0x9D,
+        ]
+
+    def test_identity_column(self):
+        """A column of equal bytes is fixed by MixColumns
+        (2+3+1+1 = 1 in GF(2^8))."""
+        assert mix_column([0xAA] * 4) == [0xAA] * 4
+
+    def test_inverse_roundtrip(self):
+        column = [0x01, 0x23, 0x45, 0x67]
+        assert inv_mix_column(mix_column(column)) == column
+
+    def test_linear(self):
+        lhs = [0x12, 0x34, 0x56, 0x78]
+        rhs = [0x9A, 0xBC, 0xDE, 0xF0]
+        xor = [a ^ b for a, b in zip(lhs, rhs)]
+        assert mix_column(xor) == [
+            a ^ b for a, b in zip(mix_column(lhs), mix_column(rhs))
+        ]
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            mix_column([1, 2, 3])

@@ -1,0 +1,117 @@
+"""Tests for the analysis/reporting helpers."""
+
+import pytest
+
+from repro.analysis.instrument import measure
+from repro.analysis.tables import Table, ascii_series_plot
+from repro.analysis.xor_count import (
+    figure1_report,
+    multiplication_example,
+    xor_cost_comparison,
+)
+
+
+class TestTables:
+    def test_render_alignment(self):
+        table = Table(["name", "value"])
+        table.add_row(["alpha", 1])
+        table.add_row(["b", 20])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+
+    def test_title(self):
+        table = Table(["x"], title="Table I")
+        table.add_row([1])
+        assert table.render().splitlines()[0] == "Table I"
+
+    def test_row_width_mismatch(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_float_formatting(self):
+        table = Table(["t"])
+        table.add_row([1234.5678])
+        table.add_row([0.1234])
+        text = table.render()
+        assert "1234.6" in text
+        assert "0.123" in text
+
+    def test_series_plot(self):
+        plot = ascii_series_plot(
+            {"NIST": [(0, 1.0), (10, 2.0)], "ARM": [(0, 0.5), (10, 1.0)]}
+        )
+        assert "legend" in plot
+        assert "o=NIST" in plot
+        assert "x=ARM" in plot
+
+    def test_series_plot_empty(self):
+        assert ascii_series_plot({}) == "(no data)"
+
+
+class TestFigure1:
+    def test_report_contains_both_tables(self, gf4_polys):
+        report = figure1_report(list(gf4_polys))
+        assert "x^4 + x^3 + 1" in report
+        assert "x^4 + x + 1" in report
+        assert "reduction XOR count: 9" in report
+        assert "reduction XOR count: 6" in report
+
+    def test_mixed_degrees_rejected(self):
+        with pytest.raises(ValueError):
+            figure1_report([0b111, 0b10011])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            figure1_report([])
+
+
+class TestXorComparison:
+    def test_table_shape(self, gf4_polys):
+        p1, p2 = gf4_polys
+        table = xor_cost_comparison({"P1": p1, "P2": p2})
+        text = table.render()
+        assert "P1" in text and "P2" in text
+        # pp XOR cost is (m-1)^2 = 9 for both.
+        assert text.count(" 9") >= 2
+
+    def test_total_is_sum(self, gf4_polys):
+        _, p2 = gf4_polys
+        table = xor_cost_comparison({"P2": p2})
+        # (4-1)^2 = 9 partial-product XORs + 6 reduction = 15 total.
+        assert "15" in table.render()
+
+
+class TestMultiplicationExample:
+    def test_prints_all_output_bits(self):
+        text = multiplication_example(0b10011)
+        for bit in range(4):
+            assert f"z{bit} = " in text
+
+    def test_matches_paper_z3(self):
+        text = multiplication_example(0b10011)
+        assert "z3 = a0*b3 + a1*b2 + a2*b1 + a3*b0 + a3*b3" in text
+
+    def test_large_field_rejected(self):
+        with pytest.raises(ValueError):
+            multiplication_example(1 << 20 | 0b11)
+
+
+class TestInstrument:
+    def test_measure_returns_value(self):
+        result = measure(lambda: 41 + 1)
+        assert result.value == 42
+        assert result.wall_s >= 0
+        assert result.cpu_s >= 0
+        assert result.peak_bytes is not None
+
+    def test_memory_string_units(self):
+        result = measure(lambda: [0] * 100000)
+        assert result.memory_str().endswith("MB")
+
+    def test_no_memory_tracking(self):
+        result = measure(lambda: 1, track_memory=False)
+        assert result.peak_bytes is None
+        assert result.memory_str() == "n/a"

@@ -1,0 +1,150 @@
+"""Tests for Algorithm 1 — backward rewriting."""
+
+import pytest
+
+from repro.gen.mastrovito import generate_mastrovito
+from repro.gen.montgomery import generate_montgomery
+from repro.gen.paper_examples import paper_figure2_multiplier
+from repro.gf2.parse import parse_poly
+from repro.netlist.gate import Gate, GateType
+from repro.netlist.netlist import Netlist
+from repro.rewrite.backward import (
+    BackwardRewriteError,
+    TermLimitExceeded,
+    backward_rewrite,
+    backward_rewrite_all,
+    format_trace,
+)
+
+
+class TestPaperExample:
+    """Example 1 / Figure 3: the 2-bit GF(2^2) multiplier."""
+
+    def test_z0_expression(self):
+        poly, _ = backward_rewrite(paper_figure2_multiplier(), "z0")
+        assert poly == parse_poly("a0*b0 + a1*b1")
+
+    def test_z1_expression(self):
+        poly, _ = backward_rewrite(paper_figure2_multiplier(), "z1")
+        assert poly == parse_poly("a0*b1 + a1*b0 + a1*b1")
+
+    def test_cancellation_happened(self):
+        """The Figure 3 trace eliminates monomials (the 2x rows)."""
+        _, stats = backward_rewrite(paper_figure2_multiplier(), "z1")
+        assert stats.eliminated_monomials > 0
+
+    def test_trace_records_steps(self):
+        _, stats = backward_rewrite(
+            paper_figure2_multiplier(), "z1", trace=True
+        )
+        assert stats.iterations == len(stats.trace)
+        rendered = format_trace(stats)
+        assert "backward rewriting of z1" in rendered
+        assert "step 1" in rendered
+
+
+class TestCorrectness:
+    def test_expression_matches_simulation(self):
+        """Theorem 1: the extracted polynomial is the circuit function."""
+        netlist = generate_mastrovito(0b1011)
+        for output in netlist.outputs:
+            poly, _ = backward_rewrite(netlist, output)
+            for a_value in range(8):
+                for b_value in range(8):
+                    env = {f"a{i}": (a_value >> i) & 1 for i in range(3)}
+                    env.update(
+                        {f"b{i}": (b_value >> i) & 1 for i in range(3)}
+                    )
+                    assert poly.evaluate(env) == netlist.simulate(env)[output]
+
+    def test_montgomery_matches_simulation(self):
+        netlist = generate_montgomery(0b111)
+        for output in netlist.outputs:
+            poly, _ = backward_rewrite(netlist, output)
+            for bits in range(16):
+                env = {
+                    "a0": bits & 1,
+                    "a1": (bits >> 1) & 1,
+                    "b0": (bits >> 2) & 1,
+                    "b1": (bits >> 3) & 1,
+                }
+                assert poly.evaluate(env) == netlist.simulate(env)[output]
+
+    def test_rewriting_input_passthrough(self):
+        """An output directly driven by a BUF of an input."""
+        net = Netlist("wire", inputs=["a"], outputs=["z"])
+        net.add_gate(Gate("z", GateType.BUF, ("a",)))
+        poly, stats = backward_rewrite(net, "z")
+        assert poly == parse_poly("a")
+        assert stats.iterations == 1
+
+    def test_constant_output(self):
+        net = Netlist("const", inputs=["a"], outputs=["z"])
+        net.add_gate(Gate("z", GateType.CONST1, ()))
+        poly, _ = backward_rewrite(net, "z")
+        assert poly.is_one()
+
+    def test_complex_cells_rewrite_correctly(self):
+        net = Netlist("aoi", inputs=["a", "b", "c"], outputs=["z"])
+        net.add_gate(Gate("z", GateType.AOI21, ("a", "b", "c")))
+        poly, _ = backward_rewrite(net, "z")
+        assert poly == parse_poly("1 + a*b + c + a*b*c")
+
+
+class TestStatistics:
+    def test_iterations_bounded_by_cone(self):
+        netlist = generate_mastrovito(0b10011)
+        for output in netlist.outputs:
+            _, stats = backward_rewrite(netlist, output)
+            assert stats.iterations <= stats.cone_gates
+            assert stats.final_terms <= stats.peak_terms
+
+    def test_peak_terms_positive(self):
+        _, stats = backward_rewrite(generate_mastrovito(0b111), "z1")
+        assert stats.peak_terms >= stats.final_terms >= 1
+
+    def test_runtime_recorded(self):
+        _, stats = backward_rewrite(generate_mastrovito(0b10011), "z0")
+        assert stats.runtime_s >= 0
+
+
+class TestTermLimit:
+    def test_limit_raises(self):
+        netlist = generate_montgomery(0b10011)
+        with pytest.raises(TermLimitExceeded) as info:
+            backward_rewrite(netlist, "z3", term_limit=3)
+        assert info.value.output == "z3"
+        assert info.value.limit == 3
+
+    def test_generous_limit_passes(self):
+        netlist = generate_montgomery(0b10011)
+        poly, _ = backward_rewrite(netlist, "z3", term_limit=10_000)
+        assert not poly.is_zero()
+
+
+class TestErrorHandling:
+    def test_incomplete_cone_detected(self):
+        """A gate reading a floating (non-PI) net cannot be rewritten
+        down to primary inputs."""
+        net = Netlist("dangling", inputs=["a"], outputs=["z"])
+        net.add_gate(Gate("z", GateType.AND, ("a", "floating")))
+        with pytest.raises(BackwardRewriteError):
+            backward_rewrite(net, "z")
+
+    def test_rewrite_all_covers_outputs(self):
+        netlist = generate_mastrovito(0b1011)
+        results = backward_rewrite_all(netlist)
+        assert set(results) == {"z0", "z1", "z2"}
+
+
+class TestTheorem2:
+    def test_cancellations_stay_within_cones(self):
+        """Rewriting z_i via its cone equals rewriting z_i with the
+        full netlist available — logic sharing cannot leak terms
+        across output bits."""
+        netlist = generate_montgomery(0b1011)  # heavy sharing
+        for output in netlist.outputs:
+            cone_poly, _ = backward_rewrite(netlist, output)
+            sub = netlist.cone(output)
+            sub_poly, _ = backward_rewrite(sub, output)
+            assert cone_poly == sub_poly

@@ -1,0 +1,122 @@
+"""Tests for the ROBDD baseline."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.bdd import ONE, ZERO, BddManager, build_output_bdds
+from repro.gen.mastrovito import generate_mastrovito
+from repro.gen.montgomery import generate_montgomery
+
+
+class TestManager:
+    def test_terminals(self):
+        mgr = BddManager(["a"])
+        assert mgr.apply_and(ONE, ZERO) == ZERO
+        assert mgr.apply_or(ONE, ZERO) == ONE
+        assert mgr.apply_xor(ONE, ONE) == ZERO
+
+    def test_hash_consing(self):
+        mgr = BddManager(["a", "b"])
+        f = mgr.apply_and(mgr.var("a"), mgr.var("b"))
+        g = mgr.apply_and(mgr.var("a"), mgr.var("b"))
+        assert f == g  # canonical: equal functions, equal node ids
+
+    def test_canonicity_across_construction_orders(self):
+        mgr = BddManager(["a", "b", "c"])
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        lhs = mgr.apply_or(mgr.apply_and(a, b), c)
+        rhs = mgr.apply_or(c, mgr.apply_and(b, a))
+        assert lhs == rhs
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(KeyError):
+            BddManager(["a"]).var("z")
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(ValueError):
+            BddManager(["a", "a"])
+
+    def test_evaluate_all_two_var_functions(self):
+        mgr = BddManager(["a", "b"])
+        a, b = mgr.var("a"), mgr.var("b")
+        table = {
+            "and": (mgr.apply_and(a, b), lambda x, y: x & y),
+            "or": (mgr.apply_or(a, b), lambda x, y: x | y),
+            "xor": (mgr.apply_xor(a, b), lambda x, y: x ^ y),
+            "nota": (mgr.apply_not(a), lambda x, y: 1 - x),
+        }
+        for name, (node, func) in table.items():
+            for x, y in itertools.product((0, 1), repeat=2):
+                assert mgr.evaluate(node, {"a": x, "b": y}) == func(x, y), name
+
+    def test_satisfy_count(self):
+        mgr = BddManager(["a", "b", "c"])
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.apply_and(a, b)  # 2 models (c free)
+        assert mgr.satisfy_count(f) == 2
+        g = mgr.apply_xor(a, b)  # 4 models
+        assert mgr.satisfy_count(g) == 4
+        assert mgr.satisfy_count(ZERO) == 0
+        assert mgr.satisfy_count(ONE) == 8
+
+    def test_ite_shortcut_identities(self):
+        mgr = BddManager(["a", "b"])
+        a, b = mgr.var("a"), mgr.var("b")
+        assert mgr.ite(ONE, a, b) == a
+        assert mgr.ite(ZERO, a, b) == b
+        assert mgr.ite(a, ONE, ZERO) == a
+
+
+class TestNetlistBdds:
+    def test_multiplier_bdds_match_simulation(self):
+        netlist = generate_mastrovito(0b10011)
+        mgr, outputs = build_output_bdds(netlist)
+        for a_value, b_value in itertools.product(range(16), repeat=2):
+            env = {f"a{i}": (a_value >> i) & 1 for i in range(4)}
+            env.update({f"b{i}": (b_value >> i) & 1 for i in range(4)})
+            sim = netlist.simulate(env)
+            for net, node in outputs.items():
+                assert mgr.evaluate(node, env) == sim[net]
+
+    def test_equivalent_circuits_share_nodes(self):
+        """Same function + same manager + same order => same node ids."""
+        modulus = 0b1011
+        mast = generate_mastrovito(modulus)
+        mont = generate_montgomery(modulus)
+        order = ["a0", "b0", "a1", "b1", "a2", "b2"]
+        mgr = BddManager(order)
+        values = {net: mgr.var(net) for net in order}
+        from repro.baselines.bdd import _apply_gate
+
+        for netlist in (mast, mont):
+            local = dict(values)
+            for gate in netlist.topological_order():
+                local[gate.output] = _apply_gate(
+                    mgr, gate.gtype, [local[n] for n in gate.inputs]
+                )
+            for net in netlist.outputs:
+                values[f"{netlist.name}:{net}"] = local[net]
+        for bit in range(3):
+            assert (
+                values[f"{mast.name}:z{bit}"] == values[f"{mont.name}:z{bit}"]
+            )
+
+    def test_node_limit_enforced(self):
+        netlist = generate_mastrovito(0b10011)
+        with pytest.raises(MemoryError):
+            build_output_bdds(netlist, node_limit=10)
+
+    def test_node_counts_grow_with_m(self):
+        """The motivation claim: multiplier BDDs blow up with m."""
+        from repro.fieldmath.irreducible import default_irreducible
+
+        sizes = []
+        for m in (4, 6, 8):
+            netlist = generate_mastrovito(default_irreducible(m))
+            mgr, outputs = build_output_bdds(netlist)
+            sizes.append(
+                max(mgr.node_count(node) for node in outputs.values())
+            )
+        assert sizes[0] < sizes[1] < sizes[2]
+        assert sizes[2] > 4 * sizes[0]

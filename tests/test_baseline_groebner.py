@@ -1,0 +1,74 @@
+"""Tests for the Gröbner-style known-P(x) verification baseline."""
+
+import pytest
+
+from repro.baselines.groebner import verify_known_polynomial
+from repro.gen.mastrovito import generate_mastrovito
+from repro.gen.montgomery import generate_montgomery
+from repro.gen.schoolbook import generate_schoolbook
+
+
+class TestMembership:
+    @pytest.mark.parametrize(
+        "generator",
+        [generate_mastrovito, generate_schoolbook, generate_montgomery],
+        ids=["mastrovito", "schoolbook", "montgomery"],
+    )
+    def test_correct_circuit_is_member(self, generator):
+        modulus = 0b10011
+        report = verify_known_polynomial(generator(modulus), modulus)
+        assert report.verified
+        assert all(report.member.values())
+        assert report.reductions > 0
+
+    def test_wrong_polynomial_rejected(self):
+        netlist = generate_mastrovito(0b10011)
+        report = verify_known_polynomial(netlist, 0b11001)
+        assert not report.verified
+        # Bits where the two constructions agree may still pass;
+        # at least one must fail.
+        assert not all(report.member.values())
+
+    def test_single_bit_selection(self):
+        netlist = generate_mastrovito(0b1011)
+        report = verify_known_polynomial(netlist, 0b1011, bits=[1])
+        assert set(report.member) == {1}
+        assert report.verified
+
+    def test_buggy_circuit_rejected(self):
+        from repro.netlist.gate import Gate, GateType
+        from repro.netlist.netlist import Netlist
+
+        good = generate_mastrovito(0b1011)
+        bad = Netlist(good.name, inputs=good.inputs)
+        swapped = False
+        for gate in good.topological_order():
+            if not swapped and gate.output == "z1":
+                bad.add_gate(Gate("z1", GateType.OR, gate.inputs))
+                swapped = True
+            else:
+                bad.add_gate(gate)
+        for net in good.outputs:
+            bad.add_output(net)
+        report = verify_known_polynomial(bad, 0b1011)
+        assert not report.member[1]
+
+    def test_runtime_recorded(self):
+        report = verify_known_polynomial(generate_mastrovito(0b111), 0b111)
+        assert report.runtime_s >= 0
+
+
+class TestAgainstExtraction:
+    def test_same_verdict_as_extraction_flow(self):
+        """The baseline (needs P) and the extraction flow (recovers P)
+        must agree on correctness."""
+        from repro.extract.extractor import extract_irreducible_polynomial
+        from repro.extract.verify import verify_multiplier
+
+        modulus = 0b11001
+        netlist = generate_schoolbook(modulus)
+        baseline = verify_known_polynomial(netlist, modulus)
+        result = extract_irreducible_polynomial(netlist)
+        flow = verify_multiplier(netlist, result)
+        assert baseline.verified and flow.equivalent
+        assert result.modulus == modulus

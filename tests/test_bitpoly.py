@@ -1,0 +1,118 @@
+"""Unit tests for univariate GF(2)[x] bit-mask arithmetic."""
+
+import pytest
+
+from repro.fieldmath.bitpoly import (
+    bitpoly_degree,
+    bitpoly_divmod,
+    bitpoly_from_exponents,
+    bitpoly_gcd,
+    bitpoly_mod,
+    bitpoly_mul,
+    bitpoly_mulmod,
+    bitpoly_parse,
+    bitpoly_powmod,
+    bitpoly_str,
+    bitpoly_to_exponents,
+)
+
+
+class TestRepresentation:
+    def test_degree(self):
+        assert bitpoly_degree(0) == -1
+        assert bitpoly_degree(1) == 0
+        assert bitpoly_degree(0b10011) == 4
+
+    def test_exponent_roundtrip(self):
+        exps = [233, 74, 0]
+        poly = bitpoly_from_exponents(exps)
+        assert bitpoly_to_exponents(poly) == exps
+
+    def test_duplicate_exponents_cancel(self):
+        assert bitpoly_from_exponents([3, 3]) == 0
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            bitpoly_from_exponents([-1])
+
+
+class TestArithmetic:
+    def test_mul_small(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert bitpoly_mul(0b11, 0b11) == 0b101
+
+    def test_mul_identity_and_zero(self):
+        assert bitpoly_mul(0b1101, 1) == 0b1101
+        assert bitpoly_mul(0b1101, 0) == 0
+
+    def test_mul_commutative_large(self):
+        p = bitpoly_from_exponents([571, 10, 5, 2, 0])
+        q = bitpoly_from_exponents([163, 7, 6, 3, 0])
+        assert bitpoly_mul(p, q) == bitpoly_mul(q, p)
+
+    def test_divmod_reconstructs(self):
+        dividend = 0b110101101
+        divisor = 0b1011
+        quotient, remainder = bitpoly_divmod(dividend, divisor)
+        assert bitpoly_mul(quotient, divisor) ^ remainder == dividend
+        assert bitpoly_degree(remainder) < bitpoly_degree(divisor)
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            bitpoly_divmod(0b101, 0)
+        with pytest.raises(ZeroDivisionError):
+            bitpoly_mod(0b101, 0)
+
+    def test_mod_matches_divmod(self):
+        for dividend in range(1, 200):
+            assert (
+                bitpoly_mod(dividend, 0b1011)
+                == bitpoly_divmod(dividend, 0b1011)[1]
+            )
+
+    def test_powmod_known_value(self):
+        # x^4 mod (x^4 + x + 1) = x + 1
+        assert bitpoly_powmod(0b10, 4, 0b10011) == 0b11
+
+    def test_powmod_zero_exponent(self):
+        assert bitpoly_powmod(0b1101, 0, 0b1011) == 1
+
+    def test_powmod_matches_repeated_mul(self):
+        modulus = 0b10011101  # arbitrary degree-7 polynomial
+        base = 0b1011
+        acc = 1
+        for exp in range(10):
+            assert bitpoly_powmod(base, exp, modulus) == acc
+            acc = bitpoly_mulmod(acc, base, modulus)
+
+    def test_gcd(self):
+        # gcd((x+1)(x^2+x+1), (x+1)x) = x+1
+        lhs = bitpoly_mul(0b11, 0b111)
+        rhs = bitpoly_mul(0b11, 0b10)
+        assert bitpoly_gcd(lhs, rhs) == 0b11
+
+    def test_gcd_coprime(self):
+        assert bitpoly_gcd(0b111, 0b10) == 1
+
+
+class TestText:
+    def test_str_known(self):
+        assert bitpoly_str(0b10011) == "x^4 + x + 1"
+        assert bitpoly_str(0b11) == "x + 1"
+        assert bitpoly_str(0) == "0"
+        assert bitpoly_str(1) == "1"
+
+    def test_parse_variants(self):
+        assert bitpoly_parse("x^4 + x + 1") == 0b10011
+        assert bitpoly_parse("X**8+X**4+X**3+X+1") == 0x11B
+        assert bitpoly_parse("1") == 1
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            bitpoly_parse("x^4 + y + 1")
+        with pytest.raises(ValueError):
+            bitpoly_parse("")
+
+    def test_roundtrip(self):
+        for poly in (0b1, 0b10, 0b11111, bitpoly_from_exponents([571, 2])):
+            assert bitpoly_parse(bitpoly_str(poly)) == poly

@@ -1,0 +1,94 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGen:
+    def test_gen_and_extract_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "mult.eqn"
+        assert main(
+            ["gen", "--p", "x^8+x^4+x^3+x+1", "-o", str(path)]
+        ) == 0
+        assert path.exists()
+        assert main(["extract", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "P(x) = x^8 + x^4 + x^3 + x + 1" in out
+
+    @pytest.mark.parametrize("algo", ["mastrovito", "montgomery", "schoolbook"])
+    def test_all_algorithms(self, tmp_path, algo, capsys):
+        path = tmp_path / f"{algo}.eqn"
+        assert main(
+            ["gen", "--p", "x^4+x+1", "--algorithm", algo, "-o", str(path)]
+        ) == 0
+        assert main(["extract", str(path)]) == 0
+        assert "x^4 + x + 1" in capsys.readouterr().out
+
+    def test_gen_blif_format(self, tmp_path, capsys):
+        path = tmp_path / "mult.blif"
+        assert main(["gen", "--p", "x^4+x+1", "-o", str(path)]) == 0
+        assert main(["extract", str(path)]) == 0
+
+    def test_gen_verilog_format(self, tmp_path, capsys):
+        path = tmp_path / "mult.v"
+        assert main(["gen", "--p", "x^4+x+1", "-o", str(path)]) == 0
+        assert main(["extract", str(path)]) == 0
+
+    def test_reducible_warning(self, tmp_path, capsys):
+        path = tmp_path / "bad.eqn"
+        main(["gen", "--p", "x^4+x^2+1", "-o", str(path)])
+        assert "reducible" in capsys.readouterr().err
+
+    def test_synthesized_output(self, tmp_path, capsys):
+        path = tmp_path / "syn.eqn"
+        assert main(
+            ["gen", "--p", "x^4+x+1", "--synthesize", "-o", str(path)]
+        ) == 0
+        assert main(["extract", str(path)]) == 0
+
+
+class TestAudit:
+    def test_audit_report(self, tmp_path, capsys):
+        path = tmp_path / "mult.eqn"
+        main(["gen", "--p", "x^4+x^3+1", "-o", str(path)])
+        assert main(["audit", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "reverse engineering report" in out
+        assert "x^4 + x^3 + 1" in out
+        assert "EQUIVALENT" in out
+
+    def test_audit_jobs_flag(self, tmp_path, capsys):
+        path = tmp_path / "mult.eqn"
+        main(["gen", "--p", "x^4+x+1", "-o", str(path)])
+        assert main(["audit", str(path), "--jobs", "2"]) == 0
+
+
+class TestSynth:
+    def test_synth_command(self, tmp_path, capsys):
+        src = tmp_path / "flat.eqn"
+        dst = tmp_path / "opt.eqn"
+        main(["gen", "--p", "x^4+x+1", "-o", str(src)])
+        assert main(["synth", str(src), "-o", str(dst)]) == 0
+        assert dst.exists()
+        assert main(["extract", str(dst)]) == 0
+
+
+class TestInfoCommands:
+    def test_reduction_tables(self, capsys):
+        assert main(
+            ["reduction", "--p", "x^4+x^3+1", "--p", "x^4+x+1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reduction XOR count: 9" in out
+        assert "reduction XOR count: 6" in out
+
+    def test_search(self, capsys):
+        assert main(["search", "--m", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "no irreducible trinomials" in out
+        assert "x^8 + x^4 + x^3 + x + 1" in out
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["extract", str(tmp_path / "file.xyz")])

@@ -1,0 +1,86 @@
+"""CLI tests for the diagnose/inject commands and the new generators."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenNewAlgorithms:
+    @pytest.mark.parametrize(
+        "algo", ["karatsuba", "interleaved", "interleaved-lsb"]
+    )
+    def test_gen_and_extract(self, tmp_path, algo, capsys):
+        path = tmp_path / f"{algo}.eqn"
+        assert main(
+            ["gen", "--p", "x^4+x+1", "--algorithm", algo, "-o", str(path)]
+        ) == 0
+        assert main(["extract", str(path)]) == 0
+        assert "x^4 + x + 1" in capsys.readouterr().out
+
+    def test_massey_omura_listed_and_rejected(self, tmp_path, capsys):
+        path = tmp_path / "nb.eqn"
+        assert main(
+            ["gen", "--p", "x^4+x+1", "--algorithm", "massey-omura",
+             "-o", str(path)]
+        ) == 0
+        # Extraction must not claim success on a normal-basis design.
+        code = main(["diagnose", str(path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "verified-multiplier" not in out
+
+
+class TestDiagnose:
+    def test_clean_multiplier(self, tmp_path, capsys):
+        path = tmp_path / "mult.eqn"
+        main(["gen", "--p", "x^5+x^2+1", "-o", str(path)])
+        assert main(["diagnose", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "verified-multiplier" in out
+        assert "x^5 + x^2 + 1" in out
+
+    def test_diagnose_term_limit(self, tmp_path, capsys):
+        path = tmp_path / "mult.eqn"
+        main(["gen", "--p", "x^4+x+1", "--algorithm", "montgomery",
+              "-o", str(path)])
+        assert main(["diagnose", str(path), "--term-limit", "3"]) == 1
+        assert "memory-out" in capsys.readouterr().out
+
+
+class TestInject:
+    def test_random_fault_roundtrip(self, tmp_path, capsys):
+        clean = tmp_path / "clean.eqn"
+        buggy = tmp_path / "buggy.eqn"
+        main(["gen", "--p", "x^4+x+1", "-o", str(clean)])
+        assert main(
+            ["inject", str(clean), "-o", str(buggy), "--seed", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "injected" in out
+        assert buggy.exists()
+
+    def test_stuck_at_requires_gate(self, tmp_path):
+        clean = tmp_path / "clean.eqn"
+        main(["gen", "--p", "x^4+x+1", "-o", str(clean)])
+        with pytest.raises(SystemExit):
+            main(
+                ["inject", str(clean), "--kind", "stuck-at-0",
+                 "-o", str(tmp_path / "x.eqn")]
+            )
+
+    def test_injected_fault_often_fails_diagnosis(self, tmp_path, capsys):
+        """At least one seed must produce an observably buggy netlist
+        that diagnose rejects."""
+        clean = tmp_path / "clean.eqn"
+        main(["gen", "--p", "x^4+x+1", "-o", str(clean)])
+        failures = 0
+        for seed in range(6):
+            buggy = tmp_path / f"buggy{seed}.eqn"
+            main(
+                ["inject", str(clean), "-o", str(buggy),
+                 "--seed", str(seed)]
+            )
+            if main(["diagnose", str(buggy)]) == 1:
+                failures += 1
+        capsys.readouterr()
+        assert failures >= 1

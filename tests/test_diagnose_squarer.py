@@ -1,0 +1,51 @@
+"""Diagnose routing for single-operand (squarer) netlists."""
+
+import pytest
+
+from repro.extract.diagnose import Verdict, diagnose
+from repro.gen.faults import swap_input
+from repro.gen.squarer import generate_squarer
+
+
+class TestSquarerRouting:
+    @pytest.mark.parametrize("modulus", [0b111, 0b10011, 0b100101])
+    def test_clean_squarer_verified(self, modulus):
+        diagnosis = diagnose(generate_squarer(modulus))
+        assert diagnosis.verdict is Verdict.VERIFIED_SQUARER
+        assert diagnosis.is_clean
+        assert "A^2" in diagnosis.reason
+
+    def test_faulty_squarer_rejected(self):
+        clean = generate_squarer(0b100101)
+        rejected = 0
+        observable = 0
+        for seed in range(8):
+            target = clean.gates[seed % len(clean.gates)].output
+            buggy, _ = swap_input(clean, target, seed=seed)
+            changed = any(
+                buggy.simulate(
+                    {f"a{i}": (value >> i) & 1 for i in range(5)}
+                )
+                != clean.simulate(
+                    {f"a{i}": (value >> i) & 1 for i in range(5)}
+                )
+                for value in range(32)
+            )
+            if not changed:
+                continue
+            observable += 1
+            diagnosis = diagnose(buggy)
+            if not diagnosis.is_clean:
+                rejected += 1
+        assert observable > 0
+        assert rejected == observable
+
+    def test_multiplier_still_takes_multiplier_path(self):
+        from repro.gen.mastrovito import generate_mastrovito
+
+        diagnosis = diagnose(generate_mastrovito(0b10011))
+        assert diagnosis.verdict is Verdict.VERIFIED_MULTIPLIER
+
+    def test_render_mentions_verdict(self):
+        report = diagnose(generate_squarer(0b10011)).render()
+        assert "verified-squarer" in report

@@ -1,0 +1,138 @@
+"""Tests for binary-field elliptic curves."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ecc import BinaryCurve, Point, koblitz_curve_k163
+from repro.fieldmath.gf2m import GF2m
+
+#: A small curve every test can enumerate: y^2 + xy = x^3 + g^4 x^2 + 1
+#: over GF(2^4) with P(x) = x^4 + x + 1 (a classic textbook curve).
+FIELD16 = GF2m(0b10011)
+CURVE16 = BinaryCurve(FIELD16, a=0b1000, b=0b0001)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return CURVE16.enumerate_points()
+
+
+class TestMembership:
+    def test_infinity_on_curve(self):
+        assert CURVE16.is_on_curve(None)
+
+    def test_enumeration_nonempty(self, points):
+        assert len(points) > 1
+
+    def test_singular_curve_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryCurve(FIELD16, a=1, b=0)
+
+    def test_hasse_bound(self, points):
+        """|#E - (q + 1)| <= 2*sqrt(q) for q = 16."""
+        assert abs(len(points) - 17) <= 8
+
+
+class TestGroupLaw:
+    def test_identity(self, points):
+        for point in points:
+            assert CURVE16.add(point, None) == point
+            assert CURVE16.add(None, point) == point
+
+    def test_inverse(self, points):
+        for point in points:
+            assert CURVE16.add(point, CURVE16.negate(point)) is None
+
+    def test_closure(self, points):
+        for lhs in points:
+            for rhs in points:
+                assert CURVE16.is_on_curve(CURVE16.add(lhs, rhs))
+
+    def test_commutativity(self, points):
+        for lhs in points[:10]:
+            for rhs in points[:10]:
+                assert CURVE16.add(lhs, rhs) == CURVE16.add(rhs, lhs)
+
+    def test_associativity_sampled(self, points):
+        sample = points[:: max(1, len(points) // 6)]
+        for p in sample:
+            for q in sample:
+                for r in sample:
+                    lhs = CURVE16.add(CURVE16.add(p, q), r)
+                    rhs = CURVE16.add(p, CURVE16.add(q, r))
+                    assert lhs == rhs
+
+    def test_double_matches_add(self, points):
+        for point in points:
+            if point is not None:
+                assert CURVE16.double(point) == CURVE16.add(point, point)
+
+
+class TestScalarMult:
+    def test_zero_scalar(self, points):
+        assert CURVE16.scalar_mult(0, points[1]) is None
+
+    def test_one_scalar(self, points):
+        assert CURVE16.scalar_mult(1, points[1]) == points[1]
+
+    def test_matches_repeated_addition(self, points):
+        base = points[1]
+        acc = None
+        for k in range(12):
+            assert CURVE16.scalar_mult(k, base) == acc
+            acc = CURVE16.add(acc, base)
+
+    def test_negative_scalar(self, points):
+        base = points[1]
+        assert CURVE16.scalar_mult(-3, base) == CURVE16.negate(
+            CURVE16.scalar_mult(3, base)
+        )
+
+    def test_order_annihilates(self, points):
+        base = points[1]
+        order = CURVE16.order_of(base)
+        assert CURVE16.scalar_mult(order, base) is None
+
+    @given(st.integers(0, 200), st.integers(0, 200))
+    @settings(max_examples=50)
+    def test_scalar_distributes(self, j, k):
+        base = CURVE16.enumerate_points()[1]
+        lhs = CURVE16.scalar_mult(j + k, base)
+        rhs = CURVE16.add(
+            CURVE16.scalar_mult(j, base), CURVE16.scalar_mult(k, base)
+        )
+        assert lhs == rhs
+
+
+class TestDiffieHellman:
+    def test_shared_secret_symmetry(self, points):
+        base = points[1]
+        pub_a, pub_b, shared = CURVE16.diffie_hellman(base, 5, 11)
+        assert shared == CURVE16.scalar_mult(11, pub_a)
+        assert shared == CURVE16.scalar_mult(5, pub_b)
+
+    def test_base_point_validated(self):
+        bogus = Point(0b0010, 0b0001)
+        if not CURVE16.is_on_curve(bogus):
+            with pytest.raises(ValueError):
+                CURVE16.diffie_hellman(bogus, 3, 5)
+
+
+class TestK163:
+    def test_generator_on_curve(self):
+        curve, generator, _ = koblitz_curve_k163()
+        assert curve.is_on_curve(generator)
+
+    def test_group_order(self):
+        curve, generator, order = koblitz_curve_k163()
+        assert curve.scalar_mult(order, generator) is None
+
+    def test_ecdh_at_real_scale(self):
+        curve, generator, _order = koblitz_curve_k163()
+        d_a = 0x3A41434142434445464748494A4B4C4D4E4F5051
+        d_b = 0x1B998877665544332211FFEEDDCCBBAA99887766
+        pub_a, pub_b, shared = curve.diffie_hellman(generator, d_a, d_b)
+        assert curve.is_on_curve(pub_a)
+        assert curve.is_on_curve(pub_b)
+        assert shared == curve.scalar_mult(d_b, pub_a)

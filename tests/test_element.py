@@ -1,0 +1,133 @@
+"""Tests for the operator-overloaded FieldElement and the GF2m
+trace/sqrt extensions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fieldmath.element import FieldElement
+from repro.fieldmath.gf2m import GF2m
+
+F16 = GF2m(0b10011)  # GF(2^4), x^4 + x + 1
+F8 = GF2m(0b1011)    # GF(2^3), x^3 + x + 1
+
+
+def elem(value: int) -> FieldElement:
+    return FieldElement(F16, value)
+
+
+class TestConstruction:
+    def test_value_and_field(self):
+        e = elem(9)
+        assert e.value == 9
+        assert e.field is F16
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FieldElement(F16, 16)
+        with pytest.raises(ValueError):
+            FieldElement(F16, -1)
+
+    def test_int_conversion(self):
+        assert int(elem(7)) == 7
+
+    def test_bool(self):
+        assert not FieldElement(F16, 0)
+        assert elem(1)
+
+
+class TestArithmetic:
+    def test_add_is_xor(self):
+        assert (elem(0b1010) + elem(0b0110)).value == 0b1100
+
+    def test_sub_equals_add(self):
+        assert (elem(5) - elem(3)) == (elem(5) + elem(3))
+
+    def test_mul_matches_field(self):
+        assert (elem(0b0110) * elem(0b0111)).value == F16.mul(6, 7)
+
+    def test_div_inverse_of_mul(self):
+        a, b = elem(11), elem(5)
+        assert (a * b / b) == a
+
+    def test_pow(self):
+        a = elem(3)
+        assert (a ** 3) == a * a * a
+
+    def test_negative_pow(self):
+        a = elem(9)
+        assert (a ** -1) == a.inverse()
+
+    def test_int_coercion_in_ops(self):
+        assert (elem(3) + 1).value == 2
+        assert (1 + elem(3)).value == 2
+        assert (elem(3) * 2) == elem(3) * elem(2)
+        assert (6 / elem(3)) == elem(6) / elem(3)
+
+    def test_zero_division(self):
+        with pytest.raises(ZeroDivisionError):
+            elem(3) / elem(0)
+
+    def test_field_mixing_rejected(self):
+        with pytest.raises(ValueError):
+            elem(3) + FieldElement(F8, 3)
+
+    def test_bad_operand_type(self):
+        with pytest.raises(TypeError):
+            elem(3) + "x"
+
+
+class TestFrobenius:
+    def test_square(self):
+        a = elem(7)
+        assert a.square() == a * a
+
+    def test_sqrt_inverts_square(self):
+        for value in range(16):
+            e = elem(value)
+            assert e.square().sqrt() == e
+            assert e.sqrt().square() == e
+
+    def test_trace_in_gf2(self):
+        assert {elem(v).trace() for v in range(16)} == {0, 1}
+
+    def test_trace_linear(self):
+        for a_value in range(16):
+            for b_value in range(16):
+                a, b = elem(a_value), elem(b_value)
+                assert (a + b).trace() == a.trace() ^ b.trace()
+
+    def test_trace_balanced(self):
+        ones = sum(elem(v).trace() for v in range(16))
+        assert ones == 8  # exactly half the field has trace 1
+
+
+class TestHashEq:
+    def test_eq_same_field(self):
+        assert elem(5) == elem(5)
+        assert elem(5) != elem(6)
+
+    def test_eq_int(self):
+        assert elem(5) == 5
+
+    def test_eq_across_fields(self):
+        assert FieldElement(F8, 5) != elem(5)
+
+    def test_hashable(self):
+        assert len({elem(1), elem(1), elem(2)}) == 2
+
+    def test_repr_mentions_field(self):
+        assert "GF(2^4)" in repr(elem(9))
+
+
+class TestFieldProperties:
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=200)
+    def test_distributivity(self, a_value, b_value, c_value):
+        a, b, c = elem(a_value), elem(b_value), elem(c_value)
+        assert a * (b + c) == a * b + a * c
+
+    @given(st.integers(1, 15))
+    def test_fermat(self, value):
+        """x^(2^m - 1) = 1 for nonzero x."""
+        assert (elem(value) ** 15).value == 1

@@ -1,0 +1,58 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are user-facing documentation; a broken example is a broken
+deliverable.  Each script runs in a subprocess with the repo's
+interpreter and must exit 0.  The heavyweight portfolio examples are
+capped with generous timeouts rather than skipped, so regressions in
+extraction cost surface here as well.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, timeout seconds, required output fragment)
+_CASES = [
+    ("quickstart.py", 240, "extracted"),
+    ("paper_walkthrough.py", 240, "P(x)"),
+    ("reverse_engineer_unknown.py", 300, ""),
+    ("crypto_audit.py", 600, ""),
+    ("synthesis_attack.py", 600, ""),
+    ("ecc_key_exchange.py", 300, "key exchange agrees"),
+    ("aes_sbox_audit.py", 300, "256/256"),
+    ("fault_detection.py", 600, "injected faults rejected"),
+]
+
+
+def test_every_example_is_covered():
+    """New example scripts must be added to the smoke list."""
+    scripts = {
+        path.name
+        for path in EXAMPLES_DIR.glob("*.py")
+        if not path.name.startswith("_")
+    }
+    assert scripts == {name for name, _, _ in _CASES}
+
+
+@pytest.mark.parametrize(
+    "script, timeout, fragment",
+    _CASES,
+    ids=[name for name, _, _ in _CASES],
+)
+def test_example_runs(script, timeout, fragment):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\n{completed.stdout[-2000:]}\n"
+        f"{completed.stderr[-2000:]}"
+    )
+    if fragment:
+        assert fragment in completed.stdout

@@ -1,0 +1,148 @@
+"""Tests for Algorithm 2 — irreducible polynomial extraction."""
+
+import pytest
+
+from repro.extract.extractor import (
+    ExtractionError,
+    extract_from_expressions,
+    extract_irreducible_polynomial,
+)
+from repro.fieldmath.irreducible import (
+    default_irreducible,
+    find_irreducible_pentanomials,
+    find_irreducible_trinomials,
+)
+from repro.gen.mastrovito import generate_mastrovito
+from repro.gen.montgomery import generate_montgomery
+from repro.gen.paper_examples import paper_figure2_multiplier
+from repro.gen.schoolbook import generate_schoolbook
+from repro.netlist.netlist import Netlist
+from repro.netlist.gate import Gate, GateType
+
+
+class TestPaperExamples:
+    def test_example2_figure2_circuit(self):
+        """Example 2: the Figure 2 multiplier yields x^2 + x + 1."""
+        result = extract_irreducible_polynomial(paper_figure2_multiplier())
+        assert result.polynomial_str == "x^2 + x + 1"
+        assert result.member_bits == [0, 1]
+        assert result.irreducible
+
+    def test_gf4_figure1_polynomials(self, gf4_polys):
+        """Both Figure 1 constructions are recovered exactly."""
+        p1, p2 = gf4_polys
+        for modulus in (p1, p2):
+            netlist = generate_mastrovito(modulus)
+            assert extract_irreducible_polynomial(netlist).modulus == modulus
+
+
+class TestAcrossGeneratorsAndPolys:
+    @pytest.mark.parametrize(
+        "generator",
+        [generate_mastrovito, generate_schoolbook, generate_montgomery],
+        ids=["mastrovito", "schoolbook", "montgomery"],
+    )
+    @pytest.mark.parametrize(
+        "modulus",
+        [0b111, 0b1011, 0b1101, 0b10011, 0b11001, 0b100101, 0x11B],
+        ids=lambda p: f"P={p:#x}",
+    )
+    def test_recovers_construction_polynomial(self, generator, modulus):
+        """The headline claim: P(x) is recovered regardless of the
+        GF(2^m) algorithm used."""
+        netlist = generator(modulus)
+        result = extract_irreducible_polynomial(netlist)
+        assert result.modulus == modulus
+        assert result.irreducible
+
+    def test_all_trinomials_of_degree_9(self):
+        for modulus in find_irreducible_trinomials(9):
+            netlist = generate_mastrovito(modulus)
+            assert extract_irreducible_polynomial(netlist).modulus == modulus
+
+    def test_pentanomials_of_degree_12(self):
+        for modulus in find_irreducible_pentanomials(12, limit=3):
+            netlist = generate_schoolbook(modulus)
+            assert extract_irreducible_polynomial(netlist).modulus == modulus
+
+
+class TestDegenerateAndEdgeCases:
+    def test_m1_field(self):
+        netlist = generate_mastrovito(0b11)
+        result = extract_irreducible_polynomial(netlist)
+        assert result.polynomial_str == "x + 1"
+        assert result.irreducible
+
+    def test_montgomery_step_is_not_a_multiplier(self):
+        """A single Montgomery step computes A·B·x^{-m}: Algorithm 2
+        extracts *something*, but verification against the golden
+        model must fail (this is how the flow detects non-modmul
+        circuits)."""
+        from repro.extract.verify import verify_multiplier
+        from repro.gen.montgomery import generate_montgomery_step
+
+        netlist = generate_montgomery_step(0b10011)
+        result = extract_irreducible_polynomial(netlist)
+        report = verify_multiplier(netlist, result)
+        assert not report.equivalent
+
+    def test_wrong_port_names_rejected(self):
+        netlist = Netlist("odd", inputs=["p", "q"], outputs=["r"])
+        netlist.add_gate(Gate("r", GateType.AND, ("p", "q")))
+        with pytest.raises(ExtractionError):
+            extract_irreducible_polynomial(netlist)
+
+    def test_no_outputs_rejected(self):
+        netlist = Netlist("empty", inputs=["a0", "b0"])
+        with pytest.raises(ExtractionError):
+            extract_irreducible_polynomial(netlist)
+
+
+class TestResultMetadata:
+    def test_member_bits_match_modulus(self):
+        modulus = 0x11B  # x^8+x^4+x^3+x+1
+        result = extract_irreducible_polynomial(
+            generate_mastrovito(modulus)
+        )
+        assert result.member_bits == [0, 1, 3, 4]
+        assert result.m == 8
+
+    def test_expression_accessor(self):
+        result = extract_irreducible_polynomial(paper_figure2_multiplier())
+        from repro.gf2.parse import parse_poly
+
+        assert result.expression_of(0) == parse_poly("a0*b0 + a1*b1")
+
+    def test_runtime_recorded(self):
+        result = extract_irreducible_polynomial(generate_mastrovito(0b111))
+        assert result.total_time_s > 0
+
+    def test_extract_from_expressions_direct(self):
+        from repro.rewrite.parallel import extract_expressions
+
+        netlist = generate_mastrovito(0b10011)
+        run = extract_expressions(netlist)
+        modulus, member_bits = extract_from_expressions(run.expressions, 4)
+        assert modulus == 0b10011
+        assert member_bits == [0, 1]
+
+
+class TestSynthesizedCircuits:
+    """Table III: extraction must work after synthesis/mapping."""
+
+    @pytest.mark.parametrize("use_xor_cells", [True, False])
+    def test_mapped_mastrovito(self, use_xor_cells):
+        from repro.synth.pipeline import synthesize
+
+        modulus = 0b10011
+        mapped = synthesize(
+            generate_mastrovito(modulus), use_xor_cells=use_xor_cells
+        )
+        assert extract_irreducible_polynomial(mapped).modulus == modulus
+
+    def test_mapped_montgomery(self):
+        from repro.synth.pipeline import synthesize
+
+        modulus = 0x11B
+        mapped = synthesize(generate_montgomery(modulus))
+        assert extract_irreducible_polynomial(mapped).modulus == modulus

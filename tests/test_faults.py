@@ -1,0 +1,117 @@
+"""Tests for fault injection."""
+
+import pytest
+
+from repro.gen.faults import (
+    FaultError,
+    flip_gate,
+    random_fault,
+    stuck_at,
+    swap_input,
+)
+from repro.gen.mastrovito import generate_mastrovito
+from repro.netlist.gate import GateType
+from tests.conftest import bit_assignment, exhaustive_pairs
+
+
+def _first_gate_of(netlist, gtype):
+    for gate in netlist.gates:
+        if gate.gtype is gtype:
+            return gate.output
+    raise AssertionError(f"no {gtype} gate in netlist")
+
+
+class TestFlipGate:
+    def test_changes_gate_type(self):
+        lean = generate_mastrovito(0b10011)
+        target = _first_gate_of(lean, GateType.XOR)
+        buggy, fault = flip_gate(lean, target)
+        assert fault.kind == "gate_flip"
+        assert buggy.driver_of(target).gtype is not GateType.XOR
+
+    def test_original_untouched(self):
+        lean = generate_mastrovito(0b1011)
+        target = _first_gate_of(lean, GateType.AND)
+        before = lean.driver_of(target).gtype
+        flip_gate(lean, target)
+        assert lean.driver_of(target).gtype is before
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(FaultError):
+            flip_gate(generate_mastrovito(0b111), "nonexistent")
+
+    def test_netlist_renamed(self):
+        lean = generate_mastrovito(0b111)
+        buggy, _ = flip_gate(lean, lean.gates[0].output)
+        assert "gateflip" in buggy.name
+
+
+class TestSwapInput:
+    def test_rewires_one_pin(self):
+        lean = generate_mastrovito(0b10011)
+        target = _first_gate_of(lean, GateType.XOR)
+        buggy, fault = swap_input(lean, target, seed=3)
+        assert fault.kind == "input_swap"
+        original = lean.driver_of(target).inputs
+        mutated = buggy.driver_of(target).inputs
+        assert sum(a != b for a, b in zip(original, mutated)) == 1
+
+    def test_no_combinational_cycle(self):
+        lean = generate_mastrovito(0b10011)
+        for seed in range(10):
+            target = lean.gates[seed % len(lean.gates)].output
+            buggy, _ = swap_input(lean, target, seed=seed)
+            buggy.topological_order()  # raises on a cycle
+
+
+class TestStuckAt:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_output_tied(self, value):
+        lean = generate_mastrovito(0b1011)
+        target = _first_gate_of(lean, GateType.AND)
+        buggy, fault = stuck_at(lean, target, value)
+        assert fault.kind == f"stuck_at_{value}"
+        expected = GateType.CONST1 if value else GateType.CONST0
+        assert buggy.driver_of(target).gtype is expected
+
+    def test_bad_value_rejected(self):
+        lean = generate_mastrovito(0b111)
+        with pytest.raises(FaultError):
+            stuck_at(lean, lean.gates[0].output, 2)
+
+
+class TestRandomFault:
+    def test_deterministic_per_seed(self):
+        lean = generate_mastrovito(0b10011)
+        _, first = random_fault(lean, seed=7)
+        _, second = random_fault(lean, seed=7)
+        assert first == second
+
+    def test_kind_restriction(self):
+        lean = generate_mastrovito(0b10011)
+        for seed in range(8):
+            _, fault = random_fault(lean, seed=seed, kinds=["stuck_at"])
+            assert fault.kind.startswith("stuck_at")
+
+    def test_description_renders(self):
+        lean = generate_mastrovito(0b111)
+        _, fault = random_fault(lean, seed=1)
+        assert fault.gate in str(fault)
+
+
+class TestFaultObservability:
+    def test_most_faults_change_function(self):
+        """Sanity: single faults on a lean multiplier are usually
+        observable (no redundancy to absorb them)."""
+        lean = generate_mastrovito(0b10011)
+        observable = 0
+        trials = 12
+        for seed in range(trials):
+            buggy, _ = random_fault(lean, seed=seed)
+            if any(
+                buggy.simulate(bit_assignment(4, a, b))
+                != lean.simulate(bit_assignment(4, a, b))
+                for a, b in exhaustive_pairs(4)
+            ):
+                observable += 1
+        assert observable >= trials // 2

@@ -1,0 +1,100 @@
+"""Unit tests for the gate library and bit-parallel evaluation."""
+
+import itertools
+
+import pytest
+
+from repro.netlist.gate import Gate, GateType, evaluate_gate, gate_arity
+
+
+class TestGateConstruction:
+    def test_fixed_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Gate("y", GateType.INV, ("a", "b"))
+        with pytest.raises(ValueError):
+            Gate("y", GateType.AOI21, ("a", "b"))
+        with pytest.raises(ValueError):
+            Gate("y", GateType.MUX2, ("s", "d1"))
+
+    def test_nary_minimum_two(self):
+        with pytest.raises(ValueError):
+            Gate("y", GateType.AND, ("a",))
+        Gate("y", GateType.AND, ("a", "b", "c"))  # fine
+
+    def test_const_zero_inputs(self):
+        Gate("y", GateType.CONST0, ())
+        with pytest.raises(ValueError):
+            Gate("y", GateType.CONST1, ("a",))
+
+    def test_immutability(self):
+        gate = Gate("y", GateType.AND, ("a", "b"))
+        with pytest.raises(AttributeError):
+            gate.output = "z"
+
+    def test_str(self):
+        assert str(Gate("y", GateType.XOR, ("a", "b"))) == "y = XOR(a, b)"
+
+    def test_arity_query(self):
+        assert gate_arity(GateType.INV) == 1
+        assert gate_arity(GateType.AOI22) == 4
+        assert gate_arity(GateType.AND) is None
+
+
+class TestEvaluation:
+    def test_basic_gates_truth_tables(self):
+        cases = {
+            GateType.AND: lambda a, b: a & b,
+            GateType.OR: lambda a, b: a | b,
+            GateType.XOR: lambda a, b: a ^ b,
+            GateType.NAND: lambda a, b: 1 - (a & b),
+            GateType.NOR: lambda a, b: 1 - (a | b),
+            GateType.XNOR: lambda a, b: 1 - (a ^ b),
+        }
+        for gtype, func in cases.items():
+            for a, b in itertools.product((0, 1), repeat=2):
+                assert evaluate_gate(gtype, [a, b]) == func(a, b), gtype
+
+    def test_unary_gates(self):
+        assert evaluate_gate(GateType.INV, [0]) == 1
+        assert evaluate_gate(GateType.INV, [1]) == 0
+        assert evaluate_gate(GateType.BUF, [1]) == 1
+
+    def test_constants(self):
+        assert evaluate_gate(GateType.CONST0, []) == 0
+        assert evaluate_gate(GateType.CONST1, []) == 1
+
+    def test_complex_cells(self):
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            assert evaluate_gate(GateType.AOI21, [a, b, c]) == (
+                1 - ((a & b) | c)
+            )
+            assert evaluate_gate(GateType.OAI21, [a, b, c]) == (
+                1 - ((a | b) & c)
+            )
+        for a, b, c, d in itertools.product((0, 1), repeat=4):
+            assert evaluate_gate(GateType.AOI22, [a, b, c, d]) == (
+                1 - ((a & b) | (c & d))
+            )
+            assert evaluate_gate(GateType.OAI22, [a, b, c, d]) == (
+                1 - ((a | b) & (c | d))
+            )
+
+    def test_mux(self):
+        for sel, d1, d0 in itertools.product((0, 1), repeat=3):
+            expected = d1 if sel else d0
+            assert evaluate_gate(GateType.MUX2, [sel, d1, d0]) == expected
+
+    def test_nary_gates(self):
+        assert evaluate_gate(GateType.AND, [1, 1, 1]) == 1
+        assert evaluate_gate(GateType.AND, [1, 0, 1]) == 0
+        assert evaluate_gate(GateType.XOR, [1, 1, 1]) == 1
+        assert evaluate_gate(GateType.OR, [0, 0, 0, 1]) == 1
+
+    def test_bit_parallel_lanes(self):
+        # Four lanes at once: AND of 0b1100 and 0b1010 is 0b1000.
+        mask = 0b1111
+        assert evaluate_gate(
+            GateType.AND, [0b1100, 0b1010], mask=mask
+        ) == 0b1000
+        assert evaluate_gate(GateType.INV, [0b1100], mask=mask) == 0b0011
+        assert evaluate_gate(GateType.CONST1, [], mask=mask) == mask

@@ -1,0 +1,88 @@
+"""Tests for the unrolled digit-serial multiplier generator."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.extract.extractor import extract_irreducible_polynomial
+from repro.fieldmath.gf2m import GF2m
+from repro.gen.digit_serial import generate_digit_serial
+from repro.gen.interleaved import generate_interleaved
+from tests.conftest import bit_assignment, exhaustive_pairs
+from tests.test_property_extraction import random_irreducible
+
+
+def _matches_field(netlist, modulus: int, m: int) -> bool:
+    field = GF2m(modulus)
+    for a_value, b_value in exhaustive_pairs(m):
+        assignment = bit_assignment(m, a_value, b_value)
+        values = netlist.simulate(assignment)
+        got = sum(values[f"z{i}"] << i for i in range(m))
+        if got != field.mul(a_value, b_value):
+            return False
+    return True
+
+
+class TestFunction:
+    @pytest.mark.parametrize("digit_size", [1, 2, 3, 4, 5])
+    def test_every_digit_size_matches_model(self, digit_size):
+        netlist = generate_digit_serial(0b100101, digit_size=digit_size)
+        assert _matches_field(netlist, 0b100101, 5)
+
+    def test_digit_larger_than_m_clamped(self):
+        netlist = generate_digit_serial(0b1011, digit_size=64)
+        assert _matches_field(netlist, 0b1011, 3)
+
+    def test_m1_degenerates(self):
+        assert len(generate_digit_serial(0b11)) == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            generate_digit_serial(0b1)
+        with pytest.raises(ValueError):
+            generate_digit_serial(0b1011, digit_size=0)
+
+
+class TestStructure:
+    def test_d1_equivalent_to_bit_serial(self):
+        """digit_size=1 computes the same function as the interleaved
+        generator (structures differ only in reduction-row emission)."""
+        serial = generate_digit_serial(0b10011, digit_size=1)
+        interleaved = generate_interleaved(0b10011)
+        for a_value, b_value in exhaustive_pairs(4):
+            assignment = bit_assignment(4, a_value, b_value)
+            assert serial.simulate(assignment) == interleaved.simulate(
+                assignment
+            )
+
+    def test_larger_digits_are_shallower(self):
+        modulus = 0b100011011
+        slim = generate_digit_serial(modulus, digit_size=1)
+        wide = generate_digit_serial(modulus, digit_size=8)
+        assert wide.stats().depth < slim.stats().depth
+
+    def test_name_mentions_digit_size(self):
+        assert "d3" in generate_digit_serial(0b10011, digit_size=3).name
+
+
+class TestExtraction:
+    @pytest.mark.parametrize("digit_size", [1, 2, 4, 8])
+    def test_recovers_polynomial_for_every_digit_size(self, digit_size):
+        modulus = 0b100011011
+        netlist = generate_digit_serial(modulus, digit_size=digit_size)
+        result = extract_irreducible_polynomial(netlist)
+        assert result.modulus == modulus
+        assert result.irreducible
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        modulus=random_irreducible(min_m=2, max_m=8),
+        digit_size=st.integers(1, 6),
+    )
+    def test_extraction_property(self, modulus, digit_size):
+        netlist = generate_digit_serial(modulus, digit_size=digit_size)
+        assert extract_irreducible_polynomial(netlist).modulus == modulus

@@ -1,0 +1,85 @@
+"""Tests for the unrolled interleaved multiplier generator."""
+
+import pytest
+
+from repro.extract.extractor import extract_irreducible_polynomial
+from repro.fieldmath.gf2m import GF2m
+from repro.gen.interleaved import generate_interleaved
+from repro.netlist.gate import GateType
+from tests.conftest import bit_assignment, exhaustive_pairs
+
+
+def _matches_field(netlist, modulus: int, m: int) -> bool:
+    field = GF2m(modulus)
+    for a_value, b_value in exhaustive_pairs(m):
+        assignment = bit_assignment(m, a_value, b_value)
+        values = netlist.simulate(assignment)
+        got = sum(values[f"z{i}"] << i for i in range(m))
+        if got != field.mul(a_value, b_value):
+            return False
+    return True
+
+
+class TestFunction:
+    @pytest.mark.parametrize("msb_first", [True, False], ids=["msb", "lsb"])
+    @pytest.mark.parametrize(
+        "modulus, m",
+        [(0b111, 2), (0b1011, 3), (0b10011, 4), (0b11001, 4), (0b100101, 5)],
+        ids=["m2", "m3", "m4", "m4-alt", "m5"],
+    )
+    def test_matches_word_level_model(self, modulus, m, msb_first):
+        netlist = generate_interleaved(modulus, msb_first=msb_first)
+        assert _matches_field(netlist, modulus, m)
+
+    def test_m1_degenerates_to_and(self):
+        netlist = generate_interleaved(0b11)
+        assert len(netlist) == 1
+        assert netlist.gates[0].gtype is GateType.AND
+
+
+class TestStructure:
+    def test_and_plane_is_quadratic(self):
+        netlist = generate_interleaved(0b10011)
+        ands = sum(1 for g in netlist.gates if g.gtype is GateType.AND)
+        assert ands == 16  # one per (a_i, b_j) pair
+
+    def test_variant_names_differ(self):
+        msb = generate_interleaved(0b1011, msb_first=True)
+        lsb = generate_interleaved(0b1011, msb_first=False)
+        assert "msb" in msb.name
+        assert "lsb" in lsb.name
+
+    def test_deeper_than_mastrovito(self):
+        """Interleaving reduction with accumulation costs depth — the
+        classic area/latency trade against Mastrovito's flat XOR trees."""
+        from repro.gen.mastrovito import generate_mastrovito
+
+        modulus = 0b100011011
+        interleaved = generate_interleaved(modulus)
+        mastrovito = generate_mastrovito(modulus)
+        assert interleaved.stats().depth > mastrovito.stats().depth
+
+    def test_msb_and_lsb_compute_same_function(self):
+        msb = generate_interleaved(0b10011, msb_first=True)
+        lsb = generate_interleaved(0b10011, msb_first=False)
+        for a_value, b_value in exhaustive_pairs(4):
+            assignment = bit_assignment(4, a_value, b_value)
+            assert msb.simulate(assignment) == lsb.simulate(assignment)
+
+    def test_rejects_degenerate_modulus(self):
+        with pytest.raises(ValueError):
+            generate_interleaved(0b1)
+
+
+class TestExtraction:
+    @pytest.mark.parametrize("msb_first", [True, False], ids=["msb", "lsb"])
+    @pytest.mark.parametrize(
+        "modulus",
+        [0b111, 0b1011, 0b10011, 0b11001, 0b100101, 0b100011011],
+        ids=["m2", "m3", "m4", "m4-alt", "m5", "m8-aes"],
+    )
+    def test_recovers_polynomial(self, modulus, msb_first):
+        netlist = generate_interleaved(modulus, msb_first=msb_first)
+        result = extract_irreducible_polynomial(netlist)
+        assert result.modulus == modulus
+        assert result.irreducible

@@ -1,0 +1,96 @@
+"""Tests for the Karatsuba multiplier generator."""
+
+import pytest
+
+from repro.extract.extractor import extract_irreducible_polynomial
+from repro.fieldmath.gf2m import GF2m
+from repro.gen.karatsuba import generate_karatsuba
+from repro.gen.mastrovito import generate_mastrovito
+from repro.netlist.gate import GateType
+from tests.conftest import bit_assignment, exhaustive_pairs
+
+
+def _matches_field(netlist, modulus: int, m: int) -> bool:
+    field = GF2m(modulus)
+    for a_value, b_value in exhaustive_pairs(m):
+        assignment = bit_assignment(m, a_value, b_value)
+        values = netlist.simulate(assignment)
+        got = sum(values[f"z{i}"] << i for i in range(m))
+        if got != field.mul(a_value, b_value):
+            return False
+    return True
+
+
+class TestFunction:
+    @pytest.mark.parametrize(
+        "modulus, m",
+        [(0b111, 2), (0b1011, 3), (0b10011, 4), (0b100101, 5)],
+        ids=["m2", "m3", "m4", "m5"],
+    )
+    def test_matches_word_level_model(self, modulus, m):
+        assert _matches_field(generate_karatsuba(modulus), modulus, m)
+
+    def test_m1_degenerates_to_and(self):
+        netlist = generate_karatsuba(0b11)  # GF(2), P = x + 1
+        assert len(netlist) == 1
+        assert netlist.gates[0].gtype is GateType.AND
+
+    @pytest.mark.parametrize("threshold", [1, 2, 3, 4])
+    def test_base_threshold_preserves_function(self, threshold):
+        netlist = generate_karatsuba(0b10011, base_threshold=threshold)
+        assert _matches_field(netlist, 0b10011, 4)
+
+    def test_chain_trees_preserve_function(self):
+        netlist = generate_karatsuba(0b10011, balanced=False)
+        assert _matches_field(netlist, 0b10011, 4)
+
+
+class TestStructure:
+    def test_fewer_and_gates_than_schoolbook(self):
+        """The point of Karatsuba: sub-quadratic AND count."""
+        m = 8
+        modulus = 0b100011011  # AES polynomial x^8+x^4+x^3+x+1
+        karatsuba = generate_karatsuba(modulus, base_threshold=1)
+        mastrovito = generate_mastrovito(modulus)
+        kat_ands = sum(
+            1 for g in karatsuba.gates if g.gtype is GateType.AND
+        )
+        mas_ands = sum(
+            1 for g in mastrovito.gates if g.gtype is GateType.AND
+        )
+        assert kat_ands < mas_ands == m * m
+
+    def test_standard_port_names(self):
+        netlist = generate_karatsuba(0b1011)
+        assert sorted(netlist.inputs) == ["a0", "a1", "a2", "b0", "b1", "b2"]
+        assert netlist.outputs == ["z0", "z1", "z2"]
+
+    def test_custom_name(self):
+        assert generate_karatsuba(0b111, name="kat").name == "kat"
+
+    def test_default_name_mentions_width(self):
+        assert "m4" in generate_karatsuba(0b10011).name
+
+    def test_rejects_degenerate_modulus(self):
+        with pytest.raises(ValueError):
+            generate_karatsuba(0b1)
+        with pytest.raises(ValueError):
+            generate_karatsuba(0b10011, base_threshold=0)
+
+
+class TestExtraction:
+    @pytest.mark.parametrize(
+        "modulus",
+        [0b111, 0b1011, 0b10011, 0b11001, 0b100101, 0b100011011],
+        ids=["m2", "m3", "m4-trinomial", "m4-alt", "m5", "m8"],
+    )
+    def test_recovers_polynomial(self, modulus):
+        netlist = generate_karatsuba(modulus)
+        result = extract_irreducible_polynomial(netlist)
+        assert result.modulus == modulus
+        assert result.irreducible
+
+    def test_recovers_polynomial_with_deep_recursion(self):
+        netlist = generate_karatsuba(0b10000001001, base_threshold=1)
+        result = extract_irreducible_polynomial(netlist)
+        assert result.modulus == 0b10000001001  # x^10 + x^3 + 1

@@ -1,0 +1,81 @@
+"""Unit tests for the Mastrovito multiplier generator."""
+
+import pytest
+
+from repro.fieldmath.gf2m import GF2m
+from repro.fieldmath.irreducible import default_irreducible
+from repro.gen.mastrovito import generate_mastrovito
+from repro.netlist.gate import GateType
+from tests.conftest import bit_assignment, exhaustive_pairs, output_value
+
+
+@pytest.mark.parametrize("modulus", [0b111, 0b1011, 0b1101, 0b10011, 0b11001])
+def test_exhaustive_against_field(modulus):
+    field = GF2m(modulus)
+    m = field.m
+    netlist = generate_mastrovito(modulus)
+    for a_value, b_value in exhaustive_pairs(m):
+        outputs = netlist.simulate(bit_assignment(m, a_value, b_value))
+        assert output_value(outputs, m) == field.mul(a_value, b_value)
+
+
+def test_port_naming():
+    netlist = generate_mastrovito(0b10011)
+    assert netlist.inputs == [
+        "a0", "a1", "a2", "a3", "b0", "b1", "b2", "b3",
+    ]
+    assert netlist.outputs == ["z0", "z1", "z2", "z3"]
+
+
+def test_gate_types_are_and_xor_only():
+    netlist = generate_mastrovito(0b10011)
+    types = {gate.gtype for gate in netlist.gates}
+    assert types <= {GateType.AND, GateType.XOR, GateType.BUF}
+
+
+def test_gate_count_scales_quadratically():
+    small = len(generate_mastrovito(default_irreducible(8)))
+    large = len(generate_mastrovito(default_irreducible(16)))
+    assert 3.0 < large / small < 5.5
+
+
+def test_degenerate_m1():
+    netlist = generate_mastrovito(0b11)  # GF(2), P = x + 1
+    assert netlist.simulate({"a0": 1, "b0": 1}) == {"z0": 1}
+    assert netlist.simulate({"a0": 1, "b0": 0}) == {"z0": 0}
+
+
+def test_balanced_vs_chain_same_function():
+    modulus = 0b10011
+    balanced = generate_mastrovito(modulus, balanced=True)
+    chain = generate_mastrovito(modulus, balanced=False)
+    assert balanced.stats().depth < chain.stats().depth
+    for a_value, b_value in exhaustive_pairs(4):
+        assignment = bit_assignment(4, a_value, b_value)
+        assert balanced.simulate(assignment) == chain.simulate(assignment)
+
+
+def test_reducible_modulus_rejected_by_degree_check():
+    with pytest.raises(ValueError):
+        generate_mastrovito(1)
+
+
+def test_random_large_field_agreement():
+    """Spot-check a paper-scale field against the word-level model."""
+    import random
+
+    from repro.fieldmath.polynomial_db import PAPER_POLYNOMIALS
+
+    modulus = PAPER_POLYNOMIALS[64]
+    field = GF2m(modulus, check_irreducible=False)
+    netlist = generate_mastrovito(modulus)
+    rng = random.Random(42)
+    for _ in range(16):
+        a_value = rng.getrandbits(64)
+        b_value = rng.getrandbits(64)
+        outputs = netlist.simulate(bit_assignment(64, a_value, b_value))
+        assert output_value(outputs, 64) == field.mul(a_value, b_value)
+
+
+def test_custom_name():
+    assert generate_mastrovito(0b111, name="custom").name == "custom"

@@ -1,0 +1,137 @@
+"""Unit tests for the flattened Montgomery multiplier generator."""
+
+import pytest
+
+from repro.fieldmath.gf2m import GF2m
+from repro.fieldmath.montgomery_math import mont_mul
+from repro.gen.montgomery import (
+    generate_montgomery,
+    generate_montgomery_step,
+)
+from repro.netlist.gate import GateType
+from tests.conftest import bit_assignment, exhaustive_pairs, output_value
+
+
+class TestMontgomeryStep:
+    @pytest.mark.parametrize("modulus", [0b111, 0b1011, 0b10011])
+    def test_step_matches_word_level_reference(self, modulus):
+        """The unrolled step must equal mont_mul on every input pair."""
+        m = modulus.bit_length() - 1
+        netlist = generate_montgomery_step(modulus)
+        for a_value, b_value in exhaustive_pairs(m):
+            outputs = netlist.simulate(bit_assignment(m, a_value, b_value))
+            assert output_value(outputs, m) == mont_mul(
+                a_value, b_value, modulus
+            )
+
+    def test_step_is_not_modular_multiplication(self):
+        """MM(A,B) carries the x^{-m} factor: it must differ from
+        A*B mod P somewhere."""
+        modulus = 0b10011
+        field = GF2m(modulus)
+        netlist = generate_montgomery_step(modulus)
+        differs = False
+        for a_value, b_value in exhaustive_pairs(4):
+            outputs = netlist.simulate(bit_assignment(4, a_value, b_value))
+            if output_value(outputs, 4) != field.mul(a_value, b_value):
+                differs = True
+                break
+        assert differs
+
+
+class TestFullMontgomery:
+    @pytest.mark.parametrize(
+        "modulus", [0b111, 0b1011, 0b1101, 0b10011, 0b11001, 0x11B]
+    )
+    def test_exhaustive_against_field(self, modulus):
+        field = GF2m(modulus)
+        m = field.m
+        netlist = generate_montgomery(modulus)
+        step = 1 if m <= 4 else 5  # thin the 8-bit sweep
+        for a_value in range(0, 1 << m, step):
+            for b_value in range(0, 1 << m, step):
+                outputs = netlist.simulate(
+                    bit_assignment(m, a_value, b_value)
+                )
+                assert output_value(outputs, m) == field.mul(
+                    a_value, b_value
+                )
+
+    def test_flattened_no_block_boundaries(self):
+        """The emitted netlist must not name or expose the stage split
+        (the paper's 'no knowledge of the block boundaries' setup)."""
+        netlist = generate_montgomery(0b10011)
+        for gate in netlist.gates:
+            assert "stage" not in gate.output
+            assert "mm1" not in gate.output and "mm2" not in gate.output
+
+    def test_gate_types(self):
+        types = {g.gtype for g in generate_montgomery(0b10011).gates}
+        assert types <= {GateType.AND, GateType.XOR, GateType.BUF,
+                         GateType.CONST0}
+
+    def test_larger_than_mastrovito(self):
+        """Two composed Montgomery steps cost more logic than one
+        Mastrovito matrix at equal m (but same order of magnitude)."""
+        from repro.gen.mastrovito import generate_mastrovito
+
+        modulus = 0x11B
+        mont = len(generate_montgomery(modulus))
+        mast = len(generate_mastrovito(modulus))
+        assert 0.5 < mont / mast < 3.0
+
+    def test_deep_cones(self):
+        """Montgomery output cones span nearly the whole circuit —
+        the structural reason Table II extraction is expensive."""
+        netlist = generate_montgomery(0b10011)
+        total = len(netlist)
+        top_cone = len(netlist.cone_gates("z3"))
+        assert top_cone > 0.5 * total
+
+    def test_random_large_field_agreement(self):
+        import random
+
+        from repro.fieldmath.polynomial_db import PAPER_POLYNOMIALS
+
+        modulus = PAPER_POLYNOMIALS[64]
+        field = GF2m(modulus, check_irreducible=False)
+        netlist = generate_montgomery(modulus)
+        rng = random.Random(11)
+        for _ in range(8):
+            a_value = rng.getrandbits(64)
+            b_value = rng.getrandbits(64)
+            outputs = netlist.simulate(bit_assignment(64, a_value, b_value))
+            assert output_value(outputs, 64) == field.mul(a_value, b_value)
+
+
+class TestRedundancyDecoration:
+    def test_decoration_preserves_function(self):
+        from repro.gen.redundancy import decorate_with_redundancy
+
+        lean = generate_montgomery(0b1011)
+        fat = decorate_with_redundancy(lean)
+        for a_value, b_value in exhaustive_pairs(3):
+            assignment = bit_assignment(3, a_value, b_value)
+            assert lean.simulate(assignment) == fat.simulate(assignment)
+
+    def test_decoration_inflates_gate_count(self):
+        from repro.gen.redundancy import decorate_with_redundancy
+
+        lean = generate_montgomery(0b1011)
+        fat = decorate_with_redundancy(lean)
+        assert len(fat) > 2 * len(lean)
+
+    def test_fraction_zero_only_buffers(self):
+        from repro.gen.redundancy import decorate_with_redundancy
+
+        lean = generate_montgomery(0b1011)
+        fat = decorate_with_redundancy(lean, inv_pair_fraction=0.0)
+        assert len(fat) == len(lean) + len(lean.outputs)
+
+    def test_bad_fraction_rejected(self):
+        from repro.gen.redundancy import decorate_with_redundancy
+
+        with pytest.raises(ValueError):
+            decorate_with_redundancy(
+                generate_montgomery(0b111), inv_pair_fraction=1.5
+            )

@@ -1,0 +1,58 @@
+"""Unit tests for the schoolbook+reduction generator (Figure 1 shape)."""
+
+import pytest
+
+from repro.fieldmath.gf2m import GF2m
+from repro.gen.mastrovito import generate_mastrovito
+from repro.gen.partial_products import coefficient_groups
+from repro.gen.schoolbook import generate_schoolbook
+from tests.conftest import bit_assignment, exhaustive_pairs, output_value
+
+
+@pytest.mark.parametrize("modulus", [0b111, 0b1011, 0b10011, 0b11001])
+def test_exhaustive_against_field(modulus):
+    field = GF2m(modulus)
+    m = field.m
+    netlist = generate_schoolbook(modulus)
+    for a_value, b_value in exhaustive_pairs(m):
+        outputs = netlist.simulate(bit_assignment(m, a_value, b_value))
+        assert output_value(outputs, m) == field.mul(a_value, b_value)
+
+
+def test_matches_mastrovito_everywhere():
+    """Two structurally different generators, one function."""
+    modulus = 0b11001
+    lhs = generate_schoolbook(modulus)
+    rhs = generate_mastrovito(modulus)
+    for a_value, b_value in exhaustive_pairs(4):
+        assignment = bit_assignment(4, a_value, b_value)
+        assert lhs.simulate(assignment) == rhs.simulate(assignment)
+
+
+def test_coefficient_groups_shape():
+    groups = coefficient_groups(3)
+    assert len(groups) == 5            # s0 .. s4
+    assert groups[0] == [(0, 0)]
+    assert set(groups[2]) == {(0, 2), (1, 1), (2, 0)}
+    assert groups[4] == [(2, 2)]
+
+
+def test_schoolbook_is_smaller_than_mastrovito():
+    """Sharing the s_k nets makes the two-stage netlist smaller."""
+    modulus = 0b10011
+    assert len(generate_schoolbook(modulus)) <= len(
+        generate_mastrovito(modulus)
+    )
+
+
+def test_degenerate_m1():
+    netlist = generate_schoolbook(0b11)
+    assert netlist.simulate({"a0": 1, "b0": 1}) == {"z0": 1}
+
+
+def test_extraction_recovers_p():
+    from repro.extract.extractor import extract_irreducible_polynomial
+
+    for modulus in (0b111, 0b1011, 0b10011, 0b11001):
+        netlist = generate_schoolbook(modulus)
+        assert extract_irreducible_polynomial(netlist).modulus == modulus

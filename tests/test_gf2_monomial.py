@@ -1,0 +1,67 @@
+"""Unit tests for GF(2) monomials."""
+
+import pytest
+
+from repro.gf2.monomial import (
+    ONE,
+    monomial,
+    monomial_degree,
+    monomial_divides,
+    monomial_mul,
+    monomial_str,
+)
+
+
+class TestConstruction:
+    def test_empty_is_one(self):
+        assert monomial() == ONE
+        assert monomial_degree(ONE) == 0
+
+    def test_duplicates_collapse(self):
+        # x^2 = x: repeated variables are a single set element.
+        assert monomial(["a", "a", "b"]) == frozenset({"a", "b"})
+
+    def test_degree_counts_distinct_variables(self):
+        assert monomial_degree(monomial(["a", "b", "c"])) == 3
+
+
+class TestMultiplication:
+    def test_identity(self):
+        mono = monomial(["a0", "b1"])
+        assert monomial_mul(mono, ONE) == mono
+        assert monomial_mul(ONE, mono) == mono
+
+    def test_union_semantics(self):
+        left = monomial(["a", "b"])
+        right = monomial(["b", "c"])
+        assert monomial_mul(left, right) == monomial(["a", "b", "c"])
+
+    def test_idempotence(self):
+        mono = monomial(["a", "b"])
+        assert monomial_mul(mono, mono) == mono
+
+    def test_commutative(self):
+        left = monomial(["x1"])
+        right = monomial(["x2", "x3"])
+        assert monomial_mul(left, right) == monomial_mul(right, left)
+
+
+class TestDivision:
+    def test_one_divides_everything(self):
+        assert monomial_divides(ONE, monomial(["a"]))
+
+    def test_subset_divides(self):
+        assert monomial_divides(monomial(["a"]), monomial(["a", "b"]))
+        assert not monomial_divides(monomial(["c"]), monomial(["a", "b"]))
+
+
+class TestRendering:
+    def test_one_renders_as_1(self):
+        assert monomial_str(ONE) == "1"
+
+    def test_numeric_suffix_ordering(self):
+        # a2 sorts before a10 (numeric, not lexicographic).
+        assert monomial_str(monomial(["a10", "a2", "b1"])) == "a2*a10*b1"
+
+    def test_custom_separator(self):
+        assert monomial_str(monomial(["a", "b"]), sep="") == "ab"

@@ -1,0 +1,72 @@
+"""Unit tests for polynomial parsing and deterministic formatting."""
+
+import pytest
+
+from repro.gf2.parse import PolyParseError, format_poly, parse_poly
+from repro.gf2.polynomial import Gf2Poly
+
+
+class TestParsing:
+    def test_simple_sum_of_products(self):
+        p = parse_poly("a0*b1 + a1*b0")
+        assert p.term_count() == 2
+
+    def test_constants(self):
+        assert parse_poly("0").is_zero()
+        assert parse_poly("1").is_one()
+        assert parse_poly("1 + 1").is_zero()
+
+    def test_parentheses_multiply_out(self):
+        assert parse_poly("(a + b)*(a + b)") == parse_poly("a + b")
+
+    def test_nested_parentheses(self):
+        assert parse_poly("((a))") == Gf2Poly.variable("a")
+
+    def test_whitespace_insensitive(self):
+        assert parse_poly("a*b+c") == parse_poly(" a * b + c ")
+
+    def test_identifier_characters(self):
+        p = parse_poly("net_1 + __tmp2")
+        assert "net_1" in p.variables()
+
+    def test_unbalanced_paren_raises(self):
+        with pytest.raises(PolyParseError):
+            parse_poly("(a + b")
+
+    def test_bad_constant_raises(self):
+        with pytest.raises(PolyParseError):
+            parse_poly("2*a")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(PolyParseError):
+            parse_poly("a b")
+
+    def test_illegal_character_raises(self):
+        with pytest.raises(PolyParseError):
+            parse_poly("a - b")
+
+
+class TestFormatting:
+    def test_zero(self):
+        assert format_poly(Gf2Poly.zero()) == "0"
+
+    def test_deterministic_ordering(self):
+        left = parse_poly("a1*b0 + a0*b1 + 1")
+        right = parse_poly("1 + a0*b1 + a1*b0")
+        assert format_poly(left) == format_poly(right)
+
+    def test_degree_major_order(self):
+        # Higher-degree monomials print first, constant last.
+        assert format_poly(parse_poly("1 + a + a*b")) == "a*b + a + 1"
+
+    def test_roundtrip(self):
+        texts = [
+            "a0*b0 + a1*b1",
+            "a*b*c + a*b + c + 1",
+            "x1 + x2 + x3",
+            "1",
+            "0",
+        ]
+        for text in texts:
+            poly = parse_poly(text)
+            assert parse_poly(format_poly(poly)) == poly

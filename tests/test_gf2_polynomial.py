@@ -1,0 +1,136 @@
+"""Unit tests for Gf2Poly arithmetic and substitution."""
+
+import pytest
+
+from repro.gf2.polynomial import Gf2Poly
+from repro.gf2.parse import parse_poly
+
+
+def poly(text: str) -> Gf2Poly:
+    return parse_poly(text)
+
+
+class TestConstruction:
+    def test_even_multiplicity_cancels(self):
+        p = Gf2Poly([frozenset({"a"}), frozenset({"a"})])
+        assert p.is_zero()
+
+    def test_odd_multiplicity_survives(self):
+        p = Gf2Poly([frozenset({"a"})] * 3)
+        assert p == Gf2Poly.variable("a")
+
+    def test_zero_one_constants(self):
+        assert Gf2Poly.zero().is_zero()
+        assert Gf2Poly.one().is_one()
+        assert Gf2Poly.zero().is_constant()
+        assert not Gf2Poly.variable("x").is_constant()
+
+    def test_product_constructor(self):
+        assert str(Gf2Poly.product(["b1", "a0"])) == "a0*b1"
+
+
+class TestAddition:
+    def test_self_cancellation(self):
+        p = poly("a*b + c")
+        assert (p + p).is_zero()
+
+    def test_partial_cancellation(self):
+        assert poly("a + b") + poly("b + c") == poly("a + c")
+
+    def test_add_is_sub(self):
+        p, q = poly("a + b*c"), poly("b*c + 1")
+        assert p - q == p + q
+
+    def test_zero_identity(self):
+        p = poly("a*b + 1")
+        assert p + Gf2Poly.zero() == p
+
+
+class TestMultiplication:
+    def test_distributes(self):
+        assert poly("a + b") * poly("c") == poly("a*c + b*c")
+
+    def test_idempotent_variables(self):
+        # (a + 1)^2 = a^2 + 1 = a + 1 in the Boolean quotient ring.
+        p = poly("a + 1")
+        assert p * p == p
+
+    def test_or_expansion(self):
+        # (1+a)(1+b) = 1 + a + b + ab  (De Morgan backbone of Eq. 1).
+        assert poly("(1 + a)*(1 + b)") == poly("1 + a + b + a*b")
+
+    def test_mul_by_zero(self):
+        assert (poly("a + b*c") * Gf2Poly.zero()).is_zero()
+
+
+class TestSubstitution:
+    def test_basic(self):
+        p = poly("x*y + z")
+        assert p.substitute("x", poly("a + b")) == poly("a*y + b*y + z")
+
+    def test_substitute_missing_is_noop(self):
+        p = poly("a*b")
+        assert p.substitute("q", poly("1")) is p
+
+    def test_substitution_can_cancel(self):
+        # x + a with x := a gives 0.
+        assert poly("x + a").substitute("x", poly("a")).is_zero()
+
+    def test_substitute_by_zero_kills_monomials(self):
+        assert poly("x*a + b").substitute("x", Gf2Poly.zero()) == poly("b")
+
+    def test_substitute_many_simultaneous(self):
+        p = poly("x*y")
+        result = p.substitute_many({"x": poly("y"), "y": poly("x")})
+        # Simultaneous: x*y -> y*x, NOT re-entrant.
+        assert result == poly("x*y")
+
+    def test_substitute_many_mixed(self):
+        p = poly("x + y + c")
+        result = p.substitute_many({"x": poly("a + 1"), "y": poly("a")})
+        assert result == poly("1 + c")
+
+
+class TestEvaluation:
+    def test_evaluate_xor_of_ands(self):
+        p = poly("a0*b1 + a1*b0")
+        assert p.evaluate({"a0": 1, "b1": 1, "a1": 1, "b0": 1}) == 0
+        assert p.evaluate({"a0": 1, "b1": 1, "a1": 0, "b0": 1}) == 1
+
+    def test_evaluate_constant(self):
+        assert Gf2Poly.one().evaluate({}) == 1
+        assert Gf2Poly.zero().evaluate({}) == 0
+
+    def test_evaluate_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            poly("a*b").evaluate({"a": 1})
+
+    def test_restricted_partial_evaluation(self):
+        p = poly("a*b + c")
+        assert p.restricted({"a": 1}) == poly("b + c")
+        assert p.restricted({"a": 0}) == poly("c")
+        assert p.restricted({"a": 1, "b": 1, "c": 0}) == poly("1")
+
+
+class TestInspection:
+    def test_variables(self):
+        assert poly("a*b + c + 1").variables() == frozenset({"a", "b", "c"})
+
+    def test_degree(self):
+        assert poly("a*b*c + d").degree() == 3
+        assert Gf2Poly.one().degree() == 0
+        assert Gf2Poly.zero().degree() == -1
+
+    def test_contains_all(self):
+        p = poly("a1*b1 + a0*b0 + c")
+        needed = [frozenset({"a1", "b1"}), frozenset({"a0", "b0"})]
+        assert p.contains_all(needed)
+        assert not p.contains_all(needed + [frozenset({"q"})])
+
+    def test_equality_with_ints(self):
+        assert Gf2Poly.zero() == 0
+        assert Gf2Poly.one() == 1
+        assert poly("a") != 0
+
+    def test_hashable(self):
+        assert len({poly("a + b"), poly("b + a")}) == 1

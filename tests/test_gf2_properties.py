@@ -1,0 +1,92 @@
+"""Property-based tests: Gf2Poly is a commutative Boolean ring.
+
+Hypothesis generates random polynomials over a small variable pool and
+checks the ring axioms, the substitution laws, and consistency between
+symbolic arithmetic and pointwise GF(2) evaluation.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gf2.polynomial import Gf2Poly
+
+VARS = ["a", "b", "c", "d"]
+
+monomials = st.frozensets(st.sampled_from(VARS), max_size=4)
+polys = st.lists(monomials, max_size=8).map(Gf2Poly)
+assignments = st.fixed_dictionaries({v: st.integers(0, 1) for v in VARS})
+
+
+@given(polys, polys)
+def test_addition_commutative(p, q):
+    assert p + q == q + p
+
+
+@given(polys, polys, polys)
+def test_addition_associative(p, q, r):
+    assert (p + q) + r == p + (q + r)
+
+
+@given(polys)
+def test_addition_self_inverse(p):
+    assert (p + p).is_zero()
+
+
+@given(polys, polys)
+def test_multiplication_commutative(p, q):
+    assert p * q == q * p
+
+
+@settings(deadline=None)
+@given(polys, polys, polys)
+def test_multiplication_associative(p, q, r):
+    assert (p * q) * r == p * (q * r)
+
+
+@given(polys, polys, polys)
+def test_distributivity(p, q, r):
+    assert p * (q + r) == p * q + p * r
+
+
+@given(polys)
+def test_multiplicative_identity(p):
+    assert p * Gf2Poly.one() == p
+    assert (p * Gf2Poly.zero()).is_zero()
+
+
+@given(polys)
+def test_idempotence_of_ring(p):
+    # p^2 = p for every polynomial: squaring is the Frobenius map over
+    # GF(2) (cross terms carry even coefficients) and x^2 = x termwise.
+    assert p * p == p
+
+
+@given(polys, polys, assignments)
+def test_evaluation_is_ring_homomorphism(p, q, env):
+    assert (p + q).evaluate(env) == (p.evaluate(env) ^ q.evaluate(env))
+    assert (p * q).evaluate(env) == (p.evaluate(env) & q.evaluate(env))
+
+
+@given(polys, polys, assignments)
+def test_substitution_matches_evaluation(p, q, env):
+    """Substituting q for a variable then evaluating equals evaluating
+    with the variable bound to q's value."""
+    substituted = p.substitute("a", q)
+    env_with_a = dict(env)
+    env_with_a["a"] = q.evaluate(env)
+    assert substituted.evaluate(env) == p.evaluate(env_with_a)
+
+
+@given(polys, assignments)
+def test_restricted_agrees_with_evaluate(p, env):
+    restricted = p.restricted(env)
+    assert restricted.is_constant()
+    assert restricted.evaluate({}) == p.evaluate(env)
+
+
+@given(polys)
+def test_formatting_roundtrip(p):
+    from repro.gf2.parse import format_poly, parse_poly
+
+    assert parse_poly(format_poly(p)) == p

@@ -1,0 +1,135 @@
+"""Unit tests for the GF(2^m) field implementation."""
+
+import pytest
+
+from repro.fieldmath.gf2m import GF2m
+
+
+@pytest.fixture
+def gf16():
+    return GF2m(0b10011)  # GF(2^4), x^4 + x + 1
+
+
+@pytest.fixture
+def gf8():
+    return GF2m(0b1011)  # GF(2^3), x^3 + x + 1
+
+
+class TestConstruction:
+    def test_metadata(self, gf16):
+        assert gf16.m == 4
+        assert gf16.order == 16
+        assert gf16.modulus == 0b10011
+
+    def test_reducible_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            GF2m(0b101)  # (x+1)^2
+
+    def test_reducible_allowed_when_unchecked(self):
+        field = GF2m(0b101, check_irreducible=False)
+        assert field.m == 2
+
+    def test_equality(self):
+        assert GF2m(0b1011) == GF2m(0b1011)
+        assert GF2m(0b1011) != GF2m(0b1101)
+
+
+class TestArithmetic:
+    def test_add_is_xor(self, gf16):
+        assert gf16.add(0b1010, 0b0110) == 0b1100
+        assert gf16.sub(0b1010, 0b0110) == 0b1100
+
+    def test_known_product(self, gf16):
+        # x * x^3 = x^4 = x + 1 mod P
+        assert gf16.mul(0b0010, 0b1000) == 0b0011
+
+    def test_mul_identity_zero(self, gf16):
+        for value in range(16):
+            assert gf16.mul(value, 1) == value
+            assert gf16.mul(value, 0) == 0
+
+    def test_mul_commutative_associative(self, gf8):
+        for a in range(8):
+            for b in range(8):
+                assert gf8.mul(a, b) == gf8.mul(b, a)
+                for c in range(8):
+                    assert gf8.mul(gf8.mul(a, b), c) == gf8.mul(
+                        a, gf8.mul(b, c)
+                    )
+
+    def test_distributivity(self, gf8):
+        for a in range(8):
+            for b in range(8):
+                for c in range(8):
+                    assert gf8.mul(a, b ^ c) == gf8.mul(a, b) ^ gf8.mul(a, c)
+
+    def test_out_of_range_rejected(self, gf16):
+        with pytest.raises(ValueError):
+            gf16.mul(16, 1)
+        with pytest.raises(ValueError):
+            gf16.add(-1, 0)
+
+
+class TestInversion:
+    def test_all_inverses(self, gf16):
+        for value in range(1, 16):
+            assert gf16.mul(value, gf16.inv(value)) == 1
+
+    def test_zero_has_no_inverse(self, gf16):
+        with pytest.raises(ZeroDivisionError):
+            gf16.inv(0)
+
+    def test_division(self, gf16):
+        for a in range(1, 16):
+            for b in range(1, 16):
+                quotient = gf16.div(a, b)
+                assert gf16.mul(quotient, b) == a
+
+    def test_pow_negative_exponent(self, gf16):
+        for value in range(1, 16):
+            assert gf16.pow(value, -1) == gf16.inv(value)
+
+
+class TestStructure:
+    def test_frobenius_is_additive(self, gf16):
+        # (a + b)^2 = a^2 + b^2 in characteristic 2.
+        for a in range(16):
+            for b in range(16):
+                assert gf16.square(a ^ b) == gf16.square(a) ^ gf16.square(b)
+
+    def test_multiplicative_order_divides_group(self, gf16):
+        # a^(2^m - 1) = 1 for every nonzero a (Lagrange).
+        for value in range(1, 16):
+            assert gf16.pow(value, 15) == 1
+
+    def test_generator_exists(self, gf16):
+        gen = gf16.find_generator()
+        seen = set()
+        acc = 1
+        for _ in range(15):
+            acc = gf16.mul(acc, gen)
+            seen.add(acc)
+        assert len(seen) == 15
+
+    def test_is_generator_rejects_identity(self, gf16):
+        assert not gf16.is_generator(1)
+        assert not gf16.is_generator(0)
+
+    def test_bits_roundtrip(self, gf16):
+        for value in range(16):
+            assert gf16.from_bits(gf16.element_bits(value)) == value
+
+    def test_elements_enumeration_guard(self):
+        big = GF2m(
+            (1 << 163) | (1 << 7) | (1 << 6) | (1 << 3) | 1,
+            check_irreducible=False,
+        )
+        with pytest.raises(ValueError):
+            big.elements()
+
+    def test_large_field_inverse(self):
+        from repro.fieldmath.polynomial_db import NIST_POLYNOMIALS
+
+        field = GF2m(NIST_POLYNOMIALS[233], check_irreducible=False)
+        value = (1 << 200) ^ (1 << 77) ^ 0b1011
+        assert field.mul(value, field.inv(value)) == 1

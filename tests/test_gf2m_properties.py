@@ -1,0 +1,60 @@
+"""Property-based tests: GF(2^m) field axioms over random elements.
+
+Exhaustive testing covers small fields; Hypothesis covers the large
+NIST fields where enumeration is impossible.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fieldmath.gf2m import GF2m
+from repro.fieldmath.polynomial_db import NIST_POLYNOMIALS
+
+FIELD_233 = GF2m(NIST_POLYNOMIALS[233], check_irreducible=False)
+FIELD_163 = GF2m(NIST_POLYNOMIALS[163], check_irreducible=False)
+
+elements_233 = st.integers(0, FIELD_233.order - 1)
+elements_163 = st.integers(0, FIELD_163.order - 1)
+
+
+@given(elements_233, elements_233)
+def test_mul_commutative(a, b):
+    assert FIELD_233.mul(a, b) == FIELD_233.mul(b, a)
+
+
+@settings(max_examples=50, deadline=None)
+@given(elements_233, elements_233, elements_233)
+def test_mul_associative(a, b, c):
+    lhs = FIELD_233.mul(FIELD_233.mul(a, b), c)
+    rhs = FIELD_233.mul(a, FIELD_233.mul(b, c))
+    assert lhs == rhs
+
+
+@settings(max_examples=50, deadline=None)
+@given(elements_233, elements_233, elements_233)
+def test_distributive(a, b, c):
+    assert FIELD_233.mul(a, b ^ c) == FIELD_233.mul(a, b) ^ FIELD_233.mul(a, c)
+
+
+@settings(max_examples=50, deadline=None)
+@given(elements_163.filter(lambda v: v != 0))
+def test_inverse_roundtrip(a):
+    assert FIELD_163.mul(a, FIELD_163.inv(a)) == 1
+
+
+@given(elements_233, elements_233)
+def test_frobenius_additive(a, b):
+    assert FIELD_233.square(a ^ b) == FIELD_233.square(a) ^ FIELD_233.square(b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(elements_163.filter(lambda v: v != 0), st.integers(0, 50),
+       st.integers(0, 50))
+def test_pow_adds_exponents(a, i, j):
+    lhs = FIELD_163.mul(FIELD_163.pow(a, i), FIELD_163.pow(a, j))
+    assert lhs == FIELD_163.pow(a, i + j)
+
+
+@given(elements_233)
+def test_product_degree_is_reduced(a):
+    product = FIELD_233.mul(a, a)
+    assert product < FIELD_233.order

@@ -1,0 +1,95 @@
+"""Unit tests for irreducibility testing and polynomial search."""
+
+import pytest
+
+from repro.fieldmath.bitpoly import (
+    bitpoly_from_exponents,
+    bitpoly_mul,
+    bitpoly_str,
+)
+from repro.fieldmath.irreducible import (
+    default_irreducible,
+    find_high_degree_pentanomial,
+    find_irreducible_pentanomials,
+    find_irreducible_trinomials,
+    is_irreducible,
+)
+
+
+class TestIsIrreducible:
+    def test_known_irreducibles(self):
+        for poly in (0b111, 0b1011, 0b1101, 0b10011, 0b11001, 0x11B):
+            assert is_irreducible(poly), bitpoly_str(poly)
+
+    def test_known_reducibles(self):
+        assert not is_irreducible(0b101)      # x^2+1 = (x+1)^2
+        assert not is_irreducible(0b10101)    # (x^2+x+1)^2
+        assert not is_irreducible(0b110)      # divisible by x
+        assert not is_irreducible(0b1001)     # x^3+1 = (x+1)(x^2+x+1)
+
+    def test_degree_one(self):
+        assert is_irreducible(0b10)   # x
+        assert is_irreducible(0b11)   # x + 1
+
+    def test_constants_are_not_irreducible(self):
+        assert not is_irreducible(0)
+        assert not is_irreducible(1)
+
+    def test_exhaustive_degree_4(self):
+        """Cross-check Rabin against brute-force trial division."""
+        for candidate in range(1 << 4, 1 << 5):
+            has_factor = any(
+                _divides(factor, candidate)
+                for factor in range(2, 1 << 4)
+            )
+            assert is_irreducible(candidate) == (not has_factor)
+
+    def test_nist_polynomials_are_irreducible(self):
+        from repro.fieldmath.polynomial_db import NIST_POLYNOMIALS
+
+        for poly in NIST_POLYNOMIALS.values():
+            assert is_irreducible(poly)
+
+    def test_products_are_reducible(self):
+        product = bitpoly_mul(0b1011, 0b1101)
+        assert not is_irreducible(product)
+
+
+def _divides(factor: int, poly: int) -> bool:
+    from repro.fieldmath.bitpoly import bitpoly_mod
+
+    return bitpoly_mod(poly, factor) == 0
+
+
+class TestSearch:
+    def test_trinomials_degree_4(self):
+        assert find_irreducible_trinomials(4) == [0b10011, 0b11001]
+
+    def test_no_trinomials_degree_8(self):
+        # A multiple of 8 never has an irreducible trinomial.
+        assert find_irreducible_trinomials(8) == []
+
+    def test_first_pentanomial_degree_8_is_aes(self):
+        polys = find_irreducible_pentanomials(8, limit=1)
+        assert polys == [0x11B]  # x^8+x^4+x^3+x+1, the AES polynomial
+
+    def test_pentanomial_limit_respected(self):
+        assert len(find_irreducible_pentanomials(10, limit=3)) == 3
+
+    def test_high_degree_pentanomial(self):
+        poly = find_high_degree_pentanomial(16, min_high=12)
+        assert poly is not None
+        assert is_irreducible(poly)
+        exponents = sorted(
+            e for e in range(1, 16) if (poly >> e) & 1
+        )
+        assert exponents[-1] >= 12
+
+    def test_default_irreducible_many_degrees(self):
+        for degree in range(2, 40):
+            poly = default_irreducible(degree)
+            assert is_irreducible(poly)
+            assert poly >> degree == 1  # monic of the right degree
+
+    def test_trinomial_limit(self):
+        assert len(find_irreducible_trinomials(12, limit=1)) == 1

@@ -1,0 +1,103 @@
+"""Tests for GF(2) bitmask linear algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fieldmath.linalg2 import (
+    gf2_invert,
+    gf2_rank,
+    gf2_solve,
+    matvec,
+    transpose,
+)
+
+
+class TestRank:
+    def test_identity_full_rank(self):
+        assert gf2_rank([0b001, 0b010, 0b100]) == 3
+
+    def test_dependent_rows(self):
+        assert gf2_rank([0b01, 0b10, 0b11]) == 2
+
+    def test_zero_matrix(self):
+        assert gf2_rank([0, 0, 0]) == 0
+
+    def test_single_row(self):
+        assert gf2_rank([0b1010]) == 1
+
+    def test_duplicate_rows_cancel(self):
+        assert gf2_rank([0b110, 0b110]) == 1
+
+
+class TestSolve:
+    def test_identity_system(self):
+        assert gf2_solve([0b001, 0b010, 0b100], [1, 0, 1], 3) == 0b101
+
+    def test_mixed_system(self):
+        # x0 ^ x1 = 1, x0 = 1  ->  x = (1, 0)
+        assert gf2_solve([0b11, 0b01], [1, 1], 2) == 0b01
+
+    def test_inconsistent_system(self):
+        # x0 = 0 and x0 = 1 simultaneously.
+        assert gf2_solve([0b1, 0b1], [0, 1], 1) is None
+
+    def test_underdetermined_picks_a_solution(self):
+        rows = [0b11]  # x0 ^ x1 = 1
+        solution = gf2_solve(rows, [1], 2)
+        assert solution is not None
+        assert bin(solution & 0b11).count("1") & 1 == 1
+
+    @given(
+        st.lists(st.integers(0, 255), min_size=8, max_size=8),
+        st.integers(0, 255),
+    )
+    @settings(max_examples=100)
+    def test_solution_satisfies_system(self, rows, x_true):
+        rhs = [bin(row & x_true).count("1") & 1 for row in rows]
+        solution = gf2_solve(rows, rhs, 8)
+        assert solution is not None  # consistent by construction
+        for row, bit in zip(rows, rhs):
+            assert bin(row & solution).count("1") & 1 == bit
+
+
+class TestInvert:
+    def test_identity(self):
+        assert gf2_invert([0b01, 0b10], 2) == [0b01, 0b10]
+
+    def test_known_inverse(self):
+        assert gf2_invert([0b01, 0b11], 2) == [1, 3]
+
+    def test_singular_returns_none(self):
+        assert gf2_invert([0b11, 0b11], 2) is None
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            gf2_invert([0b1], 2)
+
+    @given(st.lists(st.integers(0, 63), min_size=6, max_size=6))
+    @settings(max_examples=100)
+    def test_inverse_roundtrip(self, rows):
+        inverse = gf2_invert(rows, 6)
+        if inverse is None:
+            assert gf2_rank(rows) < 6
+            return
+        # A * A^-1 = I: row i of A dotted with column j of A^-1.
+        cols = transpose(inverse, 6)
+        for i in range(6):
+            for j in range(6):
+                dot = bin(rows[i] & cols[j]).count("1") & 1
+                assert dot == (1 if i == j else 0)
+
+
+class TestTransposeMatvec:
+    def test_transpose_involution(self):
+        rows = [0b101, 0b011, 0b110]
+        assert transpose(transpose(rows, 3), 3) == rows
+
+    def test_matvec_identity(self):
+        assert matvec([0b001, 0b010, 0b100], 0b110) == 0b110
+
+    def test_matvec_parity(self):
+        assert matvec([0b11], 0b11) == 0  # 1 ^ 1
+        assert matvec([0b11], 0b01) == 1

@@ -1,0 +1,72 @@
+"""Unit tests for the word-level Montgomery reference model."""
+
+import pytest
+
+from repro.fieldmath.bitpoly import bitpoly_mod, bitpoly_mul
+from repro.fieldmath.gf2m import GF2m
+from repro.fieldmath.montgomery_math import (
+    from_mont,
+    mont_mul,
+    mont_r2,
+    to_mont,
+)
+
+P16 = 0b10011  # GF(2^4)
+P8 = 0b1011    # GF(2^3)
+
+
+class TestMontMul:
+    def test_definition_exhaustive_gf8(self):
+        """MM(a, b) = a*b*x^{-m} mod P, checked against field algebra."""
+        field = GF2m(P8)
+        # x^{-m} = inverse of x^m mod P
+        x_inv_m = field.inv(bitpoly_mod(1 << 3, P8))
+        for a in range(8):
+            for b in range(8):
+                expected = field.mul(field.mul(a, b), x_inv_m)
+                assert mont_mul(a, b, P8) == expected
+
+    def test_definition_exhaustive_gf16(self):
+        field = GF2m(P16)
+        x_inv_m = field.inv(bitpoly_mod(1 << 4, P16))
+        for a in range(16):
+            for b in range(16):
+                expected = field.mul(field.mul(a, b), x_inv_m)
+                assert mont_mul(a, b, P16) == expected
+
+    def test_operand_range_enforced(self):
+        with pytest.raises(ValueError):
+            mont_mul(16, 1, P16)
+
+    def test_degenerate_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            mont_mul(0, 0, 1)
+
+
+class TestDomainConversion:
+    def test_r2_value(self):
+        assert mont_r2(P16) == bitpoly_mod(1 << 8, P16)
+
+    def test_roundtrip(self):
+        for value in range(16):
+            assert from_mont(to_mont(value, P16), P16) == value
+
+    def test_composed_multiplication(self):
+        """MM(MM(a, b), R2) = a*b mod P — the full-multiplier identity
+        the gate-level Montgomery generator relies on."""
+        field = GF2m(P16)
+        r2 = mont_r2(P16)
+        for a in range(16):
+            for b in range(16):
+                step1 = mont_mul(a, b, P16)
+                result = mont_mul(step1, r2, P16)
+                assert result == field.mul(a, b)
+
+    def test_mont_domain_homomorphism(self):
+        """MM(ã, b̃) = (a*b)~ : multiplication commutes with the domain
+        map."""
+        field = GF2m(P8)
+        for a in range(8):
+            for b in range(8):
+                lhs = mont_mul(to_mont(a, P8), to_mont(b, P8), P8)
+                assert lhs == to_mont(field.mul(a, b), P8)

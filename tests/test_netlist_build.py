@@ -1,0 +1,119 @@
+"""Unit tests for NetlistBuilder."""
+
+import pytest
+
+from repro.netlist.build import NetlistBuilder
+from repro.netlist.gate import GateType
+from repro.netlist.netlist import NetlistError
+
+
+class TestBasics:
+    def test_fresh_nets_unique(self):
+        builder = NetlistBuilder("t", inputs=["a"])
+        names = {builder.fresh_net() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_finish_requires_outputs(self):
+        builder = NetlistBuilder("t", inputs=["a"])
+        builder.inv("a")
+        with pytest.raises(NetlistError):
+            builder.finish()
+
+    def test_explicit_output_name(self):
+        builder = NetlistBuilder("t", inputs=["a", "b"])
+        builder.and2("a", "b", output="y")
+        builder.set_outputs(["y"])
+        net = builder.finish()
+        assert net.simulate({"a": 1, "b": 1}) == {"y": 1}
+
+
+class TestTrees:
+    @pytest.mark.parametrize("balanced", [True, False])
+    def test_xor_tree_function(self, balanced):
+        builder = NetlistBuilder(
+            "t", inputs=list("abcde"), balanced_trees=balanced
+        )
+        out = builder.xor_tree(list("abcde"))
+        builder.set_outputs([out])
+        net = builder.finish()
+        for bits in range(32):
+            assignment = {
+                name: (bits >> i) & 1 for i, name in enumerate("abcde")
+            }
+            assert net.simulate(assignment)[out] == bin(bits).count("1") % 2
+
+    def test_balanced_tree_depth(self):
+        builder = NetlistBuilder("t", inputs=[f"i{k}" for k in range(16)])
+        out = builder.xor_tree([f"i{k}" for k in range(16)])
+        builder.set_outputs([out])
+        assert builder.finish().stats().depth == 4
+
+    def test_chain_tree_depth(self):
+        builder = NetlistBuilder(
+            "t", inputs=[f"i{k}" for k in range(16)], balanced_trees=False
+        )
+        out = builder.xor_tree([f"i{k}" for k in range(16)])
+        builder.set_outputs([out])
+        assert builder.finish().stats().depth == 15
+
+    def test_empty_xor_tree_is_const0(self):
+        builder = NetlistBuilder("t", inputs=["a"])
+        zero = builder.xor_tree([])
+        out = builder.or2("a", zero)
+        builder.set_outputs([out])
+        net = builder.finish()
+        assert net.simulate({"a": 0})[out] == 0
+
+    def test_empty_and_tree_is_const1(self):
+        builder = NetlistBuilder("t", inputs=["a"])
+        one = builder.and_tree([])
+        out = builder.and2("a", one)
+        builder.set_outputs([out])
+        assert builder.finish().simulate({"a": 1})[out] == 1
+
+    def test_single_element_tree_aliases(self):
+        builder = NetlistBuilder("t", inputs=["a"])
+        assert builder.xor_tree(["a"]) == "a"
+
+    def test_single_element_with_output_name_bufs(self):
+        builder = NetlistBuilder("t", inputs=["a"])
+        out = builder.xor_tree(["a"], output="y")
+        assert out == "y"
+        builder.set_outputs(["y"])
+        net = builder.finish()
+        assert net.driver_of("y").gtype is GateType.BUF
+
+
+class TestStrash:
+    def test_dedup_when_enabled(self):
+        builder = NetlistBuilder("t", inputs=["a", "b"], strash=True)
+        first = builder.and2("a", "b")
+        second = builder.and2("b", "a")  # commutative dedup
+        assert first == second
+        out = builder.xor2(first, "a")
+        builder.set_outputs([out])
+        assert len(builder.finish()) == 2
+
+    def test_no_dedup_by_default(self):
+        builder = NetlistBuilder("t", inputs=["a", "b"])
+        assert builder.and2("a", "b") != builder.and2("a", "b")
+
+    def test_explicit_output_bypasses_cache(self):
+        builder = NetlistBuilder("t", inputs=["a", "b"], strash=True)
+        builder.and2("a", "b")
+        named = builder.and2("a", "b", output="y")
+        assert named == "y"
+
+
+class TestConstants:
+    def test_const_cells_shared(self):
+        builder = NetlistBuilder("t", inputs=["a"])
+        assert builder.const0() == builder.const0()
+        assert builder.const1() == builder.const1()
+        out = builder.or2("a", builder.const0())
+        builder.set_outputs([out])
+        net = builder.finish()
+        const_count = sum(
+            1 for g in net.gates if g.gtype is GateType.CONST0
+        )
+        assert const_count == 1

@@ -1,0 +1,115 @@
+"""Tests for normal bases and the Massey-Omura generator (the
+polynomial-basis extraction negative case)."""
+
+import pytest
+
+from repro.extract.extractor import extract_irreducible_polynomial
+from repro.extract.verify import verify_multiplier
+from repro.fieldmath.gf2m import GF2m
+from repro.fieldmath.normal import NormalBasis, find_normal_element
+from repro.gen.normal_basis import generate_massey_omura
+from tests.conftest import bit_assignment, exhaustive_pairs
+
+
+class TestNormalBasis:
+    @pytest.mark.parametrize("modulus", [0b111, 0b1011, 0b10011, 0b100101])
+    def test_find_returns_spanning_orbit(self, modulus):
+        field = GF2m(modulus)
+        basis = NormalBasis.find(field)
+        assert len(set(basis.conjugates)) == field.m
+
+    def test_conversion_roundtrip(self):
+        field = GF2m(0b10011)
+        basis = NormalBasis.find(field)
+        for value in range(16):
+            assert basis.from_normal(basis.to_normal(value)) == value
+
+    def test_conversion_linear(self):
+        field = GF2m(0b1011)
+        basis = NormalBasis.find(field)
+        for a in range(8):
+            for b in range(8):
+                assert basis.to_normal(a ^ b) == (
+                    basis.to_normal(a) ^ basis.to_normal(b)
+                )
+
+    def test_squaring_is_cyclic_shift(self):
+        """The defining property of a normal basis."""
+        field = GF2m(0b10011)
+        basis = NormalBasis.find(field)
+        m = field.m
+        for value in range(16):
+            coords = basis.to_normal(value)
+            squared = basis.to_normal(field.square(value))
+            rotated = ((coords << 1) | (coords >> (m - 1))) & ((1 << m) - 1)
+            assert squared == rotated
+
+    def test_non_normal_element_rejected(self):
+        field = GF2m(0b1011)
+        # 1 is never normal for m > 1: its orbit is {1}.
+        with pytest.raises(ValueError):
+            NormalBasis(field, 1)
+
+    def test_find_normal_element_small(self):
+        assert find_normal_element(GF2m(0b111)) is not None
+
+    def test_large_m_refused(self):
+        field = GF2m(0b11, check_irreducible=False)
+        with pytest.raises(ValueError):
+            NormalBasis(GF2m((1 << 64) + 0b11011, check_irreducible=False), 2)
+
+    def test_complexity_lower_bound(self):
+        """C_N >= 2m - 1 for any normal basis."""
+        for modulus in (0b111, 0b1011, 0b10011):
+            field = GF2m(modulus)
+            basis = NormalBasis.find(field)
+            assert basis.complexity() >= 2 * field.m - 1
+
+
+class TestMasseyOmura:
+    @pytest.mark.parametrize("modulus, m", [(0b111, 2), (0b1011, 3), (0b10011, 4)])
+    def test_computes_field_product_in_normal_coords(self, modulus, m):
+        field = GF2m(modulus)
+        basis = NormalBasis.find(field)
+        netlist = generate_massey_omura(modulus)
+        for a_value, b_value in exhaustive_pairs(m):
+            coords_a = basis.to_normal(a_value)
+            coords_b = basis.to_normal(b_value)
+            assignment = bit_assignment(m, coords_a, coords_b)
+            values = netlist.simulate(assignment)
+            got = sum(values[f"z{i}"] << i for i in range(m))
+            expected = basis.to_normal(field.mul(a_value, b_value))
+            assert got == expected
+
+    def test_standard_port_names(self):
+        netlist = generate_massey_omura(0b1011)
+        assert netlist.outputs == ["z0", "z1", "z2"]
+
+    def test_rejects_degenerate_modulus(self):
+        with pytest.raises(ValueError):
+            generate_massey_omura(0b1)
+
+
+class TestExtractionNegativeCase:
+    """Algorithm 2 output on a normal-basis design must never verify.
+
+    Notably, Algorithm 2 *alone* can be fooled: for m=3 the
+    Massey-Omura expressions happen to contain the full out-field set
+    P_3 in bits 0 and 1, so extraction reports the (irreducible!)
+    x^3 + x + 1.  The golden-model equivalence check of the paper's
+    flow is what rejects the design — these tests pin down that the
+    check is load-bearing, not optional.
+    """
+
+    @pytest.mark.parametrize("modulus", [0b1011, 0b10011, 0b100101])
+    def test_extracted_polynomial_never_verifies(self, modulus):
+        netlist = generate_massey_omura(modulus)
+        result = extract_irreducible_polynomial(netlist)
+        report = verify_multiplier(netlist, result)
+        assert not report.equivalent
+
+    def test_m4_extraction_is_reducible(self):
+        """For m=4 not even Algorithm 2's membership test is satisfied:
+        the recovered mask is reducible, flagging the design early."""
+        result = extract_irreducible_polynomial(generate_massey_omura(0b10011))
+        assert not result.irreducible

@@ -1,0 +1,47 @@
+"""Tests for the out-field product set P_m (Theorem 3)."""
+
+import pytest
+
+from repro.extract.outfield import outfield_products
+
+
+def test_m2_single_product():
+    """Example 2: for m=2 the set is {a1*b1}."""
+    assert outfield_products(2) == [frozenset({"a1", "b1"})]
+
+
+def test_m4_products():
+    products = {tuple(sorted(mono)) for mono in outfield_products(4)}
+    assert products == {
+        ("a1", "b3"),
+        ("a2", "b2"),
+        ("a3", "b1"),
+    }
+
+
+def test_size_is_m_minus_1():
+    for m in (2, 3, 8, 16, 64):
+        assert len(outfield_products(m)) == m - 1
+
+
+def test_m1_empty_set():
+    """GF(2) has no out-field products; the membership test is
+    vacuously true, yielding P(x) = x + 1."""
+    assert outfield_products(1) == []
+
+
+def test_indices_sum_to_m():
+    for mono in outfield_products(8):
+        a_name = next(v for v in mono if v.startswith("a"))
+        b_name = next(v for v in mono if v.startswith("b"))
+        assert int(a_name[1:]) + int(b_name[1:]) == 8
+
+
+def test_custom_prefixes():
+    products = outfield_products(2, a_prefix="u", b_prefix="v")
+    assert products == [frozenset({"u1", "v1"})]
+
+
+def test_invalid_m():
+    with pytest.raises(ValueError):
+        outfield_products(0)

@@ -1,0 +1,133 @@
+"""Paper-exact regression tests: Figures 1-3 and the worked examples.
+
+Every number or expression printed in the paper's Sections II-III that
+our system reproduces is pinned here.
+"""
+
+import pytest
+
+from repro.extract.extractor import extract_irreducible_polynomial
+from repro.extract.verify import verify_multiplier
+from repro.fieldmath.reduction import (
+    column_contributions,
+    reduction_xor_cost,
+)
+from repro.gen.paper_examples import paper_figure2_multiplier
+from repro.gf2.parse import parse_poly
+from repro.rewrite.backward import backward_rewrite
+from repro.rewrite.signature import spec_expressions
+
+P1 = 0b11001  # x^4 + x^3 + 1
+P2 = 0b10011  # x^4 + x + 1
+
+
+class TestFigure1:
+    """The two GF(2^4) reduction tables."""
+
+    def test_p1_table_placement(self):
+        # P1: s4 lands in columns z3 and z0 -> P'(x) = x^3 + 1.
+        columns = column_contributions(P1)
+        s4_columns = [i for i in range(4) if 4 in columns[i]]
+        assert s4_columns == [0, 3]
+
+    def test_p2_table_placement(self):
+        # P2: s4 lands in columns z1 and z0 -> P'(x) = x + 1.
+        columns = column_contributions(P2)
+        s4_columns = [i for i in range(4) if 4 in columns[i]]
+        assert s4_columns == [0, 1]
+
+    def test_xor_counts_9_and_6(self):
+        """Section II-D: 'the number of XORs using P1(x) is
+        3+1+2+3=9; and using P2(x), the number of XORs is
+        1+2+2+1=6'."""
+        assert reduction_xor_cost(P1) == 9
+        assert reduction_xor_cost(P2) == 6
+
+    def test_p1_per_column_counts(self):
+        # Columns z3..z0 cost 3, 1, 2, 3 XORs (paper's order).
+        costs = [len(col) - 1 for col in column_contributions(P1)]
+        assert costs[::-1] == [3, 1, 2, 3]
+
+    def test_p2_per_column_counts(self):
+        costs = [len(col) - 1 for col in column_contributions(P2)]
+        assert costs[::-1] == [1, 2, 2, 1]
+
+
+class TestSectionIIC:
+    """The z0..z3 expressions printed for P2 = x^4 + x + 1."""
+
+    def test_all_four_output_expressions(self):
+        spec = spec_expressions(P2)
+        assert spec[0] == parse_poly("a0*b0 + a1*b3 + a2*b2 + a3*b1")
+        assert spec[1] == parse_poly(
+            "a0*b1 + a1*b0 + a1*b3 + a2*b2 + a3*b1 + a2*b3 + a3*b2"
+        )
+        assert spec[2] == parse_poly(
+            "a0*b2 + a1*b1 + a2*b0 + a2*b3 + a3*b2 + a3*b3"
+        )
+        assert spec[3] == parse_poly(
+            "a0*b3 + a1*b2 + a2*b1 + a3*b0 + a3*b3"
+        )
+
+
+class TestFigure2And3:
+    """Example 1: the post-synthesized GF(2^2) multiplier."""
+
+    def test_circuit_has_seven_gates(self, figure2_netlist):
+        assert len(figure2_netlist) == 7  # G0 .. G6
+
+    def test_final_expressions(self, figure2_netlist):
+        """'z0=a0b0+a1b1, z1=a1b1+a1b0+a0b1' (Figure 3, last line)."""
+        z0, _ = backward_rewrite(figure2_netlist, "z0")
+        z1, _ = backward_rewrite(figure2_netlist, "z1")
+        assert z0 == parse_poly("a0*b0 + a1*b1")
+        assert z1 == parse_poly("a1*b1 + a1*b0 + a0*b1")
+
+    def test_circuit_is_a_correct_gf4_multiplier(self, figure2_netlist):
+        from repro.fieldmath.gf2m import GF2m
+
+        field = GF2m(0b111)
+        for a_value in range(4):
+            for b_value in range(4):
+                env = {
+                    "a0": a_value & 1, "a1": (a_value >> 1) & 1,
+                    "b0": b_value & 1, "b1": (b_value >> 1) & 1,
+                }
+                outputs = figure2_netlist.simulate(env)
+                product = outputs["z0"] | (outputs["z1"] << 1)
+                assert product == field.mul(a_value, b_value)
+
+    def test_example2_extraction(self, figure2_netlist):
+        """Example 2: P_3={a1b1} appears in both z0 and z1, so
+        P(x) = x^2 + x + 1."""
+        result = extract_irreducible_polynomial(figure2_netlist)
+        assert result.polynomial_str == "x^2 + x + 1"
+        report = verify_multiplier(figure2_netlist, result)
+        assert report.equivalent
+
+    def test_rewriting_is_parallel_per_bit(self, figure2_netlist):
+        """'z0 and z1 are rewritten in two threads' — the two cones
+        are independent: z0's cone never contains G1-G4."""
+        cone_z0 = {g.output for g in figure2_netlist.cone_gates("z0")}
+        assert cone_z0 == {"s0", "s2", "z0"}
+        cone_z1 = {g.output for g in figure2_netlist.cone_gates("z1")}
+        assert cone_z1 == {"p0", "p1", "s1", "s2", "z1"}
+
+
+class TestTheorem3Statement:
+    """x^i ∈ P(x) iff the whole P_m set is in z_i's expression."""
+
+    @pytest.mark.parametrize("modulus", [P1, P2, 0x11B, 0b1011])
+    def test_membership_pattern_matches_p(self, modulus):
+        from repro.extract.outfield import outfield_products
+        from repro.gen.mastrovito import generate_mastrovito
+        from repro.rewrite.parallel import extract_expressions
+
+        m = modulus.bit_length() - 1
+        netlist = generate_mastrovito(modulus)
+        run = extract_expressions(netlist)
+        products = outfield_products(m)
+        for bit in range(m):
+            in_p = bool((modulus >> bit) & 1)
+            present = run.expressions[f"z{bit}"].contains_all(products)
+            assert present == in_p

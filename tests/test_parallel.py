@@ -1,0 +1,67 @@
+"""Tests for the parallel extraction driver."""
+
+import pytest
+
+from repro.gen.mastrovito import generate_mastrovito
+from repro.gen.montgomery import generate_montgomery
+from repro.rewrite.backward import TermLimitExceeded
+from repro.rewrite.parallel import extract_expressions
+
+
+class TestSequential:
+    def test_all_outputs_extracted(self):
+        netlist = generate_mastrovito(0b10011)
+        run = extract_expressions(netlist)
+        assert set(run.expressions) == {"z0", "z1", "z2", "z3"}
+        assert run.jobs == 1
+
+    def test_subset_of_outputs(self):
+        netlist = generate_mastrovito(0b10011)
+        run = extract_expressions(netlist, outputs=["z2"])
+        assert set(run.expressions) == {"z2"}
+
+    def test_memory_measurement(self):
+        netlist = generate_mastrovito(0b10011)
+        run = extract_expressions(netlist, measure_memory=True)
+        assert run.peak_memory_bytes is not None
+        assert run.peak_memory_bytes > 0
+
+    def test_aggregate_stats(self):
+        netlist = generate_mastrovito(0b10011)
+        run = extract_expressions(netlist)
+        assert run.total_iterations >= len(netlist.outputs)
+        assert run.peak_terms >= 1
+        assert run.wall_time_s >= 0
+
+
+class TestParallel:
+    def test_parallel_matches_sequential(self):
+        netlist = generate_montgomery(0b10011)
+        sequential = extract_expressions(netlist, jobs=1)
+        parallel = extract_expressions(netlist, jobs=4)
+        assert parallel.expressions == sequential.expressions
+        assert parallel.jobs == 4
+
+    def test_jobs_capped_by_outputs(self):
+        netlist = generate_mastrovito(0b111)
+        run = extract_expressions(netlist, jobs=64)
+        assert run.jobs == 2  # only two output bits
+
+    def test_jobs_zero_uses_cpu_count(self):
+        netlist = generate_mastrovito(0b10011)
+        run = extract_expressions(netlist, jobs=0)
+        assert 1 <= run.jobs <= 4  # capped by 4 outputs
+
+    def test_term_limit_propagates_to_workers(self):
+        netlist = generate_montgomery(0b10011)
+        with pytest.raises(TermLimitExceeded):
+            extract_expressions(netlist, jobs=2, term_limit=3)
+
+
+class TestPerBitSeries:
+    def test_series_sorted_by_position(self):
+        netlist = generate_mastrovito(0b10011)
+        run = extract_expressions(netlist)
+        series = run.per_bit_runtimes()
+        assert [pos for pos, _ in series] == [0, 1, 2, 3]
+        assert all(runtime >= 0 for _, runtime in series)

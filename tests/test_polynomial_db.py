@@ -1,0 +1,101 @@
+"""Unit tests for the irreducible polynomial database."""
+
+import pytest
+
+from repro.fieldmath.bitpoly import bitpoly_degree, bitpoly_str
+from repro.fieldmath.irreducible import is_irreducible
+from repro.fieldmath.polynomial_db import (
+    ARCH_OPTIMAL_233,
+    NIST_POLYNOMIALS,
+    PAPER_POLYNOMIALS,
+    arch_optimal_polynomials,
+    nist_polynomial,
+    paper_polynomial,
+    scaled_arch_suite,
+)
+
+
+class TestNistDatabase:
+    def test_all_entries_irreducible(self):
+        for m, poly in NIST_POLYNOMIALS.items():
+            assert bitpoly_degree(poly) == m
+            assert is_irreducible(poly)
+
+    def test_known_strings(self):
+        assert bitpoly_str(nist_polynomial(233)) == "x^233 + x^74 + 1"
+        assert bitpoly_str(nist_polynomial(409)) == "x^409 + x^87 + 1"
+        assert (
+            bitpoly_str(nist_polynomial(571)) == "x^571 + x^10 + x^5 + x^2 + 1"
+        )
+
+    def test_missing_size_raises(self):
+        with pytest.raises(KeyError):
+            nist_polynomial(128)
+
+
+class TestPaperDatabase:
+    def test_all_entries_irreducible(self):
+        for m, poly in PAPER_POLYNOMIALS.items():
+            assert bitpoly_degree(poly) == m
+            assert is_irreducible(poly)
+
+    def test_table1_polynomials_verbatim(self):
+        assert bitpoly_str(paper_polynomial(64)) == (
+            "x^64 + x^21 + x^19 + x^4 + 1"
+        )
+        assert bitpoly_str(paper_polynomial(96)) == (
+            "x^96 + x^44 + x^7 + x^2 + 1"
+        )
+        assert bitpoly_str(paper_polynomial(163)) == (
+            "x^163 + x^80 + x^47 + x^9 + 1"
+        )
+
+    def test_missing_size_raises(self):
+        with pytest.raises(KeyError):
+            paper_polynomial(100)
+
+
+class TestArchOptimal:
+    def test_table4_entries_verbatim(self):
+        rendered = {
+            name: bitpoly_str(poly) for name, poly in ARCH_OPTIMAL_233.items()
+        }
+        assert rendered == {
+            "Intel-Pentium": "x^233 + x^201 + x^105 + x^9 + 1",
+            "ARM": "x^233 + x^159 + 1",
+            "MSP430": "x^233 + x^185 + x^121 + x^105 + 1",
+            "NIST-recommended": "x^233 + x^74 + 1",
+        }
+
+    def test_all_irreducible_degree_233(self):
+        for poly in ARCH_OPTIMAL_233.values():
+            assert bitpoly_degree(poly) == 233
+            assert is_irreducible(poly)
+
+    def test_ordering_matches_table(self):
+        names = [name for name, _ in arch_optimal_polynomials()]
+        assert names == [
+            "Intel-Pentium",
+            "ARM",
+            "MSP430",
+            "NIST-recommended",
+        ]
+
+
+class TestScaledSuite:
+    @pytest.mark.parametrize("m", [12, 16, 20, 28, 64])
+    def test_suite_is_valid(self, m):
+        suite = scaled_arch_suite(m)
+        assert 2 <= len(suite) <= 4
+        seen = set()
+        for name, poly in suite:
+            assert bitpoly_degree(poly) == m
+            assert is_irreducible(poly)
+            assert poly not in seen
+            seen.add(poly)
+
+    def test_suite_has_structural_variety(self):
+        suite = dict(scaled_arch_suite(28))
+        weights = {bin(p).count("1") for p in suite.values()}
+        # At least a trinomial (weight 3) and a pentanomial (weight 5).
+        assert 3 in weights and 5 in weights

@@ -1,0 +1,87 @@
+"""Tests for the extraction-cost prediction model (Table IV / Fig. 4)."""
+
+import pytest
+
+from repro.analysis.predict import (
+    cost_correlation,
+    predicted_column_cost,
+    predicted_total_cost,
+    rank_polynomials,
+)
+from repro.extract.extractor import extract_irreducible_polynomial
+from repro.gen.mastrovito import generate_mastrovito
+
+
+class TestColumnCost:
+    def test_paper_example_columns(self):
+        """Figure 1: under P2 = x^4+x+1 column z1 is the heaviest."""
+        costs = predicted_column_cost(0b10011)
+        assert costs == [4, 7, 6, 5]
+
+    def test_alternative_polynomial_costs_more(self):
+        """Section II-D: x^4+x^3+1 needs 9 reduction XORs, x^4+x+1
+        only 6 — the total model preserves the ordering."""
+        assert predicted_total_cost(0b10011) < predicted_total_cost(0b11001)
+
+    def test_trinomial_cheaper_than_pentanomial(self):
+        trinomial = (1 << 16) | (1 << 5) | 1
+        pentanomial = (1 << 16) | (1 << 12) | (1 << 9) | (1 << 5) | 1
+        assert predicted_total_cost(trinomial) < predicted_total_cost(
+            pentanomial
+        )
+
+
+class TestRanking:
+    def test_rank_matches_totals(self):
+        moduli = {
+            "cheap": 0b10011,
+            "dear": 0b11001,
+        }
+        assert rank_polynomials(moduli) == ["cheap", "dear"]
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        assert cost_correlation([1, 2, 3], [5, 6, 7]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert cost_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series(self):
+        assert cost_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cost_correlation([1], [1, 2])
+        with pytest.raises(ValueError):
+            cost_correlation([1], [1])
+
+
+class TestModelAgainstMeasurement:
+    def test_predicted_ranking_matches_measured_runtime(self):
+        """The model's whole point: predicted cost ordering matches
+        measured extraction runtime ordering at fixed m."""
+        cheap = (1 << 32) | (1 << 7) | (1 << 3) | (1 << 2) | 1
+        dear = (1 << 32) | (1 << 31) | (1 << 30) | (1 << 7) | 1
+        assert predicted_total_cost(cheap) < predicted_total_cost(dear)
+        runtime = {}
+        for label, modulus in (("cheap", cheap), ("dear", dear)):
+            result = extract_irreducible_polynomial(
+                generate_mastrovito(modulus)
+            )
+            assert result.modulus == modulus
+            runtime[label] = result.total_time_s
+        assert runtime["cheap"] < runtime["dear"]
+
+    def test_per_bit_costs_track_expression_sizes(self):
+        """Column cost predicts the final expression term counts
+        exactly for a Mastrovito netlist (cost = terms per column)."""
+        modulus = 0b100011011
+        netlist = generate_mastrovito(modulus)
+        result = extract_irreducible_polynomial(netlist)
+        predicted = predicted_column_cost(modulus)
+        measured = [
+            result.run.expressions[f"z{i}"].term_count()
+            for i in range(8)
+        ]
+        assert cost_correlation(predicted, measured) > 0.95

@@ -1,0 +1,92 @@
+"""Unit tests for reduction rows and the Section II-D XOR cost model."""
+
+import pytest
+
+from repro.fieldmath.bitpoly import bitpoly_mod
+from repro.fieldmath.reduction import (
+    column_contributions,
+    reduction_rows,
+    reduction_table,
+    reduction_xor_cost,
+    xor_cost_report,
+)
+
+P1 = 0b11001  # x^4 + x^3 + 1
+P2 = 0b10011  # x^4 + x + 1
+
+
+class TestReductionRows:
+    def test_rows_are_reduced_powers(self):
+        rows = reduction_rows(P2)
+        assert len(rows) == 3
+        for t, row in enumerate(rows):
+            assert row == bitpoly_mod(1 << (4 + t), P2)
+            assert row < (1 << 4)
+
+    def test_first_row_is_p_prime(self):
+        # x^m mod P = P'(x) = P(x) - x^m.
+        assert reduction_rows(P1)[0] == P1 ^ (1 << 4)
+        assert reduction_rows(P2)[0] == P2 ^ (1 << 4)
+
+    def test_degenerate_degree_rejected(self):
+        with pytest.raises(ValueError):
+            reduction_rows(1)
+
+    def test_degree_one(self):
+        # GF(2): no out-field coefficients at all.
+        assert reduction_rows(0b11) == []
+
+
+class TestColumns:
+    def test_figure1_p2_columns(self):
+        # Figure 1, right table: s4 -> z0,z1; s5 -> z1,z2; s6 -> z2,z3.
+        columns = column_contributions(P2)
+        assert columns[0] == [0, 4]
+        assert columns[1] == [1, 4, 5]
+        assert columns[2] == [2, 5, 6]
+        assert columns[3] == [3, 6]
+
+    def test_figure1_p1_columns(self):
+        # Figure 1, left table: s4 -> z0,z3; s5 -> z0,z1,z3; s6 -> all.
+        columns = column_contributions(P1)
+        assert columns[0] == [0, 4, 5, 6]
+        assert columns[1] == [1, 5, 6]
+        assert columns[2] == [2, 6]
+        assert columns[3] == [3, 4, 5, 6]
+
+
+class TestXorCost:
+    def test_paper_values(self):
+        """Section II-D: 9 XORs for P1, 6 for P2."""
+        assert reduction_xor_cost(P1) == 9
+        assert reduction_xor_cost(P2) == 6
+
+    def test_trinomial_cheaper_than_pentanomial_233(self):
+        from repro.fieldmath.polynomial_db import ARCH_OPTIMAL_233
+
+        costs = {
+            name: reduction_xor_cost(poly)
+            for name, poly in ARCH_OPTIMAL_233.items()
+        }
+        assert costs["ARM"] < costs["Intel-Pentium"]
+        assert costs["NIST-recommended"] < costs["MSP430"]
+
+    def test_cost_equals_total_row_weight(self):
+        # Sum over columns of (terms - 1) telescopes to the total
+        # popcount of the reduction rows.
+        for modulus in (P1, P2, 0b11111, 0b1011, 0b1100001):
+            rows = reduction_rows(modulus)
+            expected = sum(bin(row).count("1") for row in rows)
+            assert reduction_xor_cost(modulus) == expected
+
+
+class TestRendering:
+    def test_table_contains_all_cells(self):
+        text = reduction_table(P2)
+        assert "s4" in text and "s6" in text and "z0" in text
+        assert "x^4 + x + 1" in text
+
+    def test_report_lists_all_polynomials(self):
+        report = xor_cost_report({"P1": P1, "P2": P2})
+        assert "P1" in report and "P2" in report
+        assert "9" in report and "6" in report

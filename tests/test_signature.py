@@ -1,0 +1,69 @@
+"""Tests for output/input signatures and specification expressions."""
+
+import pytest
+
+from repro.fieldmath.gf2m import GF2m
+from repro.gf2.parse import parse_poly
+from repro.rewrite.signature import (
+    output_signature,
+    spec_expression,
+    spec_expressions,
+)
+
+
+class TestOutputSignature:
+    def test_shape(self):
+        sig = output_signature(4)
+        assert set(sig) == {0, 1, 2, 3}
+        assert str(sig[2]) == "z2"
+
+
+class TestSpecExpressions:
+    def test_paper_gf4_example(self):
+        """Section II-C lists z0..z3 for P2 = x^4 + x + 1 (in s_k form);
+        expanded to products they must match spec_expressions."""
+        spec = spec_expressions(0b10011)
+        # z0 = s0 + s4 = a0b0 + (a1b3 + a2b2 + a3b1)
+        assert spec[0] == parse_poly(
+            "a0*b0 + a1*b3 + a2*b2 + a3*b1"
+        )
+        # z2 as printed in the paper (Section II-C).
+        assert spec[2] == parse_poly(
+            "a0*b2 + a1*b1 + a2*b0 + a2*b3 + a3*b2 + a3*b3"
+        )
+        # z3 as printed in the paper.
+        assert spec[3] == parse_poly(
+            "a0*b3 + a1*b2 + a2*b1 + a3*b0 + a3*b3"
+        )
+
+    def test_gf2_example(self):
+        spec = spec_expressions(0b111)
+        assert spec[0] == parse_poly("a0*b0 + a1*b1")
+        assert spec[1] == parse_poly("a0*b1 + a1*b0 + a1*b1")
+
+    def test_single_bit_matches_full(self):
+        modulus = 0b11001
+        full = spec_expressions(modulus)
+        for bit in range(4):
+            assert spec_expression(modulus, bit) == full[bit]
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(ValueError):
+            spec_expression(0b111, 5)
+
+    def test_spec_evaluates_to_field_product(self):
+        """The symbolic spec agrees with GF2m.mul pointwise."""
+        modulus = 0b1011
+        field = GF2m(modulus)
+        spec = spec_expressions(modulus)
+        for a_value in range(8):
+            for b_value in range(8):
+                env = {f"a{i}": (a_value >> i) & 1 for i in range(3)}
+                env.update({f"b{i}": (b_value >> i) & 1 for i in range(3)})
+                product = field.mul(a_value, b_value)
+                for bit in range(3):
+                    assert spec[bit].evaluate(env) == (product >> bit) & 1
+
+    def test_custom_prefixes(self):
+        spec = spec_expression(0b111, 0, a_prefix="u", b_prefix="v")
+        assert spec == parse_poly("u0*v0 + u1*v1")

@@ -1,0 +1,110 @@
+"""Tests for the simulation-probe baseline and its soundness gap."""
+
+import pytest
+
+from repro.baselines.simprobe import probe_polynomial, probe_then_extract
+from repro.gen.faults import stuck_at, swap_input
+from repro.gen.interleaved import generate_interleaved
+from repro.gen.karatsuba import generate_karatsuba
+from repro.gen.mastrovito import generate_mastrovito
+from repro.gen.montgomery import generate_montgomery
+from repro.gen.normal_basis import generate_massey_omura
+
+
+class TestProbeOnHonestDesigns:
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            generate_mastrovito,
+            generate_montgomery,
+            generate_karatsuba,
+            generate_interleaved,
+        ],
+        ids=["mastrovito", "montgomery", "karatsuba", "interleaved"],
+    )
+    @pytest.mark.parametrize("modulus", [0b1011, 0b10011, 0b100101])
+    def test_recovers_polynomial(self, generator, modulus):
+        result = probe_polynomial(generator(modulus))
+        assert result.modulus == modulus
+        assert result.consistent
+        assert result.irreducible
+
+    def test_vector_budget_is_tiny(self):
+        result = probe_polynomial(generate_mastrovito(0b10011))
+        assert result.vectors_used <= 5
+
+    def test_m1_out_of_scope(self):
+        result = probe_polynomial(generate_mastrovito(0b11))
+        assert result.modulus is None
+
+
+class TestProbeUnsoundness:
+    """The reason the paper's algebraic method exists."""
+
+    def test_fooled_by_fault_outside_probe_support(self):
+        """A fault that does not affect the probe vectors slips
+        through: some stuck-at mutant yields the correct-looking,
+        consistent, irreducible mask while being a broken multiplier."""
+        clean = generate_mastrovito(0b10011)
+        fooled = False
+        for gate in clean.gates:
+            for value in (0, 1):
+                buggy, _ = stuck_at(clean, gate.output, value)
+                probe = probe_polynomial(buggy)
+                if (
+                    probe.modulus == 0b10011
+                    and probe.consistent
+                    and probe.irreducible
+                ):
+                    # Confirm the mutant is really broken somewhere.
+                    from repro.extract.diagnose import diagnose
+
+                    if not diagnose(buggy).is_clean:
+                        fooled = True
+                        break
+            if fooled:
+                break
+        assert fooled, "expected at least one fault invisible to the probe"
+
+    def test_extraction_catches_what_probe_misses(self):
+        """probe_then_extract: the probe answers fast, the extraction
+        answers *correctly* — on a mutant they disagree or the
+        verification fails."""
+        clean = generate_mastrovito(0b10011)
+        for seed in range(20):
+            for gate in clean.gates:
+                buggy, _ = swap_input(clean, gate.output, seed=seed)
+                probe, extraction = probe_then_extract(buggy)
+                if probe.modulus == 0b10011 and probe.consistent:
+                    from repro.extract.verify import verify_multiplier
+
+                    report = verify_multiplier(buggy, extraction)
+                    if not report.equivalent:
+                        return  # extraction flagged what probe accepted
+        pytest.skip("no probe-fooling swap found in budget")
+
+    def test_normal_basis_sometimes_confuses_probe(self):
+        """On a wrong-basis design the probe returns garbage with no
+        indication anything is wrong (it may even be irreducible) —
+        only the algebraic flow classifies the design."""
+        probe = probe_polynomial(generate_massey_omura(0b10011))
+        # No assertion on the mask itself (basis-dependent); what
+        # matters is the probe has no mechanism to flag the design.
+        assert probe.modulus is not None
+
+
+class TestProbeThenExtract:
+    def test_agreement_on_honest_design(self):
+        netlist = generate_montgomery(0b10011)
+        probe, extraction = probe_then_extract(netlist)
+        assert probe.modulus == extraction.modulus == 0b10011
+
+    def test_probe_is_faster(self):
+        """The probe's whole point is speed; at m=16 extraction does
+        strictly more work than five simulation passes, by a margin
+        that survives CI timing noise."""
+        modulus = (1 << 16) | 0b101011  # x^16+x^5+x^3+x+1
+        netlist = generate_mastrovito(modulus)
+        probe, extraction = probe_then_extract(netlist)
+        assert probe.modulus == extraction.modulus == modulus
+        assert probe.runtime_s < extraction.total_time_s

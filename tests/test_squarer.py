@@ -1,0 +1,118 @@
+"""Tests for the squarer generator and the P(x)-from-squarer extension."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.extract.squarer import (
+    SquarerExtractionError,
+    extract_squarer_polynomial,
+)
+from repro.fieldmath.gf2m import GF2m
+from repro.gen.mastrovito import generate_mastrovito
+from repro.gen.squarer import generate_squarer, squaring_matrix
+from repro.netlist.gate import GateType
+from tests.test_property_extraction import random_irreducible
+
+
+class TestSquaringMatrix:
+    def test_low_columns_are_even_powers(self):
+        columns = squaring_matrix(0b10011)
+        assert columns[0] == 0b0001  # x^0
+        assert columns[1] == 0b0100  # x^2
+
+    def test_outfield_column_is_reduced(self):
+        # x^4 mod (x^4+x+1) = x + 1
+        assert squaring_matrix(0b10011)[2] == 0b0011
+
+    def test_full_rank_for_irreducible(self):
+        from repro.fieldmath.linalg2 import gf2_rank, transpose
+
+        for modulus in (0b111, 0b1011, 0b10011, 0b100101, 0b100011011):
+            m = modulus.bit_length() - 1
+            columns = squaring_matrix(modulus)
+            assert gf2_rank(transpose(columns, m)) == m
+
+
+class TestGenerateSquarer:
+    @pytest.mark.parametrize(
+        "modulus, m",
+        [(0b111, 2), (0b1011, 3), (0b10011, 4), (0b100101, 5)],
+    )
+    def test_matches_field_square(self, modulus, m):
+        field = GF2m(modulus)
+        netlist = generate_squarer(modulus)
+        for value in range(1 << m):
+            assignment = {f"a{i}": (value >> i) & 1 for i in range(m)}
+            values = netlist.simulate(assignment)
+            got = sum(values[f"z{i}"] << i for i in range(m))
+            assert got == field.square(value)
+
+    def test_xor_only(self):
+        netlist = generate_squarer(0b100011011)
+        types = {g.gtype for g in netlist.gates}
+        assert types <= {GateType.XOR, GateType.BUF, GateType.CONST0}
+
+    def test_much_smaller_than_multiplier(self):
+        modulus = 0b100011011
+        assert len(generate_squarer(modulus)) < len(
+            generate_mastrovito(modulus)
+        ) / 4
+
+    def test_rejects_degenerate_modulus(self):
+        with pytest.raises(ValueError):
+            generate_squarer(0b1)
+
+
+class TestExtractFromSquarer:
+    @pytest.mark.parametrize(
+        "modulus",
+        [0b111, 0b1011, 0b10011, 0b11001, 0b100101, 0b1000011, 0b100011011],
+        ids=["m2", "m3", "m4", "m4-alt", "m5", "m6", "m8-aes"],
+    )
+    def test_roundtrip(self, modulus):
+        result = extract_squarer_polynomial(generate_squarer(modulus))
+        assert result.modulus == modulus
+        assert result.irreducible
+        assert result.verified
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(modulus=random_irreducible(min_m=2, max_m=10))
+    def test_roundtrip_property(self, modulus):
+        """Even and odd m exercise the two recovery branches."""
+        result = extract_squarer_polynomial(generate_squarer(modulus))
+        assert result.modulus == modulus
+        assert result.verified
+
+    def test_multiplier_rejected_as_nonlinear(self):
+        multiplier = generate_mastrovito(0b10011)
+        # Drop the b inputs is impossible — ports differ; the expected
+        # failure is the port shape check.
+        with pytest.raises(SquarerExtractionError):
+            extract_squarer_polynomial(multiplier)
+
+    def test_faulty_squarer_fails_verification(self):
+        from repro.gen.faults import swap_input
+
+        clean = generate_squarer(0b100101)
+        flagged = 0
+        candidates = 0
+        for seed in range(8):
+            target = clean.gates[seed % len(clean.gates)].output
+            buggy, _ = swap_input(clean, target, seed=seed)
+            try:
+                result = extract_squarer_polynomial(buggy)
+            except SquarerExtractionError:
+                flagged += 1  # nonlinearity cannot occur; count anyway
+                continue
+            candidates += 1
+            if not result.verified or result.modulus != 0b100101:
+                flagged += 1
+        assert flagged >= max(1, candidates // 2)
+
+    def test_observed_columns_exposed(self):
+        result = extract_squarer_polynomial(generate_squarer(0b1011))
+        assert result.observed_columns == squaring_matrix(0b1011)

@@ -1,0 +1,68 @@
+"""Tests for the dead-logic sweep pass and cross-process exceptions.
+
+The exception pickling test is a regression guard: ``TermLimitExceeded``
+once failed to unpickle in the parent process (its constructor takes
+three arguments but the pickled payload carried only the formatted
+message), which deadlocked the multiprocessing pool forever instead of
+propagating the memory-out condition.
+"""
+
+import pickle
+
+from repro.gen.mastrovito import generate_mastrovito
+from repro.gen.redundancy import decorate_with_redundancy
+from repro.netlist.build import NetlistBuilder
+from repro.netlist.gate import GateType
+from repro.rewrite.backward import BackwardRewriteError, TermLimitExceeded
+from repro.synth.sweep import sweep_dead_gates
+
+
+class TestSweepDeadGates:
+    def test_dead_gate_removed(self):
+        builder = NetlistBuilder("t", inputs=["a", "b"])
+        live = builder.and2("a", "b")
+        builder.xor2("a", "b")  # dead
+        builder.set_outputs([live])
+        swept = sweep_dead_gates(builder.finish())
+        assert len(swept) == 1
+        assert swept.gates[0].gtype is GateType.AND
+
+    def test_live_chain_kept(self):
+        builder = NetlistBuilder("t", inputs=["a", "b", "c"])
+        s1 = builder.and2("a", "b")
+        s2 = builder.xor2(s1, "c")
+        builder.set_outputs([s2])
+        swept = sweep_dead_gates(builder.finish())
+        assert len(swept) == 2
+
+    def test_outputs_preserved(self):
+        netlist = generate_mastrovito(0b10011)
+        swept = sweep_dead_gates(netlist)
+        assert swept.outputs == netlist.outputs
+        assert swept.inputs == netlist.inputs
+
+    def test_fully_live_netlist_unchanged_in_size(self):
+        netlist = generate_mastrovito(0b1011)
+        assert len(sweep_dead_gates(netlist)) == len(netlist)
+
+    def test_function_preserved(self):
+        netlist = generate_mastrovito(0b10011)
+        swept = sweep_dead_gates(decorate_with_redundancy(netlist))
+        vec = {f"a{i}": (0b1101 >> i) & 1 for i in range(4)}
+        vec.update({f"b{i}": (0b0111 >> i) & 1 for i in range(4)})
+        assert swept.simulate(vec) == netlist.simulate(vec)
+
+
+class TestExceptionPickling:
+    def test_term_limit_exceeded_roundtrip(self):
+        original = TermLimitExceeded("z5", 1024, 512)
+        clone = pickle.loads(pickle.dumps(original))
+        assert isinstance(clone, TermLimitExceeded)
+        assert clone.output == "z5"
+        assert clone.terms == 1024
+        assert clone.limit == 512
+        assert "memory-out" in str(clone)
+
+    def test_term_limit_is_backward_rewrite_error(self):
+        error = TermLimitExceeded("z0", 10, 5)
+        assert isinstance(error, BackwardRewriteError)

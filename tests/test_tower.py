@@ -1,0 +1,122 @@
+"""Tests for tower fields GF((2^k)^2) and the composite multiplier."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extract.diagnose import Verdict, diagnose
+from repro.fieldmath.gf2m import GF2m
+from repro.fieldmath.tower import TowerField
+from repro.gen.tower import generate_tower, tower_reference
+from tests.conftest import bit_assignment, exhaustive_pairs
+
+TOWER44 = TowerField(GF2m(0b10011))  # GF((2^4)^2), 256 elements
+TOWER22 = TowerField(GF2m(0b111))    # GF((2^2)^2), 16 elements
+
+
+class TestTowerField:
+    def test_order(self):
+        assert TOWER44.order == 256
+        assert TOWER44.m == 8
+
+    def test_trace_condition_enforced(self):
+        base = GF2m(0b10011)
+        trace0 = next(
+            value for value in base.elements()
+            if value and base.trace(value) == 0
+        )
+        with pytest.raises(ValueError):
+            TowerField(base, nu=trace0)
+
+    def test_split_join_roundtrip(self):
+        for value in range(256):
+            high, low = TOWER44.split(value)
+            assert TOWER44.join(high, low) == value
+
+    def test_multiplicative_identity(self):
+        for value in range(1, 256):
+            assert TOWER44.mul(value, 1) == value
+
+    def test_inverse(self):
+        for value in range(1, 256):
+            assert TOWER44.mul(TOWER44.inv(value), value) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            TOWER44.inv(0)
+
+    def test_fermat(self):
+        """v^(2^8 - 1) = 1 for nonzero v: the tower is a 256-element
+        field, not just a ring."""
+        for value in (1, 2, 3, 0x53, 0xCA, 0xFF):
+            assert TOWER44.pow(value, 255) == 1
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=150)
+    def test_field_axioms_sampled(self, a, b, c):
+        tower = TOWER22
+        assert tower.mul(a, b) == tower.mul(b, a)
+        assert tower.mul(a, tower.mul(b, c)) == tower.mul(
+            tower.mul(a, b), c
+        )
+        assert tower.mul(a, b ^ c) == tower.mul(a, b) ^ tower.mul(a, c)
+
+    def test_square_is_frobenius_linear(self):
+        for a in range(16):
+            for b in range(16):
+                assert TOWER22.square(a ^ b) == (
+                    TOWER22.square(a) ^ TOWER22.square(b)
+                )
+
+
+class TestGenerateTower:
+    @pytest.mark.parametrize(
+        "base_modulus, k", [(0b111, 2), (0b1011, 3)], ids=["k2", "k3"]
+    )
+    def test_matches_word_level_model(self, base_modulus, k):
+        tower = tower_reference(base_modulus)
+        netlist = generate_tower(base_modulus)
+        m = 2 * k
+        for a_value, b_value in exhaustive_pairs(m):
+            assignment = bit_assignment(m, a_value, b_value)
+            values = netlist.simulate(assignment)
+            got = sum(values[f"z{i}"] << i for i in range(m))
+            assert got == tower.mul(a_value, b_value)
+
+    def test_explicit_nu(self):
+        base = GF2m(0b111)
+        nu = next(
+            value for value in base.elements()
+            if value and base.trace(value) == 1
+        )
+        netlist = generate_tower(0b111, nu=nu)
+        tower = TowerField(base, nu=nu)
+        for a_value, b_value in exhaustive_pairs(4):
+            assignment = bit_assignment(4, a_value, b_value)
+            values = netlist.simulate(assignment)
+            got = sum(values[f"z{i}"] << i for i in range(4))
+            assert got == tower.mul(a_value, b_value)
+
+    def test_standard_ports(self):
+        netlist = generate_tower(0b111)
+        assert sorted(netlist.inputs) == [
+            "a0", "a1", "a2", "a3", "b0", "b1", "b2", "b3",
+        ]
+
+    def test_rejects_degenerate_subfield(self):
+        with pytest.raises(ValueError):
+            generate_tower(0b1)
+
+
+class TestTowerDiagnosis:
+    """A tower multiplier is a real 2^{2k}-element field multiplier,
+    but not in polynomial basis: the audit must reject it."""
+
+    @pytest.mark.parametrize("base_modulus", [0b111, 0b1011])
+    def test_polynomial_basis_extraction_rejects(self, base_modulus):
+        diagnosis = diagnose(generate_tower(base_modulus))
+        assert diagnosis.verdict in (
+            Verdict.REDUCIBLE_POLYNOMIAL,
+            Verdict.NOT_EQUIVALENT,
+        )
+        assert not diagnosis.is_clean

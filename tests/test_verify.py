@@ -1,0 +1,87 @@
+"""Tests for golden-model verification."""
+
+import pytest
+
+from repro.extract.extractor import extract_irreducible_polynomial
+from repro.extract.verify import verify_multiplier
+from repro.gen.mastrovito import generate_mastrovito
+from repro.gen.montgomery import generate_montgomery
+from repro.netlist.gate import Gate, GateType
+from repro.netlist.netlist import Netlist
+
+
+class TestHappyPath:
+    @pytest.mark.parametrize("modulus", [0b111, 0b1011, 0b10011, 0x11B])
+    def test_correct_multiplier_verifies(self, modulus):
+        netlist = generate_mastrovito(modulus)
+        result = extract_irreducible_polynomial(netlist)
+        report = verify_multiplier(netlist, result)
+        assert report.equivalent
+        assert report.irreducible
+        assert report.simulation_ok
+        assert report.failing_bits == []
+        assert "EQUIVALENT" in str(report)
+
+    def test_montgomery_verifies(self):
+        netlist = generate_montgomery(0b10011)
+        result = extract_irreducible_polynomial(netlist)
+        assert verify_multiplier(netlist, result).equivalent
+
+
+class TestBugDetection:
+    def _buggy_multiplier(self) -> Netlist:
+        """A Mastrovito multiplier with one XOR swapped for OR."""
+        netlist = generate_mastrovito(0b10011)
+        buggy = Netlist(netlist.name, inputs=netlist.inputs)
+        flipped = False
+        for gate in netlist.topological_order():
+            if not flipped and gate.gtype is GateType.XOR and (
+                gate.output == "z2"
+            ):
+                buggy.add_gate(Gate(gate.output, GateType.OR, gate.inputs))
+                flipped = True
+            else:
+                buggy.add_gate(gate)
+        for net in netlist.outputs:
+            buggy.add_output(net)
+        assert flipped
+        return buggy
+
+    def test_gate_bug_caught(self):
+        buggy = self._buggy_multiplier()
+        result = extract_irreducible_polynomial(buggy)
+        report = verify_multiplier(buggy, result)
+        assert not report.equivalent
+        assert 2 in report.failing_bits
+        assert "NOT EQUIVALENT" in str(report)
+
+    def test_simulation_cross_check_agrees_with_algebra(self):
+        """On a buggy circuit both checks must fail (no false greens)."""
+        buggy = self._buggy_multiplier()
+        result = extract_irreducible_polynomial(buggy)
+        report = verify_multiplier(buggy, result)
+        algebra_says_bad = not all(report.algebraic.values())
+        sim_says_bad = report.simulation_ok is False
+        assert algebra_says_bad and sim_says_bad
+
+    def test_skip_simulation(self):
+        netlist = generate_mastrovito(0b111)
+        result = extract_irreducible_polynomial(netlist)
+        report = verify_multiplier(netlist, result, simulate=False)
+        assert report.simulation_ok is None
+        assert report.equivalent  # algebra alone suffices
+
+
+class TestRandomisedLarge:
+    def test_large_m_uses_random_vectors(self):
+        from repro.fieldmath.irreducible import default_irreducible
+
+        modulus = default_irreducible(10)
+        netlist = generate_mastrovito(modulus)
+        result = extract_irreducible_polynomial(netlist)
+        report = verify_multiplier(
+            netlist, result, max_exhaustive_m=6, random_vectors=64
+        )
+        assert report.equivalent
+        # 64 random + 4 corner vectors
+        assert report.simulation_vectors == 68
