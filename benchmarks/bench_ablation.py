@@ -29,6 +29,9 @@ from repro.synth.mapping import technology_map
 from repro.synth.strash import structural_hash
 from repro.synth.xor_opt import rebalance_xor_trees
 
+#: Full paper-scale harness - excluded from quick CI runs.
+pytestmark = pytest.mark.slow
+
 SIZES = sizes(
     quick=[8],
     default=[16, 32],

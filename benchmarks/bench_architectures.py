@@ -32,6 +32,9 @@ from repro.gen.mastrovito import generate_mastrovito
 from repro.gen.montgomery import generate_montgomery
 from repro.gen.schoolbook import generate_schoolbook
 
+#: Full paper-scale harness - excluded from quick CI runs.
+pytestmark = pytest.mark.slow
+
 SIZES = sizes(
     quick=[8],
     default=[16, 32],

@@ -26,6 +26,9 @@ from repro.fieldmath.irreducible import default_irreducible
 from repro.gen.mastrovito import generate_mastrovito
 from repro.gen.montgomery import generate_montgomery
 
+#: Full paper-scale harness - excluded from quick CI runs.
+pytestmark = pytest.mark.slow
+
 GROEBNER_SIZES = sizes(quick=[4, 8], default=[8, 16, 32], paper=[16, 32, 64])
 SAT_SIZES = sizes(quick=[2, 3], default=[2, 3, 4], paper=[3, 4, 5])
 BDD_SIZES = sizes(quick=[4, 6], default=[4, 6, 8, 10], paper=[6, 8, 10, 12])

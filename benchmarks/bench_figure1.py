@@ -20,6 +20,9 @@ from repro.fieldmath.reduction import reduction_xor_cost
 from repro.gen.schoolbook import generate_schoolbook
 from repro.netlist.gate import GateType
 
+#: Full paper-scale harness - excluded from quick CI runs.
+pytestmark = pytest.mark.slow
+
 P1 = 0b11001
 P2 = 0b10011
 

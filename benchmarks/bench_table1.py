@@ -21,6 +21,9 @@ from repro.fieldmath.irreducible import default_irreducible
 from repro.fieldmath.polynomial_db import PAPER_POLYNOMIALS
 from repro.gen.mastrovito import generate_mastrovito
 
+#: Full paper-scale harness - excluded from quick CI runs.
+pytestmark = pytest.mark.slow
+
 SIZES = sizes(
     quick=[8, 16],
     default=[16, 32, 64, 96],

@@ -26,6 +26,9 @@ from repro.gen.mastrovito import generate_mastrovito
 from repro.gen.montgomery import generate_montgomery
 from repro.rewrite.backward import TermLimitExceeded
 
+#: Full paper-scale harness - excluded from quick CI runs.
+pytestmark = pytest.mark.slow
+
 SIZES = sizes(
     quick=[8, 12],
     default=[16, 32, 48, 64],

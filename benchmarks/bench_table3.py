@@ -30,6 +30,9 @@ from repro.gen.montgomery import generate_montgomery
 from repro.gen.redundancy import decorate_with_redundancy
 from repro.synth.pipeline import synthesize
 
+#: Full paper-scale harness - excluded from quick CI runs.
+pytestmark = pytest.mark.slow
+
 MASTROVITO_SIZES = sizes(
     quick=[8],
     default=[16, 32, 64],

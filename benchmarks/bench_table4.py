@@ -30,6 +30,9 @@ from repro.fieldmath.polynomial_db import (
 from repro.fieldmath.reduction import reduction_xor_cost
 from repro.gen.mastrovito import generate_mastrovito
 
+#: Full paper-scale harness - excluded from quick CI runs.
+pytestmark = pytest.mark.slow
+
 SCALED_M = sizes(quick=12, default=64, paper=233)
 
 

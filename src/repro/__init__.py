@@ -15,12 +15,13 @@ Quickstart::
     )
 
     netlist = generate_mastrovito(bitpoly_parse("x^8 + x^4 + x^3 + x + 1"))
-    result = extract_irreducible_polynomial(netlist, jobs=4)
+    result = extract_irreducible_polynomial(netlist, jobs=4, engine="bitpack")
     print(result.polynomial_str)            # x^8 + x^4 + x^3 + x + 1
     print(verify_multiplier(netlist, result).equivalent)   # True
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+See README.md at the repository root for the quickstart and the
+architecture map (netlist model, generators, rewriting engines,
+extraction/verification, synthesis, CLI, benchmarks).
 """
 
 from repro.fieldmath import (
@@ -58,9 +59,11 @@ from repro.netlist import (
     write_eqn,
     write_verilog,
 )
+from repro.engine import available_engines, get_engine, register_engine
 from repro.rewrite import backward_rewrite, extract_expressions
 from repro.extract import (
     Diagnosis,
+    ExtractionError,
     ExtractionResult,
     Verdict,
     VerificationReport,
@@ -103,9 +106,13 @@ __all__ = [
     "write_blif",
     "write_eqn",
     "write_verilog",
+    "available_engines",
+    "get_engine",
+    "register_engine",
     "backward_rewrite",
     "extract_expressions",
     "Diagnosis",
+    "ExtractionError",
     "ExtractionResult",
     "Verdict",
     "VerificationReport",

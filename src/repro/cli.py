@@ -28,6 +28,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis.xor_count import figure1_report
+from repro.engine import DEFAULT_ENGINE, available_engines
 from repro.extract.extractor import extract_irreducible_polynomial
 from repro.extract.report import format_extraction_report
 from repro.extract.verify import verify_multiplier
@@ -68,6 +69,15 @@ _WRITERS = {"eqn": write_eqn, "blif": write_blif, "v": write_verilog}
 _READERS = {"eqn": read_eqn, "blif": read_blif, "v": read_verilog}
 
 
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=sorted(available_engines()),
+        default=DEFAULT_ENGINE,
+        help="rewriting backend (default: %(default)s)",
+    )
+
+
 def _infer_format(path: str, explicit: Optional[str]) -> str:
     if explicit:
         return explicit
@@ -104,7 +114,10 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     fmt = _infer_format(args.netlist, args.format)
     netlist = _READERS[fmt](args.netlist)
     result = extract_irreducible_polynomial(
-        netlist, jobs=args.jobs, term_limit=args.term_limit
+        netlist,
+        jobs=args.jobs,
+        term_limit=args.term_limit,
+        engine=args.engine,
     )
     print(f"P(x) = {result.polynomial_str}")
     if not result.irreducible:
@@ -121,8 +134,9 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         term_limit=args.term_limit,
         measure_memory=args.jobs == 1,
+        engine=args.engine,
     )
-    verification = verify_multiplier(netlist, result)
+    verification = verify_multiplier(netlist, result, engine=args.engine)
     print(
         format_extraction_report(
             result, verification, netlist_gates=len(netlist)
@@ -156,6 +170,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         term_limit=args.term_limit,
         find_counterexample=not args.no_counterexample,
+        engine=args.engine,
     )
     print(diagnosis.render())
     return 0 if diagnosis.is_clean else 1
@@ -231,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument("--jobs", type=int, default=1)
     extract.add_argument("--term-limit", type=int, default=None)
     extract.add_argument("--format", choices=sorted(_READERS), default=None)
+    _add_engine_argument(extract)
     extract.set_defaults(func=_cmd_extract)
 
     audit = sub.add_parser(
@@ -240,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--jobs", type=int, default=1)
     audit.add_argument("--term-limit", type=int, default=None)
     audit.add_argument("--format", choices=sorted(_READERS), default=None)
+    _add_engine_argument(audit)
     audit.set_defaults(func=_cmd_audit)
 
     synth = sub.add_parser("synth", help="optimize/map a netlist")
@@ -258,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
     diag.add_argument("--term-limit", type=int, default=None)
     diag.add_argument("--no-counterexample", action="store_true")
     diag.add_argument("--format", choices=sorted(_READERS), default=None)
+    _add_engine_argument(diag)
     diag.set_defaults(func=_cmd_diagnose)
 
     inject = sub.add_parser(

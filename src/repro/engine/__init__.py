@@ -1,0 +1,96 @@
+"""repro.engine — pluggable backward-rewriting execution backends.
+
+Why a subsystem
+---------------
+The paper's scalability argument (Yu/Holcomb/Ciesielski, DATE 2017) is
+that per-output-bit extraction is embarrassingly parallel and cheap per
+step; their C++ runs 16 threads up to GF(2^571).  The reference python
+path represents a monomial as a ``frozenset`` of signal-name strings,
+so every substitution pays string hashing and a container allocation
+per monomial — the dominant cost at the field sizes the benchmarks
+target.  This package separates *what* Algorithm 1 computes from *how
+its monomials are represented*, behind a backend registry.
+
+Packing scheme
+--------------
+The ``bitpack`` backend interns every signal of one output cone to a
+bit index (:class:`~repro.engine.interning.SignalInterner`).  Because
+netlist variables are idempotent (``x² = x``), a monomial needs no
+exponents: it is exactly the *set* of its signals, packed as one
+python ``int`` with bit ``k`` set iff signal ``k`` occurs.  The
+constant monomial ``1`` is the mask ``0``.  A polynomial is a
+``set[int]`` and mod-2 cancellation stays structural: adding a monomial
+toggles set membership.  One Algorithm-1 substitution step is then::
+
+    stripped = mono & ~var_bit      # divide by the gate-output variable
+    product  = stripped | model     # multiply by a model monomial
+    toggle(current, product)        # cancel pairs mod 2
+
+Gate models come from :func:`repro.rewrite.gate_models.gate_model`
+(already cached per gate type/inputs) and are packed into mask tuples
+when the gate is first rewritten.  Interning is first-seen order during
+the backward walk, so a signal's bit is allocated shortly before its
+driver gate eliminates it, keeping live masks compact.
+
+Decode boundary
+---------------
+Packed expressions stay packed for as long as the caller's question can
+be answered natively: the Algorithm-2 out-field membership test and the
+verifier's spec-equality test run directly on the ``set[int]``
+(:meth:`~repro.engine.bitpack.PackedExpression.contains_products`,
+:meth:`~repro.engine.bitpack.PackedExpression.equals_poly`).  Only at
+the public API boundary — :class:`~repro.rewrite.parallel.ExtractionRun`
+expressions, traces, reports — does
+:meth:`~repro.engine.bitpack.PackedExpression.decode` rebuild
+:class:`~repro.gf2.polynomial.Gf2Poly` values, a single linear pass
+that is negligible next to rewriting.
+
+Backends
+--------
+``reference``
+    the original ``Gf2Poly`` path (the differential-testing oracle);
+``bitpack``
+    interned bitmask monomials, typically ≥5× faster (see
+    ``benchmarks/bench_engines.py`` / ``BENCH_engines.json``).
+
+Every backend produces bit-identical *results* — canonical
+expressions, P(x), member bits — and fails structurally broken
+netlists with the same exception types; that contract is enforced by
+``tests/test_engine_differential.py``.  Statistics and resource
+behaviour are backend-specific: ``term_limit`` bounds each engine's
+*own* intermediate representation, so a run that memory-outs on the
+reference engine may fit under ``bitpack`` (whose flattening keeps
+intermediates smaller).  New backends (e.g. AIG/cut-based rewriting)
+register via :func:`register_engine`.
+"""
+
+from repro.engine.base import ConeExpression, Engine, EngineError
+from repro.engine.bitpack import BitpackEngine, PackedExpression
+from repro.engine.interning import SignalInterner
+from repro.engine.reference import ReferenceEngine, ReferenceExpression
+from repro.engine.registry import (
+    DEFAULT_ENGINE,
+    available_engines,
+    engine_name,
+    get_engine,
+    register_engine,
+)
+
+register_engine(ReferenceEngine.name, ReferenceEngine)
+register_engine(BitpackEngine.name, BitpackEngine)
+
+__all__ = [
+    "ConeExpression",
+    "Engine",
+    "EngineError",
+    "BitpackEngine",
+    "PackedExpression",
+    "SignalInterner",
+    "ReferenceEngine",
+    "ReferenceExpression",
+    "DEFAULT_ENGINE",
+    "available_engines",
+    "engine_name",
+    "get_engine",
+    "register_engine",
+]

@@ -1,0 +1,89 @@
+"""Engine interface: what every backward-rewriting backend provides.
+
+An :class:`Engine` turns one output cone of a netlist into the
+canonical GF(2) expression of that output bit.  Backends differ only in
+their *internal* expression representation; the contract is:
+
+* :meth:`Engine.rewrite_cone` returns a :class:`ConeExpression` — the
+  backend-native form — plus the usual
+  :class:`~repro.rewrite.backward.RewriteStats`;
+* a :class:`ConeExpression` answers the two questions Algorithm 2 and
+  the verifier ask (out-field membership, equality against a
+  specification polynomial) *without* leaving the native representation,
+  and :meth:`ConeExpression.decode`\\ s to a
+  :class:`~repro.gf2.polynomial.Gf2Poly` at the API boundary;
+* every backend signals failures with the reference exception types —
+  :class:`~repro.rewrite.backward.BackwardRewriteError` for structural
+  defects (same netlists fail on every backend) and
+  :class:`~repro.rewrite.backward.TermLimitExceeded` when
+  ``term_limit`` is exceeded; the limit bounds each backend's *own*
+  intermediate representation, so the memory-out point may differ
+  between backends.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar, Iterable, Optional, Tuple
+
+from repro.gf2.monomial import Monomial
+from repro.gf2.polynomial import Gf2Poly
+from repro.netlist.netlist import Netlist
+from repro.rewrite.backward import RewriteStats
+
+
+class EngineError(ValueError):
+    """Unknown engine name or invalid engine registration."""
+
+
+class ConeExpression(abc.ABC):
+    """A backend-native canonical expression of one output bit."""
+
+    @abc.abstractmethod
+    def decode(self) -> Gf2Poly:
+        """Convert to the reference representation (API boundary)."""
+
+    @abc.abstractmethod
+    def term_count(self) -> int:
+        """Number of monomials (the paper's expression-size metric)."""
+
+    @abc.abstractmethod
+    def contains_products(self, products: Iterable[Monomial]) -> bool:
+        """Algorithm 2 line 6: is every given monomial present?"""
+
+    @abc.abstractmethod
+    def equals_poly(self, poly: Gf2Poly) -> bool:
+        """Equality against a specification polynomial (verifier)."""
+
+
+class Engine(abc.ABC):
+    """One backward-rewriting backend."""
+
+    #: Registry name of the backend (e.g. ``"reference"``).
+    name: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def rewrite_cone(
+        self,
+        netlist: Netlist,
+        output: str,
+        trace: bool = False,
+        term_limit: Optional[int] = None,
+    ) -> Tuple[ConeExpression, RewriteStats]:
+        """Algorithm 1 on one output cone, in native representation."""
+
+    def rewrite(
+        self,
+        netlist: Netlist,
+        output: str,
+        trace: bool = False,
+        term_limit: Optional[int] = None,
+    ) -> Tuple[Gf2Poly, RewriteStats]:
+        """Algorithm 1 with the result decoded to :class:`Gf2Poly`."""
+        expression, stats = self.rewrite_cone(
+            netlist, output, trace=trace, term_limit=term_limit
+        )
+        return expression.decode(), stats
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

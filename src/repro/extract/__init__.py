@@ -19,8 +19,10 @@
 
 from repro.extract.outfield import outfield_products
 from repro.extract.extractor import (
+    ExtractionError,
     ExtractionResult,
     extract_irreducible_polynomial,
+    extract_from_cones,
     extract_from_expressions,
 )
 from repro.extract.verify import VerificationReport, verify_multiplier
@@ -33,8 +35,10 @@ from repro.extract.squarer import (
 
 __all__ = [
     "outfield_products",
+    "ExtractionError",
     "ExtractionResult",
     "extract_irreducible_polynomial",
+    "extract_from_cones",
     "extract_from_expressions",
     "VerificationReport",
     "verify_multiplier",

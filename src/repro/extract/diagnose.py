@@ -118,8 +118,12 @@ def diagnose(
     jobs: int = 1,
     term_limit: Optional[int] = None,
     find_counterexample: bool = True,
+    engine: str = "reference",
 ) -> Diagnosis:
     """Triage a netlist: verified multiplier, buggy, or out of scope.
+
+    ``engine`` selects the rewriting backend (see :mod:`repro.engine`);
+    the verdict is backend-independent.
 
     >>> from repro.gen.mastrovito import generate_mastrovito
     >>> diagnose(generate_mastrovito(0b10011)).verdict.value
@@ -136,7 +140,7 @@ def diagnose(
 
     try:
         result = extract_irreducible_polynomial(
-            netlist, jobs=jobs, term_limit=term_limit
+            netlist, jobs=jobs, term_limit=term_limit, engine=engine
         )
     except ExtractionError as error:
         return finish(
@@ -176,7 +180,7 @@ def diagnose(
             )
         )
 
-    verification = verify_multiplier(netlist, result)
+    verification = verify_multiplier(netlist, result, engine=engine)
     if verification.equivalent:
         return finish(
             Diagnosis(

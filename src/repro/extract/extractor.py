@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.engine import ConeExpression
 from repro.extract.outfield import outfield_products
 from repro.fieldmath.bitpoly import bitpoly_str
 from repro.fieldmath.irreducible import is_irreducible
@@ -81,17 +82,37 @@ def _multiplier_ports(netlist: Netlist) -> int:
 
 def extract_from_expressions(
     expressions: Dict[str, Gf2Poly], m: int
-) -> tuple:
+) -> Tuple[int, List[int]]:
     """Algorithm 2 lines 2 and 6-9 given already-extracted expressions.
 
     Returns ``(modulus, member_bits)``.
+    """
+    from repro.engine import ReferenceExpression
+
+    return extract_from_cones(
+        {
+            output: ReferenceExpression(poly)
+            for output, poly in expressions.items()
+        },
+        m,
+    )
+
+
+def extract_from_cones(
+    cones: Mapping[str, ConeExpression], m: int
+) -> Tuple[int, List[int]]:
+    """Algorithm 2 lines 2 and 6-9 on backend-native expressions.
+
+    The membership test runs in each backend's own representation —
+    for the ``bitpack`` engine directly on the packed ``set[int]``,
+    with the out-field products packed through the cone's interner —
+    so no expression is decoded just to ask whether ``P_m`` occurs.
     """
     products = outfield_products(m)
     modulus = 1 << m  # line 2: P(x) initialised to x^m
     member_bits: List[int] = []
     for bit in range(m):
-        expression = expressions[f"z{bit}"]
-        if expression.contains_all(products):
+        if cones[f"z{bit}"].contains_products(products):
             modulus |= 1 << bit  # line 7: P(x) += x^i
             member_bits.append(bit)
     return modulus, member_bits
@@ -102,16 +123,23 @@ def extract_irreducible_polynomial(
     jobs: int = 1,
     term_limit: Optional[int] = None,
     measure_memory: bool = False,
+    engine: str = "reference",
 ) -> ExtractionResult:
     """Reverse engineer P(x) from a gate-level GF(2^m) multiplier.
 
     ``jobs`` controls the parallel effort (the paper runs 16 threads);
     ``term_limit`` bounds intermediate expression size per bit (the
-    paper's memory-out condition).
+    paper's memory-out condition).  ``engine`` selects the rewriting
+    backend (see :mod:`repro.engine`); every backend recovers the same
+    P(x).
 
     >>> from repro.gen.mastrovito import generate_mastrovito
     >>> result = extract_irreducible_polynomial(generate_mastrovito(0b10011))
     >>> result.polynomial_str
+    'x^4 + x + 1'
+    >>> extract_irreducible_polynomial(
+    ...     generate_mastrovito(0b10011), engine="bitpack"
+    ... ).polynomial_str
     'x^4 + x + 1'
     """
     started = time.perf_counter()
@@ -122,8 +150,12 @@ def extract_irreducible_polynomial(
         jobs=jobs,
         term_limit=term_limit,
         measure_memory=measure_memory,
+        engine=engine,
     )
-    modulus, member_bits = extract_from_expressions(run.expressions, m)
+    if run.cones:
+        modulus, member_bits = extract_from_cones(run.cones, m)
+    else:  # runs built by hand may carry only decoded expressions
+        modulus, member_bits = extract_from_expressions(run.expressions, m)
     total = time.perf_counter() - started
     return ExtractionResult(
         modulus=modulus,

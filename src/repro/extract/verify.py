@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.engine import get_engine
 from repro.extract.extractor import ExtractionResult
 from repro.fieldmath.bitpoly import bitpoly_str
 from repro.fieldmath.gf2m import GF2m
@@ -71,6 +72,7 @@ def verify_multiplier(
     max_exhaustive_m: int = 6,
     random_vectors: int = 512,
     seed: int = 2017,
+    engine: Optional[str] = None,
 ) -> VerificationReport:
     """Check the implementation against ``A·B mod P(x)`` for the
     extracted P(x).
@@ -81,6 +83,14 @@ def verify_multiplier(
     otherwise ``random_vectors`` random operand pairs, compared against
     the word-level :class:`~repro.fieldmath.gf2m.GF2m` reference.
 
+    ``engine`` selects the representation of the algebraic comparison:
+    ``None`` (default) keeps the backend of the extraction run — for a
+    ``bitpack`` run the spec monomials are packed through each cone's
+    interner and compared against the packed sets, never decoding the
+    implementation expressions; ``"reference"`` forces the decoded
+    :class:`~repro.gf2.polynomial.Gf2Poly` comparison.  The verdict is
+    backend-independent.
+
     >>> from repro.gen.montgomery import generate_montgomery
     >>> from repro.extract.extractor import extract_irreducible_polynomial
     >>> net = generate_montgomery(0b1011)         # GF(2^3), x^3+x+1
@@ -89,12 +99,21 @@ def verify_multiplier(
     True
     """
     started = time.perf_counter()
+    if engine is not None:
+        engine = get_engine(engine).name  # validate the selector
     m = result.m
     spec = spec_expressions(result.modulus)
-    algebraic = {
-        bit: result.run.expressions[f"z{bit}"] == spec[bit]
-        for bit in range(m)
-    }
+    cones = result.run.cones
+    if cones and engine != "reference":
+        algebraic = {
+            bit: cones[f"z{bit}"].equals_poly(spec[bit])
+            for bit in range(m)
+        }
+    else:
+        algebraic = {
+            bit: result.run.expressions[f"z{bit}"] == spec[bit]
+            for bit in range(m)
+        }
 
     simulation_ok: Optional[bool] = None
     vectors = 0

@@ -76,6 +76,7 @@ class Netlist:
         self._gates: List[Gate] = []
         self._driver: Dict[str, Gate] = {}
         self._topo_cache: Optional[List[Gate]] = None
+        self._topo_pos_cache: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -90,6 +91,7 @@ class Netlist:
         self._driver[gate.output] = gate
         self._gates.append(gate)
         self._topo_cache = None
+        self._topo_pos_cache = None
 
     def add_input(self, name: str) -> None:
         if name in self._driver:
@@ -186,6 +188,20 @@ class Netlist:
             )
         self._topo_cache = order
         return order
+
+    def topological_positions(self) -> Dict[str, int]:
+        """Map gate-output net → its index in :meth:`topological_order`.
+
+        Cached like the order itself.  Per-cone engines use this to
+        schedule backward rewriting by topological position without
+        rescanning the gate list for every output bit.
+        """
+        if self._topo_pos_cache is None:
+            self._topo_pos_cache = {
+                gate.output: position
+                for position, gate in enumerate(self.topological_order())
+            }
+        return self._topo_pos_cache
 
     def cone(self, output: str) -> "Netlist":
         """Transitive fan-in cone of one net, as a standalone netlist.

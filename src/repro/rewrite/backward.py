@@ -87,6 +87,7 @@ def backward_rewrite(
     output: str,
     trace: bool = False,
     term_limit: Optional[int] = None,
+    engine: str = "reference",
 ) -> Tuple[Gf2Poly, RewriteStats]:
     """Extract the canonical GF(2) expression of one output bit.
 
@@ -94,14 +95,24 @@ def backward_rewrite(
     statistics.  ``trace=True`` records a Figure-3 style step log
     (keep cones tiny when tracing).  ``term_limit`` aborts with
     :class:`TermLimitExceeded` when the intermediate expression
-    explodes, modelling the paper's memory-out condition.
+    explodes, modelling the paper's memory-out condition.  ``engine``
+    selects the execution backend (see :mod:`repro.engine`); every
+    backend returns identical results.
 
     >>> from repro.gen.mastrovito import generate_mastrovito
     >>> net = generate_mastrovito(0b111)       # GF(2^2), x^2+x+1
     >>> poly, stats = backward_rewrite(net, "z1")
     >>> str(poly)
     'a0*b1 + a1*b0 + a1*b1'
+    >>> poly == backward_rewrite(net, "z1", engine="bitpack")[0]
+    True
     """
+    if engine not in (None, "reference"):
+        from repro.engine import get_engine
+
+        return get_engine(engine).rewrite(
+            netlist, output, trace=trace, term_limit=term_limit
+        )
     stats = RewriteStats(output=output)
     started = time.perf_counter()
 
@@ -170,11 +181,14 @@ def backward_rewrite_all(
     netlist: Netlist,
     outputs: Optional[List[str]] = None,
     term_limit: Optional[int] = None,
+    engine: str = "reference",
 ) -> Dict[str, Tuple[Gf2Poly, RewriteStats]]:
     """Sequentially rewrite several output bits (see also ``parallel``)."""
     chosen = list(outputs) if outputs is not None else list(netlist.outputs)
     return {
-        output: backward_rewrite(netlist, output, term_limit=term_limit)
+        output: backward_rewrite(
+            netlist, output, term_limit=term_limit, engine=engine
+        )
         for output in chosen
     }
 

@@ -20,33 +20,98 @@ import multiprocessing
 import os
 import time
 import tracemalloc
+from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.engine
+    from repro.engine.base import ConeExpression
 
 from repro.gf2.polynomial import Gf2Poly
 from repro.netlist.netlist import Netlist
-from repro.rewrite.backward import RewriteStats, backward_rewrite
+from repro.rewrite.backward import RewriteStats
 
 # Worker-global netlist, installed once per process by the initializer.
 _WORKER_NETLIST: Optional[Netlist] = None
 _WORKER_TERM_LIMIT: Optional[int] = None
+_WORKER_ENGINE: str = "reference"
 
 
-def _worker_init(netlist: Netlist, term_limit: Optional[int]) -> None:
-    global _WORKER_NETLIST, _WORKER_TERM_LIMIT
+def _worker_init(
+    netlist: Netlist, term_limit: Optional[int], engine: str
+) -> None:
+    global _WORKER_NETLIST, _WORKER_TERM_LIMIT, _WORKER_ENGINE
     _WORKER_NETLIST = netlist
     _WORKER_TERM_LIMIT = term_limit
+    _WORKER_ENGINE = engine
     # Precompute the topological order once per worker; it is cached on
     # the netlist and shared by every cone extraction.
     netlist.topological_order()
 
 
-def _worker_rewrite(output: str) -> Tuple[str, Gf2Poly, RewriteStats]:
+def _worker_rewrite(
+    output: str,
+) -> Tuple[str, "ConeExpression", RewriteStats]:
     assert _WORKER_NETLIST is not None
-    poly, stats = backward_rewrite(
+    expression, stats = _resolve_engine(_WORKER_ENGINE).rewrite_cone(
         _WORKER_NETLIST, output, term_limit=_WORKER_TERM_LIMIT
     )
-    return output, poly, stats
+    return output, expression, stats
+
+
+def _resolve_engine(engine):
+    """Resolve an engine selector (lazy import to avoid a cycle)."""
+    from repro.engine import get_engine
+
+    return get_engine(engine)
+
+
+class LazyExpressions(MappingABC):
+    """Output → :class:`Gf2Poly` map, decoded from backend cones on
+    first access.
+
+    This is the decode boundary of the engine architecture: a packed
+    backend's expressions stay packed until somebody actually reads
+    them as polynomials — extract-only flows (Algorithm 2 membership,
+    packed verification) never pay for decoding.
+    """
+
+    __slots__ = ("_cones", "_cache")
+
+    def __init__(self, cones: Mapping[str, "ConeExpression"]):
+        self._cones = cones
+        self._cache: Dict[str, Gf2Poly] = {}
+
+    def __getitem__(self, key: str) -> Gf2Poly:
+        poly = self._cache.get(key)
+        if poly is None:
+            poly = self._cones[key].decode()
+            self._cache[key] = poly
+        return poly
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._cones)
+
+    def __len__(self) -> int:
+        return len(self._cones)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MappingABC):
+            return dict(self.items()) == dict(other.items())
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"LazyExpressions({dict(self.items())!r})"
 
 
 @dataclass
@@ -54,13 +119,19 @@ class ExtractionRun:
     """Per-bit expressions and the paper's aggregate metrics."""
 
     netlist_name: str
-    expressions: Dict[str, Gf2Poly]
+    expressions: Mapping[str, Gf2Poly]
     stats: Dict[str, RewriteStats]
     jobs: int
     wall_time_s: float
     cpu_time_s: float
     peak_terms: int
     peak_memory_bytes: Optional[int] = None
+    #: Backend that produced the run (see :mod:`repro.engine`).
+    engine: str = "reference"
+    #: Backend-native expressions (``ConeExpression`` per output);
+    #: Algorithm 2 and the verifier consult these so packed backends
+    #: never decode just to answer a membership/equality question.
+    cones: Dict[str, "ConeExpression"] = field(default_factory=dict)
 
     def per_bit_runtimes(self) -> List[Tuple[int, float]]:
         """(bit position, runtime) series — the Figure 4 data."""
@@ -82,6 +153,7 @@ def extract_expressions(
     jobs: int = 1,
     term_limit: Optional[int] = None,
     measure_memory: bool = False,
+    engine: str = "reference",
 ) -> ExtractionRun:
     """Extract the canonical GF(2) expression of every output bit.
 
@@ -91,12 +163,14 @@ def extract_expressions(
     :class:`~repro.rewrite.backward.TermLimitExceeded` — the paper's
     "MO" outcome.  ``measure_memory`` additionally tracks the
     ``tracemalloc`` peak (sequential runs only; it measures this
-    process).
+    process).  ``engine`` selects the rewriting backend (see
+    :mod:`repro.engine`); results are backend-independent.
     """
     chosen = list(outputs) if outputs is not None else list(netlist.outputs)
     if jobs == 0:
         jobs = os.cpu_count() or 1
     jobs = max(1, min(jobs, len(chosen)))
+    backend = _resolve_engine(engine)
 
     tracking = measure_memory and jobs == 1
     if tracking:
@@ -104,20 +178,35 @@ def extract_expressions(
     started_wall = time.perf_counter()
     started_cpu = time.process_time()
 
-    results: List[Tuple[str, Gf2Poly, RewriteStats]] = []
+    results: List[Tuple[str, "ConeExpression", RewriteStats]] = []
     if jobs == 1:
         netlist.topological_order()
         for output in chosen:
-            poly, stats = backward_rewrite(
+            expression, stats = backend.rewrite_cone(
                 netlist, output, term_limit=term_limit
             )
-            results.append((output, poly, stats))
+            results.append((output, expression, stats))
     else:
+        # Workers re-resolve the backend from its registry name, so an
+        # injected instance that the registry does not resolve back to
+        # would be silently replaced — reject that instead.
+        from repro.engine import EngineError, get_engine
+
+        try:
+            registered = get_engine(backend.name)
+        except EngineError:
+            registered = None
+        if registered is not backend:
+            raise EngineError(
+                f"engine {backend!r} is not resolvable from the "
+                f"registry by name; register_engine() it (or pass the "
+                f"registered name) to use jobs > 1"
+            )
         context = _pool_context()
         with context.Pool(
             processes=jobs,
             initializer=_worker_init,
-            initargs=(netlist, term_limit),
+            initargs=(netlist, term_limit, backend.name),
         ) as pool:
             results = pool.map(_worker_rewrite, chosen)
 
@@ -128,7 +217,11 @@ def extract_expressions(
         _, peak_memory = tracemalloc.get_traced_memory()
         tracemalloc.stop()
 
-    expressions = {output: poly for output, poly, _ in results}
+    # Decode boundary: the run's expressions read as Gf2Poly but are
+    # decoded lazily from the backend-native cones, which Algorithm 2
+    # and the verifier consult directly.
+    cones = {output: cone for output, cone, _ in results}
+    expressions = LazyExpressions(cones)
     stats = {output: st for output, _, st in results}
     return ExtractionRun(
         netlist_name=netlist.name,
@@ -139,6 +232,8 @@ def extract_expressions(
         cpu_time_s=cpu,
         peak_terms=max((st.peak_terms for st in stats.values()), default=0),
         peak_memory_bytes=peak_memory,
+        engine=backend.name,
+        cones=cones,
     )
 
 
