@@ -21,7 +21,8 @@ Quickstart::
 
 See README.md at the repository root for the quickstart and the
 architecture map (netlist model, generators, rewriting engines,
-extraction/verification, synthesis, CLI, benchmarks).
+extraction/verification, synthesis, the caching/batch/HTTP service
+layer, CLI, benchmarks).
 """
 
 from repro.fieldmath import (
@@ -61,6 +62,8 @@ from repro.netlist import (
 )
 from repro.engine import available_engines, get_engine, register_engine
 from repro.rewrite import backward_rewrite, extract_expressions
+from repro.rewrite.backward import RewriteStats
+from repro.rewrite.parallel import ExtractionRun
 from repro.extract import (
     Diagnosis,
     ExtractionError,
@@ -72,8 +75,26 @@ from repro.extract import (
     format_extraction_report,
     verify_multiplier,
 )
+__version__ = "1.1.0"
 
-__version__ = "1.0.0"
+#: Service-layer conveniences re-exported lazily (PEP 562) so that a
+#: bare ``import repro`` stays as light as it was before the service
+#: subsystem existed.
+_SERVICE_EXPORTS = ("ResultCache", "fingerprint_netlist", "run_campaign")
+
+
+def __getattr__(name):
+    if name in _SERVICE_EXPORTS:
+        import repro.service
+
+        value = getattr(repro.service, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SERVICE_EXPORTS))
 
 __all__ = [
     "GF2m",
@@ -111,6 +132,11 @@ __all__ = [
     "register_engine",
     "backward_rewrite",
     "extract_expressions",
+    "ExtractionRun",
+    "RewriteStats",
+    "ResultCache",
+    "fingerprint_netlist",
+    "run_campaign",
     "Diagnosis",
     "ExtractionError",
     "ExtractionResult",

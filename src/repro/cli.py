@@ -18,7 +18,15 @@ Commands mirror the paper's tool flow:
 ``reduction``
     print the Figure-1 reduction table and XOR cost for a P(x);
 ``search``
-    list irreducible trinomials/pentanomials of a degree.
+    list irreducible trinomials/pentanomials of a degree;
+``batch``
+    audit a directory (or manifest) of netlists through the cached,
+    checkpointed campaign runner, emitting a JSONL report;
+``serve``
+    run the HTTP verification API (:mod:`repro.service.api`);
+``cache``
+    inspect (``stats``) or empty (``clear``) the content-addressed
+    result cache (``REPRO_CACHE_DIR``, default ``~/.cache/repro``).
 """
 
 from __future__ import annotations
@@ -198,6 +206,64 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.service.runner import CampaignError, run_campaign
+
+    try:
+        report = run_campaign(
+            args.target,
+            report_path=args.output,
+            mode=args.mode,
+            engine=args.engine,
+            jobs=args.jobs,
+            workers=args.workers,
+            term_limit=args.term_limit,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            checkpoint=not args.no_checkpoint,
+        )
+    except CampaignError as error:
+        raise SystemExit(str(error))
+    print(report.summary())
+    for name in report.failing:
+        print(f"  FAILING: {name}", file=sys.stderr)
+    return 0 if not report.failing else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.api import serve
+
+    server = serve(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        engine=args.engine,
+        jobs=args.jobs,
+        worker_threads=args.worker_threads,
+    )
+    host, port = server.address
+    print(f"repro service listening on http://{host}:{port}/v1/health")
+    print(f"cache: {server.cache.root}  engine: {server.engine}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+        server.shutdown()
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.service.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        print(cache.stats())
+    else:  # clear
+        removed = cache.clear()
+        print(f"cleared {removed} cached entries from {cache.root}")
+    return 0
+
+
 def _cmd_reduction(args: argparse.Namespace) -> int:
     moduli = [bitpoly_parse(text) for text in args.p]
     print(figure1_report(moduli))
@@ -226,6 +292,13 @@ def build_parser() -> argparse.ArgumentParser:
             "Reverse engineering of irreducible polynomials in GF(2^m) "
             "arithmetic (DATE 2017 reproduction)"
         ),
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -307,6 +380,71 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--m", type=int, required=True)
     search.add_argument("--limit", type=int, default=4)
     search.set_defaults(func=_cmd_search)
+
+    batch = sub.add_parser(
+        "batch",
+        help="audit a directory/manifest of netlists (cached, resumable)",
+    )
+    batch.add_argument(
+        "target", help="directory, manifest file, or single netlist"
+    )
+    batch.add_argument(
+        "-o",
+        "--output",
+        default="batch_report.jsonl",
+        help="JSONL report path (default: %(default)s)",
+    )
+    batch.add_argument(
+        "--mode",
+        choices=["extract", "audit", "diagnose"],
+        default="audit",
+    )
+    batch.add_argument(
+        "--jobs", type=int, default=1, help="per-netlist bit shards"
+    )
+    batch.add_argument(
+        "--workers", type=int, default=1, help="concurrent netlists"
+    )
+    batch.add_argument("--term-limit", type=int, default=None)
+    batch.add_argument(
+        "--cache-dir", default=None, help="override REPRO_CACHE_DIR"
+    )
+    batch.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache"
+    )
+    batch.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="disable mid-extraction checkpoints",
+    )
+    _add_engine_argument(batch)
+    batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP verification API"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8017)
+    serve.add_argument(
+        "--cache-dir", default=None, help="override REPRO_CACHE_DIR"
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, help="per-netlist bit shards"
+    )
+    serve.add_argument(
+        "--worker-threads", type=int, default=2, help="job worker threads"
+    )
+    _add_engine_argument(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the result cache"
+    )
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument(
+        "--cache-dir", default=None, help="override REPRO_CACHE_DIR"
+    )
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -118,12 +118,41 @@ def extract_from_cones(
     return modulus, member_bits
 
 
+def result_from_run(
+    run: ExtractionRun, m: int, total_time_s: float = 0.0
+) -> ExtractionResult:
+    """Algorithm 2's analysis phase on an existing extraction run.
+
+    Shared by the direct entry point below and the service layer's
+    checkpointed jobs (:mod:`repro.service.jobs`), which assemble the
+    run themselves from resumed + fresh shards.
+    """
+    if run.cones:
+        modulus, member_bits = extract_from_cones(run.cones, m)
+    else:  # runs built by hand may carry only decoded expressions
+        modulus, member_bits = extract_from_expressions(run.expressions, m)
+    return ExtractionResult(
+        modulus=modulus,
+        m=m,
+        irreducible=is_irreducible(modulus),
+        member_bits=member_bits,
+        run=run,
+        total_time_s=total_time_s,
+    )
+
+
+def multiplier_field_size(netlist: Netlist) -> int:
+    """Validate the a/b/z multiplier port contract; return m."""
+    return _multiplier_ports(netlist)
+
+
 def extract_irreducible_polynomial(
     netlist: Netlist,
     jobs: int = 1,
     term_limit: Optional[int] = None,
     measure_memory: bool = False,
     engine: str = "reference",
+    cache=None,
 ) -> ExtractionResult:
     """Reverse engineer P(x) from a gate-level GF(2^m) multiplier.
 
@@ -132,6 +161,12 @@ def extract_irreducible_polynomial(
     paper's memory-out condition).  ``engine`` selects the rewriting
     backend (see :mod:`repro.engine`); every backend recovers the same
     P(x).
+
+    ``cache`` (optionally) is a
+    :class:`repro.service.cache.ResultCache` — or anything with its
+    ``get_extraction`` / ``put_extraction`` contract: a cached result
+    for a structurally identical netlist is returned without rewriting
+    a single gate, and fresh results are stored for the next caller.
 
     >>> from repro.gen.mastrovito import generate_mastrovito
     >>> result = extract_irreducible_polynomial(generate_mastrovito(0b10011))
@@ -144,6 +179,12 @@ def extract_irreducible_polynomial(
     """
     started = time.perf_counter()
     m = _multiplier_ports(netlist)
+    key = None
+    if cache is not None:
+        key = cache.fingerprint(netlist)  # once: strash + hash is O(n)
+        cached = cache.get_extraction(key)
+        if cached is not None:
+            return cached
     run = extract_expressions(
         netlist,
         outputs=[f"z{i}" for i in range(m)],
@@ -152,16 +193,10 @@ def extract_irreducible_polynomial(
         measure_memory=measure_memory,
         engine=engine,
     )
-    if run.cones:
-        modulus, member_bits = extract_from_cones(run.cones, m)
-    else:  # runs built by hand may carry only decoded expressions
-        modulus, member_bits = extract_from_expressions(run.expressions, m)
-    total = time.perf_counter() - started
-    return ExtractionResult(
-        modulus=modulus,
-        m=m,
-        irreducible=is_irreducible(modulus),
-        member_bits=member_bits,
-        run=run,
-        total_time_s=total,
-    )
+    result = result_from_run(run, m)
+    # Stamp after the Algorithm-2 analysis phase so the total covers
+    # rewriting *and* membership/irreducibility, as it always has.
+    result.total_time_s = time.perf_counter() - started
+    if cache is not None:
+        cache.put_extraction(key, result)
+    return result

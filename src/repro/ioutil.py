@@ -1,0 +1,91 @@
+"""Atomic file-write helpers shared by every artifact producer.
+
+Batch campaigns and checkpointed extractions can be killed at any
+moment (that is the point of checkpointing), so nothing in the system
+may ever leave a half-written netlist, report, checkpoint or cache
+entry behind.  The recipe is the classic POSIX one: write the full
+payload to a temporary file *in the destination directory* (same
+filesystem, so the final step is a metadata operation), flush, then
+``os.replace`` over the target — readers observe either the old file
+or the complete new one, never a truncation.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Union
+
+PathLike = Union[str, os.PathLike]
+
+#: The process umask, read once (reading requires a momentary set;
+#: doing it at import avoids racing concurrent writers later).
+_UMASK: int = None  # type: ignore[assignment]
+
+
+def _current_umask() -> int:
+    global _UMASK
+    if _UMASK is None:
+        _UMASK = os.umask(0o022)
+        os.umask(_UMASK)
+    return _UMASK
+
+
+_current_umask()
+
+
+def atomic_write_text(path: PathLike, text: str, encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with a file containing ``text``.
+
+    >>> import tempfile, pathlib
+    >>> target = pathlib.Path(tempfile.mkdtemp()) / "out.txt"
+    >>> atomic_write_text(target, "hello")
+    >>> target.read_text()
+    'hello'
+
+    A symlinked target is written *through* (the link's referent is
+    replaced, the link survives).  The replace needs write permission
+    on the destination directory — inherent to atomic renames.
+    """
+    # realpath: os.replace onto a symlink would clobber the link
+    # itself; writers that previously wrote through links must keep
+    # doing so.
+    path = os.path.realpath(os.fspath(path))
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        # mkstemp creates 0600 files regardless of umask; artifacts
+        # must keep the permissions a plain open() would have given
+        # them (or the mode of the file they replace).
+        try:
+            mode = os.stat(path).st_mode & 0o777
+        except OSError:
+            mode = 0o666 & ~_current_umask()
+        os.chmod(fd if os.chmod in os.supports_fd else tmp_path, mode)
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:  # pragma: no cover - already replaced/removed
+            pass
+        raise
+
+
+def atomic_append_line(path: PathLike, line: str, encoding: str = "utf-8") -> None:
+    """Append one newline-terminated record to ``path`` in a single write.
+
+    A single ``write()`` of a short line is atomic enough for JSONL
+    reports (O_APPEND semantics); callers that need full-file
+    atomicity use :func:`atomic_write_text` instead.
+    """
+    if not line.endswith("\n"):
+        line += "\n"
+    with open(path, "a", encoding=encoding) as handle:
+        handle.write(line)
+        handle.flush()

@@ -18,6 +18,7 @@ import os
 from itertools import product as _iter_product
 from typing import Dict, List, Sequence, TextIO, Tuple, Union
 
+from repro.ioutil import atomic_write_text
 from repro.netlist.gate import Gate, GateType, evaluate_gate, gate_arity
 from repro.netlist.netlist import Netlist, NetlistError
 
@@ -77,13 +78,12 @@ def format_blif(netlist: Netlist) -> str:
 
 
 def write_blif(netlist: Netlist, target: PathOrFile) -> None:
-    """Write BLIF to a path or open file."""
+    """Write BLIF to a path (atomically) or open file."""
     text = format_blif(netlist)
     if hasattr(target, "write"):
         target.write(text)
     else:
-        with open(target, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        atomic_write_text(target, text)
 
 
 # ----------------------------------------------------------------------

@@ -24,6 +24,7 @@ import io
 import os
 from typing import Iterable, List, TextIO, Union
 
+from repro.ioutil import atomic_write_text
 from repro.netlist.gate import Gate, GateType
 from repro.netlist.netlist import Netlist, NetlistError
 
@@ -117,13 +118,12 @@ def _parse_gate_line(line: str, lineno: int) -> Gate:
 
 
 def write_eqn(netlist: Netlist, target: PathOrFile) -> None:
-    """Write the equations format to a path or open file."""
+    """Write the equations format to a path (atomically) or open file."""
     text = format_eqn(netlist)
     if hasattr(target, "write"):
         target.write(text)
     else:
-        with open(target, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        atomic_write_text(target, text)
 
 
 def read_eqn(source: PathOrFile, name: str | None = None) -> Netlist:

@@ -17,6 +17,7 @@ import os
 import re
 from typing import Dict, List, TextIO, Tuple, Union
 
+from repro.ioutil import atomic_write_text
 from repro.netlist.gate import Gate, GateType
 from repro.netlist.netlist import Netlist, NetlistError
 
@@ -95,13 +96,12 @@ def format_verilog(netlist: Netlist) -> str:
 
 
 def write_verilog(netlist: Netlist, target: PathOrFile) -> None:
-    """Write structural Verilog to a path or open file."""
+    """Write structural Verilog to a path (atomically) or open file."""
     text = format_verilog(netlist)
     if hasattr(target, "write"):
         target.write(text)
     else:
-        with open(target, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        atomic_write_text(target, text)
 
 
 # ----------------------------------------------------------------------

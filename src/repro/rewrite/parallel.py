@@ -24,6 +24,7 @@ from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
+    Callable,
     Dict,
     Iterator,
     List,
@@ -147,6 +148,12 @@ class ExtractionRun:
         return sum(stats.iterations for stats in self.stats.values())
 
 
+#: Checkpoint hook: called with ``(output, cone, stats)`` as soon as a
+#: bit's rewriting completes (in completion order, from the coordinating
+#: process).  See :mod:`repro.service.jobs`.
+ResultHook = Callable[[str, "ConeExpression", RewriteStats], None]
+
+
 def extract_expressions(
     netlist: Netlist,
     outputs: Optional[List[str]] = None,
@@ -154,6 +161,7 @@ def extract_expressions(
     term_limit: Optional[int] = None,
     measure_memory: bool = False,
     engine: str = "reference",
+    on_result: Optional[ResultHook] = None,
 ) -> ExtractionRun:
     """Extract the canonical GF(2) expression of every output bit.
 
@@ -165,6 +173,12 @@ def extract_expressions(
     ``tracemalloc`` peak (sequential runs only; it measures this
     process).  ``engine`` selects the rewriting backend (see
     :mod:`repro.engine`); results are backend-independent.
+
+    ``on_result`` is the checkpoint hook of :mod:`repro.service.jobs`:
+    it fires in the coordinating process the moment each bit finishes
+    (completion order, not bit order), so a killed run loses at most
+    the bits still in flight.  The returned run is independent of the
+    hook and of completion order.
     """
     chosen = list(outputs) if outputs is not None else list(netlist.outputs)
     if jobs == 0:
@@ -186,6 +200,8 @@ def extract_expressions(
                 netlist, output, term_limit=term_limit
             )
             results.append((output, expression, stats))
+            if on_result is not None:
+                on_result(output, expression, stats)
     else:
         # Workers re-resolve the backend from its registry name, so an
         # injected instance that the registry does not resolve back to
@@ -208,7 +224,15 @@ def extract_expressions(
             initializer=_worker_init,
             initargs=(netlist, term_limit, backend.name),
         ) as pool:
-            results = pool.map(_worker_rewrite, chosen)
+            # Unordered iteration so the checkpoint hook observes each
+            # completion as it happens; re-sorted to the requested
+            # output order below for deterministic run composition.
+            for item in pool.imap_unordered(_worker_rewrite, chosen):
+                results.append(item)
+                if on_result is not None:
+                    on_result(*item)
+        position = {output: idx for idx, output in enumerate(chosen)}
+        results.sort(key=lambda item: position[item[0]])
 
     wall = time.perf_counter() - started_wall
     cpu = time.process_time() - started_cpu

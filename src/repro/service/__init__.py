@@ -1,0 +1,82 @@
+"""repro.service — the serving layer: caching, checkpointed jobs, batch
+campaigns and an HTTP verification API.
+
+Why a subsystem
+---------------
+The paper's Theorem 2 makes per-output-bit extraction embarrassingly
+parallel — which also makes it *shardable*, *resumable* and
+*cacheable*.  This package turns the extractor into a serving-grade
+system around one primitive:
+
+:mod:`~repro.service.fingerprint`
+    a canonical, strash-invariant content hash of a
+    :class:`~repro.netlist.netlist.Netlist` — the universal cache key.
+    Two netlists that strash to the same structure (gate reordering,
+    net renaming, duplicated gates, BUF chains, dead logic) share a
+    fingerprint.
+
+:mod:`~repro.service.cache`
+    a schema-versioned, content-addressed on-disk store
+    (``REPRO_CACHE_DIR``, default ``~/.cache/repro``) for
+    :class:`~repro.extract.extractor.ExtractionResult`,
+    :class:`~repro.extract.verify.VerificationReport` and
+    :class:`~repro.extract.diagnose.Diagnosis` artifacts, with
+    hit/miss statistics and ``clear()``.
+
+:mod:`~repro.service.jobs`
+    per-output-bit shard scheduling with persisted checkpoints: a
+    killed extraction resumes from its completed bits and produces
+    results bit-identical to an uninterrupted run.
+
+:mod:`~repro.service.runner`
+    a campaign runner batching a directory (or manifest) of netlists
+    through extract/verify/diagnose on one shared worker pool,
+    emitting a JSONL report with per-netlist timing and cache
+    provenance.
+
+:mod:`~repro.service.api`
+    a minimal stdlib ``ThreadingHTTPServer`` JSON API (submit a
+    netlist, poll the job, fetch cached results) over the same cache.
+
+CLI verbs: ``repro batch``, ``repro serve``, ``repro cache
+{stats,clear}``.
+"""
+
+# Exports resolve lazily (PEP 562): `import repro` (which re-exports a
+# few service names) must not drag in http.server, multiprocessing
+# helpers, or the extract stack until a service feature is actually
+# used.
+_EXPORTS = {
+    "CACHE_SCHEMA_VERSION": "repro.service.cache",
+    "CacheStats": "repro.service.cache",
+    "ResultCache": "repro.service.cache",
+    "default_cache_dir": "repro.service.cache",
+    "fingerprint_netlist": "repro.service.fingerprint",
+    "CheckpointedExtraction": "repro.service.jobs",
+    "ExtractionCheckpoint": "repro.service.jobs",
+    "checkpointed_extract": "repro.service.jobs",
+    "CampaignReport": "repro.service.runner",
+    "CampaignRunner": "repro.service.runner",
+    "run_campaign": "repro.service.runner",
+    "ReproAPIServer": "repro.service.api",
+    "serve": "repro.service.api",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache for the next access
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

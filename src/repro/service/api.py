@@ -1,0 +1,489 @@
+"""Minimal HTTP JSON API over the verification pipeline and cache.
+
+Pure stdlib (``http.server.ThreadingHTTPServer``): submit a netlist,
+poll its job, fetch cached results — the "aha" shape of a verification
+service, without a framework dependency the container may not have.
+
+Endpoints (all JSON)::
+
+    GET  /v1/health                    liveness + engine/cache info
+    GET  /v1/stats                     cache + job-table statistics
+    POST /v1/jobs                      submit a netlist
+         body: {"netlist": "<text>", "format": "eqn"|"blif"|"v",
+                "mode": "extract"|"audit"|"diagnose",
+                "engine": "<name>"?}
+         -> 202 {"job_id": ..., "fingerprint": ..., "status": ...}
+            (status is "done" immediately on a cache hit)
+    GET  /v1/jobs/<job_id>             poll a job (summary result)
+    GET  /v1/results/<fingerprint>?kind=extraction|verification|diagnosis
+                                       fetch a cached artifact
+                                       (&full=1 for the raw entry)
+
+Jobs run on a fixed pool of worker threads; the heavy lifting happens
+in :func:`repro.extract.extractor.extract_irreducible_polynomial` et
+al., which release no GIL, so the pool bounds *concurrency of
+acceptance*, not CPU parallelism — production deployments put one
+process per core behind this API (the batch runner is the in-process
+version of that layout).  Results are written to the shared
+:class:`~repro.service.cache.ResultCache`, so a job computed once is a
+cache hit for every later submission of a structurally identical
+netlist, HTTP or CLI alike.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import queue
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.engine import DEFAULT_ENGINE, available_engines
+from repro.netlist.blif_io import parse_blif
+from repro.netlist.eqn_io import parse_eqn
+from repro.netlist.verilog_io import parse_verilog
+from repro.service.cache import KINDS, ResultCache
+
+_PARSERS = {"eqn": parse_eqn, "blif": parse_blif, "v": parse_verilog}
+_MODES = ("extract", "audit", "diagnose")
+
+#: Submission payloads above this size are rejected outright.
+MAX_NETLIST_BYTES = 8 * 1024 * 1024
+
+#: Finished (done/error) jobs retained for polling before eviction;
+#: bounds the job table of a long-running server.  Results stay
+#: addressable forever through the cache (/v1/results/<fingerprint>).
+MAX_FINISHED_JOBS = 1024
+
+
+@dataclass
+class Job:
+    """One submitted netlist working its way through the pipeline."""
+
+    job_id: str
+    mode: str
+    engine: str
+    fingerprint: str
+    status: str = "queued"  # queued -> running -> done | error
+    submitted_unix: float = field(default_factory=time.time)
+    wall_time_s: Optional[float] = None
+    cache: str = "miss"
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+
+    def view(self) -> Dict[str, Any]:
+        data = asdict(self)
+        return {key: value for key, value in data.items() if value is not None}
+
+
+class ReproAPIServer:
+    """The service: worker threads + job table + HTTP frontend."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8017,
+        cache: Optional[ResultCache] = None,
+        engine: str = DEFAULT_ENGINE,
+        jobs: int = 1,
+        worker_threads: int = 2,
+    ):
+        self.cache = cache if cache is not None else ResultCache()
+        self.engine = engine
+        self.jobs = jobs
+        self._queue: "queue.Queue[Optional[Tuple[Job, Any]]]" = queue.Queue()
+        self._table: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-worker-{i}", daemon=True
+            )
+            for i in range(max(1, worker_threads))
+        ]
+        self.httpd = ThreadingHTTPServer(
+            (host, port), _make_handler(self)
+        )
+        self.httpd.daemon_threads = True
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self.httpd.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> None:
+        """Start workers + HTTP loop in background threads."""
+        for worker in self._workers:
+            worker.start()
+        self._http_thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-http", daemon=True
+        )
+        self._http_thread.start()
+
+    def serve_forever(self) -> None:
+        """Run in the foreground (the ``repro serve`` path)."""
+        for worker in self._workers:
+            worker.start()
+        self.httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        for _ in self._workers:
+            self._queue.put(None)
+
+    # -- job handling ---------------------------------------------------
+
+    def submit(self, netlist, mode: str, engine: str) -> Job:
+        """Register a job; cache hits complete synchronously."""
+        fingerprint = self.cache.fingerprint(netlist)
+        with self._lock:
+            job = Job(
+                job_id=f"job-{next(self._ids)}",
+                mode=mode,
+                engine=engine,
+                fingerprint=fingerprint,
+            )
+            self._table[job.job_id] = job
+            self._evict_finished_locked()
+        if self._serve_from_cache(job, fingerprint):
+            return job
+        self._queue.put((job, netlist))
+        return job
+
+    def _serve_from_cache(self, job: Job, fingerprint: str) -> bool:
+        summary = _cached_summary(self.cache, job.mode, fingerprint)
+        if summary is None:
+            return False
+        job.status = "done"
+        job.cache = "hit"
+        job.wall_time_s = 0.0
+        job.result = summary
+        return True
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            job, netlist = item
+            job.status = "running"
+            started = time.perf_counter()
+            try:
+                job.result = _run_pipeline(
+                    self.cache,
+                    netlist,
+                    job.mode,
+                    job.engine,
+                    self.jobs,
+                    fingerprint=job.fingerprint,
+                )
+                job.status = "done"
+            except Exception as error:  # noqa: BLE001 - report, don't die
+                job.status = "error"
+                job.error = f"{type(error).__name__}: {error}"
+            job.wall_time_s = time.perf_counter() - started
+
+    def _evict_finished_locked(self) -> None:
+        """Drop the oldest terminal jobs past the retention cap.
+
+        Called with ``self._lock`` held.  Insertion order == submission
+        order, so a single forward scan finds the oldest finished jobs.
+        """
+        finished = [
+            job_id
+            for job_id, job in self._table.items()
+            if job.status in ("done", "error")
+        ]
+        excess = len(finished) - MAX_FINISHED_JOBS
+        if excess > 0:
+            for job_id in finished[:excess]:
+                del self._table[job_id]
+
+    def job_view(self, job_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            job = self._table.get(job_id)
+        return job.view() if job is not None else None
+
+    def stats_view(self) -> Dict[str, Any]:
+        cache_stats = self.cache.stats()
+        with self._lock:
+            by_status: Dict[str, int] = {}
+            for job in self._table.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {
+            "engine": self.engine,
+            "engines_available": sorted(available_engines()),
+            "cache": {
+                "root": cache_stats.root,
+                "entries": cache_stats.entries,
+                "disk_bytes": cache_stats.disk_bytes,
+                "hits": cache_stats.hits,
+                "misses": cache_stats.misses,
+            },
+            "jobs": by_status,
+        }
+
+
+# ----------------------------------------------------------------------
+# Pipeline execution + summaries
+# ----------------------------------------------------------------------
+
+def _summary_from_extraction(result) -> Dict[str, Any]:
+    return {
+        "kind": "extraction",
+        "m": result.m,
+        "polynomial": result.polynomial_str,
+        "irreducible": result.irreducible,
+        "member_bits": result.member_bits,
+    }
+
+
+def _cached_summary(
+    cache: ResultCache, mode: str, fingerprint: str
+) -> Optional[Dict[str, Any]]:
+    """Assemble a mode's summary purely from cached artifacts."""
+    if mode == "diagnose":
+        diagnosis = cache.get_diagnosis(fingerprint)
+        if diagnosis is None:
+            return None
+        summary = {
+            "kind": "diagnosis",
+            "verdict": diagnosis.verdict.value,
+            "clean": diagnosis.is_clean,
+            "reason": diagnosis.reason,
+        }
+        if diagnosis.extraction is not None:
+            summary["polynomial"] = diagnosis.extraction.polynomial_str
+        return summary
+    result = cache.get_extraction(fingerprint)
+    if result is None:
+        return None
+    summary = _summary_from_extraction(result)
+    if mode == "audit":
+        report = cache.get_verification(fingerprint)
+        if report is None:
+            return None
+        summary["kind"] = "audit"
+        summary["equivalent"] = report.equivalent
+        summary["simulation_vectors"] = report.simulation_vectors
+    return summary
+
+
+def _run_pipeline(
+    cache: ResultCache,
+    netlist,
+    mode: str,
+    engine: str,
+    jobs: int,
+    fingerprint: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Compute (and cache) the artifacts a mode needs; return summary."""
+    from repro.extract.diagnose import diagnose
+    from repro.extract.extractor import extract_irreducible_polynomial
+    from repro.extract.verify import verify_multiplier
+
+    if fingerprint is None:
+        fingerprint = cache.fingerprint(netlist)
+    if mode == "diagnose":
+        # Re-check the cache: a duplicate submission may have finished
+        # while this job sat in the queue (the extract branch below
+        # guards the same race).
+        if cache.get_diagnosis(fingerprint) is None:
+            cache.put_diagnosis(
+                fingerprint, diagnose(netlist, jobs=jobs, engine=engine)
+            )
+    else:
+        result = cache.get_extraction(fingerprint)
+        if result is None:
+            result = extract_irreducible_polynomial(
+                netlist, jobs=jobs, engine=engine
+            )
+            cache.put_extraction(fingerprint, result)
+        if mode == "audit" and cache.get_verification(fingerprint) is None:
+            cache.put_verification(
+                fingerprint, verify_multiplier(netlist, result, engine=engine)
+            )
+    summary = _cached_summary(cache, mode, fingerprint)
+    assert summary is not None
+    return summary
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+
+def _make_handler(server: "ReproAPIServer"):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-service"
+
+        def log_message(self, fmt: str, *args: Any) -> None:
+            pass  # keep the test/CLI output clean
+
+        # -- helpers ----------------------------------------------------
+
+        def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _error(self, status: int, message: str) -> None:
+            self._send_json(status, {"error": message})
+
+        # -- GET --------------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            url = urlparse(self.path)
+            parts = [part for part in url.path.split("/") if part]
+            if parts == ["v1", "health"]:
+                self._send_json(
+                    200,
+                    {
+                        "status": "ok",
+                        "engine": server.engine,
+                        "cache_root": str(server.cache.root),
+                    },
+                )
+            elif parts == ["v1", "stats"]:
+                self._send_json(200, server.stats_view())
+            elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                view = server.job_view(parts[2])
+                if view is None:
+                    self._error(404, f"unknown job {parts[2]!r}")
+                else:
+                    self._send_json(200, view)
+            elif len(parts) == 3 and parts[:2] == ["v1", "results"]:
+                self._get_result(parts[2], parse_qs(url.query))
+            else:
+                self._error(404, f"unknown endpoint {url.path!r}")
+
+        def _get_result(self, fingerprint: str, query: Dict) -> None:
+            kind = query.get("kind", ["extraction"])[0]
+            if kind not in KINDS:
+                self._error(400, f"unknown kind {kind!r}; one of {KINDS}")
+                return
+            if query.get("full", ["0"])[0] in ("1", "true"):
+                entry = server.cache.get_raw(kind, fingerprint)
+                if entry is None:
+                    self._error(404, f"no cached {kind} for {fingerprint}")
+                else:
+                    self._send_json(200, entry)
+                return
+            if kind == "verification":
+                # Stand-alone view: must not 404 just because the
+                # sibling extraction entry is gone (partial clear).
+                report = server.cache.get_verification(fingerprint)
+                summary = None if report is None else {
+                    "kind": "verification",
+                    "equivalent": report.equivalent,
+                    "irreducible": report.irreducible,
+                    "failing_bits": report.failing_bits,
+                    "simulation_vectors": report.simulation_vectors,
+                }
+            else:
+                summary = _cached_summary(
+                    server.cache,
+                    "extract" if kind == "extraction" else "diagnose",
+                    fingerprint,
+                )
+            if summary is None:
+                self._error(404, f"no cached {kind} for {fingerprint}")
+            else:
+                self._send_json(200, summary)
+
+        # -- POST -------------------------------------------------------
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+            url = urlparse(self.path)
+            if [part for part in url.path.split("/") if part] != [
+                "v1", "jobs",
+            ]:
+                # The unread body would desync a keep-alive connection.
+                self.close_connection = True
+                self._error(404, f"unknown endpoint {url.path!r}")
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                self.close_connection = True
+                self._error(400, "invalid Content-Length header")
+                return
+            if length < 0:
+                # rfile.read(-1) would block until client EOF, pinning
+                # this handler thread forever.
+                self.close_connection = True
+                self._error(400, "invalid Content-Length header")
+                return
+            if length > MAX_NETLIST_BYTES:
+                # Replying without draining the body desynchronizes a
+                # keep-alive connection; drop it instead of reading MBs.
+                self.close_connection = True
+                self._error(413, "netlist too large")
+                return
+            try:
+                body = json.loads(self.rfile.read(length) or b"{}")
+            except json.JSONDecodeError:
+                self._error(400, "request body is not valid JSON")
+                return
+            text = body.get("netlist")
+            if not isinstance(text, str) or not text.strip():
+                self._error(400, "missing 'netlist' text")
+                return
+            fmt = body.get("format", "eqn")
+            if fmt not in _PARSERS:
+                self._error(400, f"unknown format {fmt!r}")
+                return
+            mode = body.get("mode", "audit")
+            if mode not in _MODES:
+                self._error(400, f"unknown mode {mode!r}; one of {_MODES}")
+                return
+            engine = body.get("engine", server.engine)
+            if engine not in available_engines():
+                self._error(400, f"unknown engine {engine!r}")
+                return
+            try:
+                netlist = _PARSERS[fmt](text)
+            except Exception as error:  # noqa: BLE001 - surface parse errors
+                self._error(
+                    400, f"netlist parse failed: "
+                    f"{type(error).__name__}: {error}"
+                )
+                return
+            job = server.submit(netlist, mode=mode, engine=engine)
+            self._send_json(202 if job.status != "done" else 200, job.view())
+
+    return Handler
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8017,
+    cache_dir: Optional[str] = None,
+    engine: str = DEFAULT_ENGINE,
+    jobs: int = 1,
+    worker_threads: int = 2,
+) -> ReproAPIServer:
+    """Build (but do not start) a configured server — the CLI entry.
+
+    Call :meth:`ReproAPIServer.serve_forever` to block, or
+    :meth:`ReproAPIServer.start` to run in background threads (tests).
+    """
+    cache = ResultCache(cache_dir) if cache_dir is not None else ResultCache()
+    return ReproAPIServer(
+        host=host,
+        port=port,
+        cache=cache,
+        engine=engine,
+        jobs=jobs,
+        worker_threads=worker_threads,
+    )

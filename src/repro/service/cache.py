@@ -1,0 +1,521 @@
+"""Content-addressed, schema-versioned on-disk result cache.
+
+Every artifact the pipeline produces — an
+:class:`~repro.extract.extractor.ExtractionResult`, a
+:class:`~repro.extract.verify.VerificationReport`, a
+:class:`~repro.extract.diagnose.Diagnosis` — is a pure function of the
+netlist *structure* (extraction results are engine-independent by the
+differential contract of :mod:`repro.engine`), so the cache keys
+everything by the strash-invariant
+:func:`~repro.service.fingerprint.fingerprint_netlist` and nothing
+else.  A netlist audited once is audited forever: re-running a
+campaign over the same designs is pure cache traffic, and a synthesized
+or gate-reordered copy of a known netlist hits the same entry.
+
+Layout (all JSON, all written atomically)::
+
+    $REPRO_CACHE_DIR/                   default: ~/.cache/repro
+      v1/                               CACHE_SCHEMA_VERSION
+        extraction/<aa>/<fingerprint>.json
+        verification/<aa>/<fingerprint>.json
+        diagnosis/<aa>/<fingerprint>.json
+        jobs/<fingerprint>.jsonl           (checkpoints; repro.service.jobs)
+
+where ``<aa>`` is a two-hex-digit shard of the fingerprint digest (so
+no directory grows unboundedly).  Entries carry the schema version and
+their kind inline; a schema bump changes the directory, so stale
+entries are never *misread* — they are simply invisible until
+``clear()`` reclaims them.
+
+Decoded polynomials are stored as sorted lists of sorted variable
+lists (the canonical set-of-monomials form), so cached expressions are
+engine-neutral and byte-stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.extract.diagnose import Diagnosis, Verdict
+from repro.extract.extractor import ExtractionResult
+from repro.extract.verify import VerificationReport
+from repro.gf2.polynomial import Gf2Poly
+from repro.ioutil import atomic_write_text
+from repro.netlist.netlist import Netlist
+from repro.rewrite.backward import RewriteStats
+from repro.rewrite.parallel import ExtractionRun, LazyExpressions
+from repro.service.fingerprint import fingerprint_netlist
+
+#: Bump on any change to the serialized artifact layout.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: The artifact kinds the cache stores.
+KINDS = ("extraction", "verification", "diagnosis")
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+# ----------------------------------------------------------------------
+# JSON codec for the three artifact kinds
+# ----------------------------------------------------------------------
+
+def poly_to_json(poly: Gf2Poly) -> List[List[str]]:
+    return sorted(sorted(mono) for mono in poly.monomials)
+
+
+def poly_from_json(data: List[List[str]]) -> Gf2Poly:
+    return Gf2Poly.from_monomials(
+        frozenset(frozenset(mono) for mono in data)
+    )
+
+
+def stats_to_json(stats: RewriteStats) -> Dict[str, Any]:
+    return {
+        "output": stats.output,
+        "iterations": stats.iterations,
+        "cone_gates": stats.cone_gates,
+        "peak_terms": stats.peak_terms,
+        "final_terms": stats.final_terms,
+        "eliminated_monomials": stats.eliminated_monomials,
+        "runtime_s": stats.runtime_s,
+    }
+
+
+def stats_from_json(data: Dict[str, Any]) -> RewriteStats:
+    return RewriteStats(**data)
+
+
+def encode_extraction_run(run: ExtractionRun) -> Dict[str, Any]:
+    """Engine-neutral JSON form of a run (expressions fully decoded)."""
+    return {
+        "netlist_name": run.netlist_name,
+        "jobs": run.jobs,
+        "wall_time_s": run.wall_time_s,
+        "cpu_time_s": run.cpu_time_s,
+        "peak_terms": run.peak_terms,
+        "peak_memory_bytes": run.peak_memory_bytes,
+        "engine": run.engine,
+        "expressions": {
+            output: poly_to_json(run.expressions[output])
+            for output in sorted(run.expressions)
+        },
+        "stats": {
+            output: stats_to_json(stats)
+            for output, stats in sorted(run.stats.items())
+        },
+    }
+
+
+class _JsonCones(Mapping):
+    """Output → ``ReferenceExpression``, decoded from entry JSON on
+    first access — a cache hit that only needs P(x)/verdict metadata
+    never rebuilds a single polynomial."""
+
+    __slots__ = ("_raw", "_cache")
+
+    def __init__(self, raw: Dict[str, Any]):
+        self._raw = raw
+        self._cache: Dict[str, Any] = {}
+
+    def __getitem__(self, key: str):
+        from repro.engine.reference import ReferenceExpression
+
+        cone = self._cache.get(key)
+        if cone is None:
+            cone = ReferenceExpression(poly_from_json(self._raw[key]))
+            self._cache[key] = cone
+        return cone
+
+    def __iter__(self):
+        return iter(self._raw)
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+
+def decode_extraction_run(data: Dict[str, Any]) -> ExtractionRun:
+    cones = _JsonCones(data["expressions"])
+    return ExtractionRun(
+        netlist_name=data["netlist_name"],
+        expressions=LazyExpressions(cones),
+        stats={
+            output: stats_from_json(stats)
+            for output, stats in data["stats"].items()
+        },
+        jobs=data["jobs"],
+        wall_time_s=data["wall_time_s"],
+        cpu_time_s=data["cpu_time_s"],
+        peak_terms=data["peak_terms"],
+        peak_memory_bytes=data.get("peak_memory_bytes"),
+        engine=data["engine"],
+        cones=cones,
+    )
+
+
+def encode_extraction_result(result: ExtractionResult) -> Dict[str, Any]:
+    return {
+        "modulus": result.modulus,
+        "m": result.m,
+        "irreducible": result.irreducible,
+        "member_bits": list(result.member_bits),
+        "total_time_s": result.total_time_s,
+        "run": encode_extraction_run(result.run),
+    }
+
+
+def decode_extraction_result(data: Dict[str, Any]) -> ExtractionResult:
+    return ExtractionResult(
+        modulus=data["modulus"],
+        m=data["m"],
+        irreducible=data["irreducible"],
+        member_bits=list(data["member_bits"]),
+        run=decode_extraction_run(data["run"]),
+        total_time_s=data["total_time_s"],
+    )
+
+
+def encode_verification_report(report: VerificationReport) -> Dict[str, Any]:
+    return {
+        "modulus": report.modulus,
+        "algebraic": {
+            str(bit): bool(ok) for bit, ok in sorted(report.algebraic.items())
+        },
+        "irreducible": report.irreducible,
+        "simulation_ok": report.simulation_ok,
+        "simulation_vectors": report.simulation_vectors,
+        "runtime_s": report.runtime_s,
+    }
+
+
+def decode_verification_report(data: Dict[str, Any]) -> VerificationReport:
+    return VerificationReport(
+        modulus=data["modulus"],
+        algebraic={int(bit): ok for bit, ok in data["algebraic"].items()},
+        irreducible=data["irreducible"],
+        simulation_ok=data["simulation_ok"],
+        simulation_vectors=data["simulation_vectors"],
+        runtime_s=data["runtime_s"],
+    )
+
+
+def encode_diagnosis(diagnosis: Diagnosis) -> Dict[str, Any]:
+    return {
+        "verdict": diagnosis.verdict.value,
+        "netlist_name": diagnosis.netlist_name,
+        "extraction": (
+            encode_extraction_result(diagnosis.extraction)
+            if diagnosis.extraction is not None
+            else None
+        ),
+        "verification": (
+            encode_verification_report(diagnosis.verification)
+            if diagnosis.verification is not None
+            else None
+        ),
+        "counterexample": diagnosis.counterexample,
+        "reason": diagnosis.reason,
+        "runtime_s": diagnosis.runtime_s,
+    }
+
+
+def decode_diagnosis(data: Dict[str, Any]) -> Diagnosis:
+    return Diagnosis(
+        verdict=Verdict(data["verdict"]),
+        netlist_name=data["netlist_name"],
+        extraction=(
+            decode_extraction_result(data["extraction"])
+            if data["extraction"] is not None
+            else None
+        ),
+        verification=(
+            decode_verification_report(data["verification"])
+            if data["verification"] is not None
+            else None
+        ),
+        counterexample=data["counterexample"],
+        reason=data["reason"],
+        runtime_s=data["runtime_s"],
+    )
+
+
+_ENCODERS = {
+    "extraction": encode_extraction_result,
+    "verification": encode_verification_report,
+    "diagnosis": encode_diagnosis,
+}
+_DECODERS = {
+    "extraction": decode_extraction_result,
+    "verification": decode_verification_report,
+    "diagnosis": decode_diagnosis,
+}
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters (this instance) + on-disk totals (shared)."""
+
+    root: str
+    hits: int = 0
+    misses: int = 0
+    entries: Dict[str, int] = field(default_factory=dict)
+    disk_bytes: int = 0
+
+    @property
+    def total_entries(self) -> int:
+        return sum(self.entries.values())
+
+    @property
+    def hit_rate(self) -> float:
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+    def __str__(self) -> str:
+        per_kind = ", ".join(
+            f"{kind}:{count}" for kind, count in sorted(self.entries.items())
+        ) or "empty"
+        return (
+            f"cache at {self.root}: {self.total_entries} entries "
+            f"[{per_kind}], {self.disk_bytes / 1024:.1f} KiB, "
+            f"session hits={self.hits} misses={self.misses} "
+            f"({self.hit_rate:.0%} hit rate)"
+        )
+
+
+class ResultCache:
+    """Content-addressed store for extraction/verification/diagnosis.
+
+    Keys are netlist fingerprints; a :class:`~repro.netlist.netlist.Netlist`
+    is accepted anywhere a key is and fingerprinted on the fly.
+    Concurrent writers are safe: entries are immutable by construction
+    (same key ⟹ same payload) and every write is an atomic replace.
+
+    >>> import tempfile
+    >>> from repro.gen.mastrovito import generate_mastrovito
+    >>> from repro.extract.extractor import extract_irreducible_polynomial
+    >>> cache = ResultCache(tempfile.mkdtemp())
+    >>> net = generate_mastrovito(0b10011)
+    >>> cache.get_extraction(net) is None
+    True
+    >>> cache.put_extraction(net, extract_irreducible_polynomial(net))
+    >>> cache.get_extraction(net).polynomial_str
+    'x^4 + x + 1'
+    """
+
+    def __init__(self, root: Optional[Union[str, os.PathLike]] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.version_dir = self.root / f"v{CACHE_SCHEMA_VERSION}"
+        self.hits = 0
+        self.misses = 0
+
+    # -- key handling ---------------------------------------------------
+
+    def fingerprint(self, key: Union[str, Netlist]) -> str:
+        """Normalise a key: pass fingerprints through, hash netlists."""
+        if isinstance(key, Netlist):
+            return fingerprint_netlist(key)
+        return key
+
+    def path_for(self, kind: str, key: Union[str, Netlist]) -> Path:
+        if kind not in KINDS:
+            raise ValueError(f"unknown artifact kind {kind!r}")
+        fingerprint = self.fingerprint(key)
+        digest = fingerprint.rsplit("-", 1)[-1]
+        return self.version_dir / kind / digest[:2] / f"{fingerprint}.json"
+
+    def jobs_dir(self) -> Path:
+        """Directory for extraction checkpoints (repro.service.jobs)."""
+        return self.version_dir / "jobs"
+
+    # -- file fingerprint memo ------------------------------------------
+    #
+    # Fingerprinting is content-addressed, but campaigns address
+    # netlists by *file*; re-parsing and re-strashing a file whose
+    # bytes have not changed just to recompute a known fingerprint
+    # would dominate warm reruns.  The memo maps (absolute path,
+    # mtime_ns, size) -> fingerprint, so a warm hit never opens the
+    # netlist at all.  Any stat change invalidates the memo entry and
+    # falls back to a full fingerprint.
+
+    def _file_memo_path(self, path: Union[str, os.PathLike]) -> Path:
+        digest = hashlib.sha256(
+            os.fsdecode(os.path.abspath(path)).encode("utf-8")
+        ).hexdigest()
+        return self.version_dir / "files" / digest[:2] / f"{digest}.json"
+
+    def file_fingerprint(
+        self, path: Union[str, os.PathLike]
+    ) -> Optional[Dict[str, Any]]:
+        """The memoized ``{"fingerprint", "gates"}`` for an unchanged
+        file, or None when unseen/stale/unreadable."""
+        try:
+            stat = os.stat(path)
+        except OSError:
+            return None
+        memo_path = self._file_memo_path(path)
+        try:
+            with open(memo_path, "r", encoding="utf-8") as handle:
+                memo = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        if (
+            memo.get("mtime_ns") != stat.st_mtime_ns
+            or memo.get("size") != stat.st_size
+        ):
+            return None
+        return memo
+
+    def remember_file(
+        self,
+        path: Union[str, os.PathLike],
+        fingerprint: str,
+        gates: Optional[int] = None,
+        stat: Optional[os.stat_result] = None,
+    ) -> None:
+        """Record a file's fingerprint against its stat.
+
+        Pass the ``stat`` taken *before* reading the file; statting
+        here, after the parse, would memoize the old content's
+        fingerprint against the stat of a concurrent overwrite.
+        """
+        if stat is None:
+            try:
+                stat = os.stat(path)
+            except OSError:
+                return
+        memo_path = self._file_memo_path(path)
+        memo_path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            memo_path,
+            json.dumps(
+                {
+                    "path": os.fsdecode(os.path.abspath(path)),
+                    "mtime_ns": stat.st_mtime_ns,
+                    "size": stat.st_size,
+                    "fingerprint": fingerprint,
+                    "gates": gates,
+                }
+            ),
+        )
+
+    # -- generic get/put ------------------------------------------------
+
+    def get(self, kind: str, key: Union[str, Netlist]) -> Optional[Any]:
+        """Load and decode an artifact; None (and a miss) if absent."""
+        path = self.path_for(kind, key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if entry.get("schema") != CACHE_SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return _DECODERS[kind](entry["payload"])
+
+    def put(self, kind: str, key: Union[str, Netlist], artifact: Any) -> Path:
+        """Encode and atomically store an artifact; returns its path."""
+        fingerprint = self.fingerprint(key)  # once: strash+hash is O(n)
+        path = self.path_for(kind, fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": kind,
+            "fingerprint": fingerprint,
+            "created_unix": time.time(),
+            "payload": _ENCODERS[kind](artifact),
+        }
+        atomic_write_text(path, json.dumps(entry, indent=1, sort_keys=True))
+        return path
+
+    def contains(self, kind: str, key: Union[str, Netlist]) -> bool:
+        """Presence test without decoding (does not count hit/miss)."""
+        return self.path_for(kind, key).exists()
+
+    def get_raw(self, kind: str, key: Union[str, Netlist]) -> Optional[Dict]:
+        """The raw JSON entry (for the HTTP API's ``full`` view)."""
+        path = self.path_for(kind, key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    # -- typed convenience ----------------------------------------------
+
+    def get_extraction(self, key) -> Optional[ExtractionResult]:
+        return self.get("extraction", key)
+
+    def put_extraction(self, key, result: ExtractionResult) -> None:
+        self.put("extraction", key, result)
+
+    def get_verification(self, key) -> Optional[VerificationReport]:
+        return self.get("verification", key)
+
+    def put_verification(self, key, report: VerificationReport) -> None:
+        self.put("verification", key, report)
+
+    def get_diagnosis(self, key) -> Optional[Diagnosis]:
+        return self.get("diagnosis", key)
+
+    def put_diagnosis(self, key, diagnosis: Diagnosis) -> None:
+        self.put("diagnosis", key, diagnosis)
+
+    # -- stats / maintenance --------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """Session hit/miss counters plus an on-disk census."""
+        entries: Dict[str, int] = {}
+        disk_bytes = 0
+        for kind in KINDS:
+            kind_dir = self.version_dir / kind
+            count = 0
+            if kind_dir.is_dir():
+                for path in kind_dir.rglob("*.json"):
+                    count += 1
+                    disk_bytes += path.stat().st_size
+            entries[kind] = count
+        return CacheStats(
+            root=str(self.root),
+            hits=self.hits,
+            misses=self.misses,
+            entries=entries,
+            disk_bytes=disk_bytes,
+        )
+
+    def clear(self) -> int:
+        """Delete every entry (all schema versions); returns the count."""
+        removed = 0
+        if self.root.is_dir():
+            for version_dir in self.root.glob("v*"):
+                if version_dir.is_dir():
+                    removed += sum(
+                        1 for p in version_dir.rglob("*.json") if p.is_file()
+                    )
+                    shutil.rmtree(version_dir)
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ResultCache(root={str(self.root)!r})"

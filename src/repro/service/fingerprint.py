@@ -1,0 +1,99 @@
+"""Canonical, strash-invariant content hashing of netlists.
+
+The service layer addresses every artifact by *what the netlist
+computes structurally*, not by file name or byte content.  The
+fingerprint is a sha256 over a canonical form with three invariances:
+
+* **gate order** — gates are identified by a canonical label computed
+  bottom-up from their fan-in, and the gate list is sorted, so
+  insertion/serialization order is irrelevant;
+* **internal net names** — a gate's label is derived from its type and
+  its inputs' labels (hash-consing), never from the net name a tool
+  happened to pick; primary ports keep their names (the a/b/z port
+  contract is part of the key);
+* **strash** — the netlist is structurally hashed
+  (:func:`repro.synth.strash.structural_hash`: CSE, BUF aliasing,
+  INV-pair removal, dead-gate sweep) before labelling, so a netlist
+  and its strashed form — or two netlists differing only in shared
+  structure duplication — collapse to the same fingerprint.
+
+The label scheme is exactly a Merkle DAG over the strashed netlist:
+``label(PI) = H("pi:" + name)`` and ``label(gate) = H(gtype,
+labels(inputs))`` with inputs sorted for commutative types.  The
+fingerprint hashes the port signature (input names sorted, output
+names *in declaration order* with their labels) plus the sorted label
+multiset, and is prefixed with the schema version so future canonical-
+form changes never alias old cache entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+from repro.netlist.gate import COMMUTATIVE_TYPES, GateType
+from repro.netlist.netlist import Netlist
+
+#: Version of the canonical form; bump on any change to the labelling
+#: scheme so old cache entries can never be misattributed.
+FINGERPRINT_SCHEMA = 1
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _canonical_labels(netlist: Netlist) -> Dict[str, str]:
+    """Merkle label of every net: PIs by name, gates by structure."""
+    labels: Dict[str, str] = {
+        name: _digest(f"pi:{name}") for name in netlist.inputs
+    }
+    for gate in netlist.topological_order():
+        if gate.gtype is GateType.BUF:
+            # Transparent: a PO-preserving alias (the one BUF shape that
+            # survives strash) must not perturb the label of its net.
+            labels[gate.output] = labels[gate.inputs[0]]
+            continue
+        operands = [labels[net] for net in gate.inputs]
+        if gate.gtype in COMMUTATIVE_TYPES:
+            operands.sort()
+        labels[gate.output] = _digest(
+            "gate:" + gate.gtype.value + ":" + ",".join(operands)
+        )
+    return labels
+
+
+def fingerprint_netlist(netlist: Netlist, strash: bool = True) -> str:
+    """The content address of a netlist: ``v<schema>-<sha256 hex>``.
+
+    ``strash=False`` skips the structural-hash normalisation (for
+    callers that already strashed, or want a strictly structural key).
+
+    >>> from repro.gen.mastrovito import generate_mastrovito
+    >>> a = fingerprint_netlist(generate_mastrovito(0b10011))
+    >>> b = fingerprint_netlist(generate_mastrovito(0b10011))
+    >>> c = fingerprint_netlist(generate_mastrovito(0b11001))
+    >>> a == b, a == c
+    (True, False)
+    """
+    if strash:
+        from repro.synth.strash import structural_hash
+
+        netlist = structural_hash(netlist)
+    labels = _canonical_labels(netlist)
+
+    ports = [
+        "in:" + ",".join(sorted(netlist.inputs)),
+        "out:" + ",".join(
+            f"{name}={labels[name]}" for name in netlist.outputs
+        ),
+    ]
+    gate_labels: List[str] = sorted(
+        labels[gate.output]
+        for gate in netlist.gates
+        if gate.gtype is not GateType.BUF
+    )
+    payload = "\n".join(
+        [f"schema:{FINGERPRINT_SCHEMA}"] + ports + gate_labels
+    )
+    return f"v{FINGERPRINT_SCHEMA}-{_digest(payload)}"

@@ -1,0 +1,409 @@
+"""Batch campaign runner: a directory (or manifest) of netlists through
+extract/verify/diagnose on one shared worker pool.
+
+A *campaign* is the serving-shape workload the ROADMAP calls for:
+audit N designs, write one JSONL report line per netlist with timing
+and cache provenance, survive being killed at any point.  The runner
+composes the rest of the service layer:
+
+* every netlist is fingerprinted and looked up in the
+  :class:`~repro.service.cache.ResultCache` first — a repeated
+  campaign over unchanged designs is pure cache traffic;
+* cache misses extract through
+  :func:`~repro.service.jobs.checkpointed_extract`, so a killed
+  campaign resumes mid-netlist, not just mid-directory;
+* netlists are sharded over one shared ``multiprocessing`` pool
+  (``workers`` processes; each extraction then runs its own per-bit
+  shards with ``jobs`` workers — keep ``workers * jobs`` near the
+  core count);
+* report lines are appended as results arrive, so a killed campaign
+  leaves a valid JSONL prefix.
+
+Manifest format: a text file with one netlist path per line
+(relative paths resolve against the manifest's directory; ``#``
+comments allowed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.engine import DEFAULT_ENGINE
+from repro.ioutil import atomic_append_line, atomic_write_text
+from repro.netlist.blif_io import read_blif
+from repro.netlist.eqn_io import read_eqn
+from repro.netlist.verilog_io import read_verilog
+
+NETLIST_READERS = {".eqn": read_eqn, ".blif": read_blif, ".v": read_verilog}
+
+PathLike = Union[str, os.PathLike]
+
+
+class CampaignError(RuntimeError):
+    """The campaign target contains no readable netlists."""
+
+
+def discover_netlists(target: PathLike) -> List[Path]:
+    """Resolve a campaign target to netlist paths.
+
+    A directory is scanned (non-recursively) for ``.eqn``/``.blif``/
+    ``.v`` files; a netlist file is a single-design campaign; any
+    other file is read as a manifest.
+    """
+    target = Path(target)
+    if target.is_dir():
+        paths = sorted(
+            path
+            for path in target.iterdir()
+            if path.suffix in NETLIST_READERS and path.is_file()
+        )
+        if not paths:
+            raise CampaignError(f"no netlists (.eqn/.blif/.v) in {target}")
+        return paths
+    if not target.exists():
+        raise CampaignError(f"campaign target {target} does not exist")
+    if target.suffix in NETLIST_READERS:
+        return [target]
+    paths = []
+    for raw in target.read_text(encoding="utf-8").splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        path = Path(line)
+        if not path.is_absolute():
+            path = target.parent / path
+        paths.append(path)
+    if not paths:
+        raise CampaignError(f"manifest {target} lists no netlists")
+    return paths
+
+
+# ----------------------------------------------------------------------
+# Per-netlist worker (runs in pool processes; must stay module-level)
+# ----------------------------------------------------------------------
+
+def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Audit one netlist; returns the JSON-safe report record.
+
+    Errors are caught and reported as a record, never raised: one
+    broken design must not kill a thousand-netlist campaign.
+    """
+    from repro.extract.diagnose import diagnose
+    from repro.extract.extractor import (
+        multiplier_field_size,
+        result_from_run,
+    )
+    from repro.extract.verify import verify_multiplier
+    from repro.service.cache import ResultCache
+    from repro.service.jobs import checkpointed_extract
+
+    path = Path(task["path"])
+    mode = task["mode"]
+    engine = task["engine"]
+    jobs = task["jobs"]
+    import multiprocessing
+
+    if jobs != 1 and multiprocessing.current_process().daemon:
+        # Inside the shared campaign pool: daemonic workers cannot
+        # spawn a nested per-bit pool, so the netlist-level sharding
+        # *is* the parallelism and each extraction runs sequentially.
+        jobs = 1
+    started = time.perf_counter()
+    record: Dict[str, Any] = {
+        "path": str(path),
+        "netlist": path.stem,
+        "mode": mode,
+        "engine": engine,
+        "status": "ok",
+        "cache": "off",
+    }
+    cache = (
+        ResultCache(task["cache_dir"]) if task["cache_dir"] is not None
+        else None
+    )
+    try:
+        reader = NETLIST_READERS.get(path.suffix)
+        if reader is None:
+            raise CampaignError(f"unknown netlist format {path.suffix!r}")
+
+        # Lazy netlist loading: a warm rerun whose artifacts are all
+        # cached (and whose file stat matches the fingerprint memo)
+        # never parses the netlist at all.
+        netlist = None
+
+        def load():
+            nonlocal netlist
+            if netlist is None:
+                netlist = reader(path)
+            return netlist
+
+        fingerprint = None
+        if cache is not None:
+            memo = cache.file_fingerprint(path)
+            if memo is not None:
+                fingerprint = memo["fingerprint"]
+                record["gates"] = memo.get("gates")
+            else:
+                stat = os.stat(path)  # before the read: overwrite-safe
+                fingerprint = cache.fingerprint(load())
+                record["gates"] = len(netlist)
+                cache.remember_file(
+                    path, fingerprint, gates=len(netlist), stat=stat
+                )
+        else:
+            record["gates"] = len(load())
+        record["fingerprint"] = fingerprint
+
+        if mode == "diagnose":
+            diagnosis = cache.get_diagnosis(fingerprint) if cache else None
+            if cache is not None:
+                record["cache"] = "hit" if diagnosis is not None else "miss"
+            if diagnosis is None:
+                diagnosis = diagnose(load(), jobs=jobs, engine=engine)
+                if cache is not None:
+                    cache.put_diagnosis(fingerprint, diagnosis)
+            record["verdict"] = diagnosis.verdict.value
+            record["clean"] = diagnosis.is_clean
+            if diagnosis.extraction is not None:
+                record["m"] = diagnosis.extraction.m
+                record["polynomial"] = diagnosis.extraction.polynomial_str
+                record["irreducible"] = diagnosis.extraction.irreducible
+        else:  # extract / audit share the extraction phase
+            result = cache.get_extraction(fingerprint) if cache else None
+            if cache is not None:
+                record["cache"] = "hit" if result is not None else "miss"
+            record["resumed_bits"] = 0
+            if result is None:
+                m = multiplier_field_size(load())
+                sharded = None
+                if task["checkpoint"] and cache is not None:
+                    # keep_checkpoint: the checkpoint may only die once
+                    # the result is durably in the cache — a kill
+                    # between discard and put would lose every bit.
+                    sharded = checkpointed_extract(
+                        load(),
+                        outputs=[f"z{i}" for i in range(m)],
+                        jobs=jobs,
+                        engine=engine,
+                        term_limit=task["term_limit"],
+                        checkpoint_dir=cache.jobs_dir(),
+                        fingerprint=fingerprint,
+                        keep_checkpoint=True,
+                    )
+                    run = sharded.run
+                    record["resumed_bits"] = len(sharded.resumed_bits)
+                else:
+                    from repro.rewrite.parallel import extract_expressions
+
+                    run = extract_expressions(
+                        load(),
+                        outputs=[f"z{i}" for i in range(m)],
+                        jobs=jobs,
+                        engine=engine,
+                        term_limit=task["term_limit"],
+                    )
+                result = result_from_run(run, m, total_time_s=run.wall_time_s)
+                if cache is not None:
+                    cache.put_extraction(fingerprint, result)
+                if sharded is not None:
+                    try:  # result is durable now; the checkpoint may go
+                        sharded.checkpoint_path.unlink()
+                    except FileNotFoundError:
+                        pass
+            record["m"] = result.m
+            record["polynomial"] = result.polynomial_str
+            record["irreducible"] = result.irreducible
+            record["member_bits"] = result.member_bits
+
+            if mode == "audit":
+                report = (
+                    cache.get_verification(fingerprint) if cache else None
+                )
+                if report is None:
+                    if record["cache"] == "hit":
+                        record["cache"] = "partial"
+                    report = verify_multiplier(load(), result, engine=engine)
+                    if cache is not None:
+                        cache.put_verification(fingerprint, report)
+                record["equivalent"] = report.equivalent
+                record["simulation_vectors"] = report.simulation_vectors
+    except Exception as error:  # noqa: BLE001 - campaign must survive
+        record["status"] = "error"
+        record["error"] = f"{type(error).__name__}: {error}"
+    record["wall_time_s"] = time.perf_counter() - started
+    return record
+
+
+# ----------------------------------------------------------------------
+# The campaign driver
+# ----------------------------------------------------------------------
+
+@dataclass
+class CampaignReport:
+    """Everything a finished campaign produced."""
+
+    records: List[Dict[str, Any]]
+    report_path: Optional[Path]
+    wall_time_s: float
+    mode: str
+    engine: str
+
+    @property
+    def ok(self) -> int:
+        return sum(1 for r in self.records if r["status"] == "ok")
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for r in self.records if r["status"] != "ok")
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.get("cache") == "hit")
+
+    @property
+    def failing(self) -> List[str]:
+        """Designs that audited as not equivalent / not clean."""
+        bad = []
+        for record in self.records:
+            if record["status"] != "ok":
+                bad.append(record["netlist"])
+            elif record.get("equivalent") is False:
+                bad.append(record["netlist"])
+            elif record.get("clean") is False:
+                bad.append(record["netlist"])
+        return bad
+
+    def summary(self) -> str:
+        where = f" -> {self.report_path}" if self.report_path else ""
+        return (
+            f"campaign ({self.mode}, engine={self.engine}): "
+            f"{self.ok}/{len(self.records)} ok, "
+            f"{self.cache_hits} cache hits, {self.errors} errors, "
+            f"{self.wall_time_s:.2f} s{where}"
+        )
+
+
+class CampaignRunner:
+    """Configured batch runner; :meth:`run` executes one campaign."""
+
+    def __init__(
+        self,
+        mode: str = "audit",
+        engine: str = DEFAULT_ENGINE,
+        jobs: int = 1,
+        workers: int = 1,
+        term_limit: Optional[int] = None,
+        cache_dir: Optional[PathLike] = None,
+        use_cache: bool = True,
+        checkpoint: bool = True,
+    ):
+        if mode not in ("extract", "audit", "diagnose"):
+            raise ValueError(f"unknown campaign mode {mode!r}")
+        self.mode = mode
+        self.engine = engine
+        self.jobs = jobs
+        self.workers = max(1, workers)
+        self.term_limit = term_limit
+        if use_cache:
+            from repro.service.cache import default_cache_dir
+
+            self.cache_dir: Optional[str] = str(
+                Path(cache_dir) if cache_dir is not None
+                else default_cache_dir()
+            )
+        else:
+            self.cache_dir = None
+        self.checkpoint = checkpoint and use_cache
+
+    def _task(self, path: Path) -> Dict[str, Any]:
+        return {
+            "path": str(path),
+            "mode": self.mode,
+            "engine": self.engine,
+            "jobs": self.jobs,
+            "term_limit": self.term_limit,
+            "cache_dir": self.cache_dir,
+            "checkpoint": self.checkpoint,
+        }
+
+    def run(
+        self,
+        target: Union[PathLike, Sequence[PathLike]],
+        report_path: Optional[PathLike] = None,
+    ) -> CampaignReport:
+        """Run the campaign; streams JSONL records to ``report_path``."""
+        if isinstance(target, (str, os.PathLike)):
+            paths = discover_netlists(target)
+        else:
+            paths = [Path(p) for p in target]
+        report_file = Path(report_path) if report_path is not None else None
+        if report_file is not None:
+            report_file.parent.mkdir(parents=True, exist_ok=True)
+            report_file.write_text("", encoding="utf-8")  # fresh campaign
+
+        started = time.perf_counter()
+        records: List[Dict[str, Any]] = []
+
+        def emit(record: Dict[str, Any]) -> None:
+            records.append(record)
+            if report_file is not None:
+                atomic_append_line(
+                    report_file, json.dumps(record, sort_keys=True)
+                )
+
+        tasks = [self._task(path) for path in paths]
+        if self.workers == 1 or len(tasks) == 1:
+            for task in tasks:
+                emit(_process_netlist(task))
+        else:
+            import multiprocessing
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX
+                context = multiprocessing.get_context()
+            with context.Pool(processes=min(self.workers, len(tasks))) as pool:
+                for record in pool.imap_unordered(_process_netlist, tasks):
+                    emit(record)
+            # Deterministic report order regardless of completion order.
+            order = {str(path): idx for idx, path in enumerate(paths)}
+            records.sort(key=lambda record: order[record["path"]])
+            if report_file is not None:
+                atomic_write_text(
+                    report_file,
+                    "".join(
+                        json.dumps(record, sort_keys=True) + "\n"
+                        for record in records
+                    ),
+                )
+        return CampaignReport(
+            records=records,
+            report_path=report_file,
+            wall_time_s=time.perf_counter() - started,
+            mode=self.mode,
+            engine=self.engine,
+        )
+
+
+def run_campaign(
+    target: Union[PathLike, Sequence[PathLike]],
+    report_path: Optional[PathLike] = None,
+    **options: Any,
+) -> CampaignReport:
+    """One-shot convenience wrapper over :class:`CampaignRunner`.
+
+    >>> import tempfile, pathlib
+    >>> from repro.gen.mastrovito import generate_mastrovito
+    >>> from repro.netlist.eqn_io import write_eqn
+    >>> work = pathlib.Path(tempfile.mkdtemp())
+    >>> write_eqn(generate_mastrovito(0b1011), work / "m3.eqn")
+    >>> report = run_campaign(work, cache_dir=work / "cache")
+    >>> report.ok, report.records[0]["polynomial"]
+    (1, 'x^3 + x + 1')
+    """
+    return CampaignRunner(**options).run(target, report_path=report_path)

@@ -1,0 +1,93 @@
+"""Atomic artifact writes: killed writers never leave truncated files."""
+
+import os
+
+import pytest
+
+from repro.gen.mastrovito import generate_mastrovito
+from repro.ioutil import atomic_append_line, atomic_write_text
+from repro.netlist.blif_io import read_blif, write_blif
+from repro.netlist.eqn_io import read_eqn, write_eqn
+from repro.netlist.verilog_io import read_verilog, write_verilog
+
+
+class TestAtomicWriteText:
+    def test_creates(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "payload")
+        assert target.read_text() == "payload"
+
+    def test_replaces_never_truncates(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old content")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_litter_on_success(self, tmp_path):
+        atomic_write_text(tmp_path / "out.txt", "x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_fresh_file_honors_umask_not_mkstemp_0600(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "x")
+        mode = os.stat(target).st_mode & 0o777
+        umask = os.umask(0o022)
+        os.umask(umask)
+        assert mode == 0o666 & ~umask
+
+    def test_replacement_preserves_existing_mode(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        os.chmod(target, 0o640)
+        atomic_write_text(target, "new")
+        assert os.stat(target).st_mode & 0o777 == 0o640
+
+    def test_failed_write_leaves_old_content(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+
+        monkeypatch.setattr(
+            os, "replace", lambda *a: (_ for _ in ()).throw(OSError("disk"))
+        )
+        with pytest.raises(OSError, match="disk"):
+            atomic_write_text(target, "overwrite attempt")
+        assert target.read_text() == "precious"
+        # The temp file was cleaned up despite the failure.
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+
+class TestAtomicAppendLine:
+    def test_appends_with_newline(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        atomic_append_line(target, '{"a": 1}')
+        atomic_append_line(target, '{"b": 2}\n')
+        assert target.read_text() == '{"a": 1}\n{"b": 2}\n'
+
+
+class TestWritersAreAtomic:
+    """Every netlist writer replaces rather than truncate-then-write."""
+
+    @pytest.mark.parametrize(
+        "writer,reader,suffix",
+        [
+            (write_eqn, read_eqn, "eqn"),
+            (write_blif, read_blif, "blif"),
+            (write_verilog, read_verilog, "v"),
+        ],
+    )
+    def test_roundtrip_and_replace(self, tmp_path, writer, reader, suffix):
+        net = generate_mastrovito(0b1011)
+        target = tmp_path / f"out.{suffix}"
+        target.write_text("corrupt leftover from a killed job")
+        writer(net, target)
+        loaded = reader(target)
+        assert len(loaded) == len(net)
+        assert os.listdir(tmp_path) == [f"out.{suffix}"]
+
+    def test_file_object_targets_still_work(self, tmp_path):
+        import io
+
+        net = generate_mastrovito(0b1011)
+        buffer = io.StringIO()
+        write_eqn(net, buffer)
+        assert "INPUT" in buffer.getvalue()

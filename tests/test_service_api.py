@@ -1,0 +1,210 @@
+"""HTTP API end-to-end tests on an ephemeral port."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.gen.faults import stuck_at
+from repro.gen.mastrovito import generate_mastrovito
+from repro.netlist.blif_io import format_blif
+from repro.netlist.eqn_io import format_eqn
+from repro.service.api import serve
+
+
+@pytest.fixture
+def server(tmp_path):
+    api = serve(
+        host="127.0.0.1",
+        port=0,  # ephemeral
+        cache_dir=str(tmp_path / "cache"),
+        engine="bitpack",
+    )
+    api.start()
+    yield api
+    api.shutdown()
+
+
+@pytest.fixture
+def base(server):
+    host, port = server.address
+    return f"http://{host}:{port}"
+
+
+def get(url, expect=200):
+    try:
+        with urllib.request.urlopen(url) as response:
+            assert response.status == expect
+            return json.load(response)
+    except urllib.error.HTTPError as error:
+        assert error.code == expect, error.read()
+        return json.load(error)
+
+
+def post(url, payload, expect=(200, 202)):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            assert response.status in expect
+            return json.load(response)
+    except urllib.error.HTTPError as error:
+        assert error.code in expect, error.read()
+        return json.load(error)
+
+
+def wait_done(base_url, job_id, timeout_s=20.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        view = get(f"{base_url}/v1/jobs/{job_id}")
+        if view["status"] in ("done", "error"):
+            return view
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+class TestEndpoints:
+    def test_health(self, base, server):
+        view = get(f"{base}/v1/health")
+        assert view["status"] == "ok"
+        assert view["engine"] == "bitpack"
+
+    def test_submit_poll_fetch(self, base):
+        text = format_eqn(generate_mastrovito(0b10011))
+        job = post(f"{base}/v1/jobs", {"netlist": text, "mode": "audit"})
+        assert job["status"] in ("queued", "running", "done")
+        view = wait_done(base, job["job_id"])
+        assert view["status"] == "done"
+        assert view["result"]["polynomial"] == "x^4 + x + 1"
+        assert view["result"]["equivalent"] is True
+
+        # The artifact is now addressable by fingerprint.
+        summary = get(
+            f"{base}/v1/results/{job['fingerprint']}?kind=extraction"
+        )
+        assert summary["polynomial"] == "x^4 + x + 1"
+        full = get(
+            f"{base}/v1/results/{job['fingerprint']}"
+            "?kind=verification&full=1"
+        )
+        assert full["kind"] == "verification"
+        assert full["payload"]["simulation_ok"] is True
+
+    def test_resubmission_is_a_cache_hit(self, base):
+        text = format_eqn(generate_mastrovito(0b1011))
+        first = post(f"{base}/v1/jobs", {"netlist": text, "mode": "extract"})
+        wait_done(base, first["job_id"])
+        second = post(
+            f"{base}/v1/jobs", {"netlist": text, "mode": "extract"}
+        )
+        assert second["status"] == "done"
+        assert second["cache"] == "hit"
+        assert second["result"]["polynomial"] == "x^3 + x + 1"
+
+    def test_blif_submission_and_diagnose(self, base):
+        net = generate_mastrovito(0b10011)
+        mutant, _ = stuck_at(net, "z0", 1)
+        job = post(
+            f"{base}/v1/jobs",
+            {
+                "netlist": format_blif(mutant),
+                "format": "blif",
+                "mode": "diagnose",
+            },
+        )
+        view = wait_done(base, job["job_id"])
+        assert view["status"] == "done"
+        assert view["result"]["clean"] is False
+
+    def test_stats(self, base):
+        text = format_eqn(generate_mastrovito(0b1011))
+        job = post(f"{base}/v1/jobs", {"netlist": text, "mode": "extract"})
+        wait_done(base, job["job_id"])
+        stats = get(f"{base}/v1/stats")
+        assert stats["jobs"].get("done", 0) >= 1
+        assert stats["cache"]["entries"]["extraction"] >= 1
+        assert "bitpack" in stats["engines_available"]
+
+
+class TestRejections:
+    def test_unknown_job(self, base):
+        assert "error" in get(f"{base}/v1/jobs/job-999", expect=404)
+
+    def test_unknown_endpoint(self, base):
+        assert "error" in get(f"{base}/v1/frobnicate", expect=404)
+
+    def test_uncached_result_404(self, base):
+        assert "error" in get(
+            f"{base}/v1/results/v1-{'0' * 64}?kind=extraction", expect=404
+        )
+
+    def test_bad_kind(self, base):
+        assert "error" in get(
+            f"{base}/v1/results/v1-{'0' * 64}?kind=frob", expect=400
+        )
+
+    def test_missing_netlist_field(self, base):
+        assert "error" in post(f"{base}/v1/jobs", {}, expect=(400,))
+
+    def test_bad_json(self, base):
+        request = urllib.request.Request(
+            f"{base}/v1/jobs",
+            data=b"not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_negative_content_length_rejected_not_hung(self, base, server):
+        import http.client
+
+        host, port = server.address
+        connection = http.client.HTTPConnection(host, port, timeout=5)
+        connection.putrequest("POST", "/v1/jobs", skip_host=False)
+        connection.putheader("Content-Length", "-1")
+        connection.endheaders()
+        response = connection.getresponse()  # must answer, not block
+        assert response.status == 400
+        connection.close()
+
+    def test_unparseable_netlist(self, base):
+        view = post(
+            f"{base}/v1/jobs",
+            {"netlist": "INPUT a\nz = FROB(a)\n"},
+            expect=(400,),
+        )
+        assert "parse failed" in view["error"]
+
+    def test_unknown_mode_engine_format(self, base):
+        text = format_eqn(generate_mastrovito(0b111))
+        assert "error" in post(
+            f"{base}/v1/jobs", {"netlist": text, "mode": "frob"},
+            expect=(400,),
+        )
+        assert "error" in post(
+            f"{base}/v1/jobs", {"netlist": text, "engine": "frob"},
+            expect=(400,),
+        )
+        assert "error" in post(
+            f"{base}/v1/jobs", {"netlist": text, "format": "frob"},
+            expect=(400,),
+        )
+
+    def test_buggy_multiplier_audits_as_not_equivalent(self, base):
+        net = generate_mastrovito(0b10011)
+        mutant, _ = stuck_at(net, "z1", 0)
+        job = post(
+            f"{base}/v1/jobs",
+            {"netlist": format_eqn(mutant), "mode": "audit"},
+        )
+        view = wait_done(base, job["job_id"])
+        assert view["status"] == "done"
+        assert view["result"]["equivalent"] is False

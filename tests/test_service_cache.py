@@ -1,0 +1,155 @@
+"""Cache round-trips for all three artifact kinds + store semantics."""
+
+import json
+
+import pytest
+
+from repro.extract.diagnose import Verdict, diagnose
+from repro.extract.extractor import extract_irreducible_polynomial
+from repro.extract.verify import verify_multiplier
+from repro.gen.faults import stuck_at
+from repro.gen.mastrovito import generate_mastrovito
+from repro.gen.montgomery import generate_montgomery
+from repro.service.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    default_cache_dir,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+@pytest.fixture
+def net():
+    return generate_mastrovito(0b10011)
+
+
+class TestExtractionRoundTrip:
+    @pytest.mark.parametrize("engine", ["reference", "bitpack"])
+    def test_full_result_survives(self, cache, net, engine):
+        result = extract_irreducible_polynomial(net, engine=engine)
+        cache.put_extraction(net, result)
+        loaded = cache.get_extraction(net)
+        assert loaded.modulus == result.modulus
+        assert loaded.m == result.m
+        assert loaded.irreducible is True
+        assert loaded.member_bits == result.member_bits
+        assert loaded.run.engine == engine
+        # Expressions decode bit-identically, whatever engine wrote them.
+        assert dict(loaded.run.expressions.items()) == dict(
+            result.run.expressions.items()
+        )
+        stats = loaded.run.stats["z0"]
+        assert stats.iterations == result.run.stats["z0"].iterations
+
+    def test_cached_result_verifies(self, cache, net):
+        cache.put_extraction(net, extract_irreducible_polynomial(net))
+        loaded = cache.get_extraction(net)
+        assert verify_multiplier(net, loaded).equivalent
+
+    def test_cache_key_is_structural(self, cache, net):
+        from repro.synth.strash import structural_hash
+
+        cache.put_extraction(net, extract_irreducible_polynomial(net))
+        assert cache.get_extraction(structural_hash(net)) is not None
+
+
+class TestVerificationRoundTrip:
+    def test_report_survives(self, cache, net):
+        result = extract_irreducible_polynomial(net)
+        report = verify_multiplier(net, result)
+        cache.put_verification(net, report)
+        loaded = cache.get_verification(net)
+        assert loaded.equivalent is True
+        assert loaded.modulus == report.modulus
+        assert loaded.algebraic == report.algebraic
+        assert loaded.simulation_vectors == report.simulation_vectors
+
+    def test_failing_report_survives(self, cache):
+        net = generate_mastrovito(0b10011)
+        mutant, _ = stuck_at(net, net.gates[0].output, 1)
+        result = extract_irreducible_polynomial(mutant)
+        report = verify_multiplier(mutant, result)
+        cache.put_verification(mutant, report)
+        loaded = cache.get_verification(mutant)
+        assert loaded.equivalent == report.equivalent
+        assert loaded.failing_bits == report.failing_bits
+
+
+class TestDiagnosisRoundTrip:
+    def test_clean_diagnosis(self, cache):
+        net = generate_montgomery(0b1011)
+        cache.put_diagnosis(net, diagnose(net))
+        loaded = cache.get_diagnosis(net)
+        assert loaded.verdict is Verdict.VERIFIED_MULTIPLIER
+        assert loaded.is_clean
+        assert loaded.extraction.polynomial_str == "x^3 + x + 1"
+
+    def test_buggy_diagnosis_keeps_counterexample(self, cache):
+        net = generate_mastrovito(0b1011)
+        mutant, _ = stuck_at(net, "z0", 1)
+        diagnosis = diagnose(mutant)
+        cache.put_diagnosis(mutant, diagnosis)
+        loaded = cache.get_diagnosis(mutant)
+        assert loaded.verdict == diagnosis.verdict
+        assert loaded.counterexample == diagnosis.counterexample
+        assert loaded.render() == diagnosis.render()
+
+
+class TestStoreSemantics:
+    def test_miss_then_hit_counters(self, cache, net):
+        assert cache.get_extraction(net) is None
+        cache.put_extraction(net, extract_irreducible_polynomial(net))
+        assert cache.get_extraction(net) is not None
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.entries["extraction"] == 1
+        assert stats.disk_bytes > 0
+
+    def test_clear(self, cache, net):
+        cache.put_extraction(net, extract_irreducible_polynomial(net))
+        assert cache.clear() == 1
+        assert cache.get_extraction(net) is None
+        assert cache.stats().total_entries == 0
+
+    def test_schema_version_in_path_and_entry(self, cache, net):
+        path = cache.put("extraction", net, extract_irreducible_polynomial(net))
+        assert f"v{CACHE_SCHEMA_VERSION}" in str(path)
+        entry = json.loads(path.read_text())
+        assert entry["schema"] == CACHE_SCHEMA_VERSION
+        assert entry["kind"] == "extraction"
+        assert entry["fingerprint"] == cache.fingerprint(net)
+
+    def test_mismatched_schema_is_a_miss(self, cache, net):
+        path = cache.put("extraction", net, extract_irreducible_polynomial(net))
+        entry = json.loads(path.read_text())
+        entry["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(entry))
+        assert cache.get_extraction(net) is None
+
+    def test_corrupt_entry_is_a_miss(self, cache, net):
+        path = cache.put("extraction", net, extract_irreducible_polynomial(net))
+        path.write_text("{truncated")
+        assert cache.get_extraction(net) is None
+
+    def test_unknown_kind_rejected(self, cache, net):
+        with pytest.raises(ValueError, match="unknown artifact kind"):
+            cache.get("frobnication", net)
+
+    def test_env_var_controls_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert default_cache_dir() == tmp_path / "envcache"
+        assert ResultCache().root == tmp_path / "envcache"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert default_cache_dir().name == "repro"
+
+
+class TestExtractorCacheParam:
+    def test_extract_irreducible_polynomial_uses_cache(self, cache, net):
+        first = extract_irreducible_polynomial(net, cache=cache)
+        again = extract_irreducible_polynomial(net, cache=cache)
+        assert again.polynomial_str == first.polynomial_str == "x^4 + x + 1"
+        assert cache.hits == 1  # second call served from disk

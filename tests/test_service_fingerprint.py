@@ -1,0 +1,117 @@
+"""Fingerprint invariance: the service cache key must identify netlist
+*structure*, not its serialization accidents."""
+
+import random
+
+from repro.gen.mastrovito import generate_mastrovito
+from repro.gen.montgomery import generate_montgomery
+from repro.netlist.gate import Gate, GateType
+from repro.netlist.netlist import Netlist
+from repro.service.fingerprint import FINGERPRINT_SCHEMA, fingerprint_netlist
+from repro.synth.strash import structural_hash
+
+
+def reorder(netlist: Netlist, seed: int = 7) -> Netlist:
+    gates = netlist.gates
+    random.Random(seed).shuffle(gates)
+    out = Netlist(netlist.name, netlist.inputs, netlist.outputs)
+    for gate in gates:
+        out.add_gate(gate)
+    return out
+
+
+def rename_internal(netlist: Netlist) -> Netlist:
+    """Rename every internal net; ports keep their contract names."""
+    ports = set(netlist.inputs) | set(netlist.outputs)
+    mapping = {}
+    for idx, gate in enumerate(netlist.gates):
+        if gate.output not in ports:
+            mapping[gate.output] = f"renamed_{idx}"
+    out = Netlist(netlist.name, netlist.inputs, netlist.outputs)
+    for gate in netlist.gates:
+        out.add_gate(
+            Gate(
+                mapping.get(gate.output, gate.output),
+                gate.gtype,
+                tuple(mapping.get(net, net) for net in gate.inputs),
+            )
+        )
+    return out
+
+
+class TestInvariance:
+    def test_deterministic_across_regeneration(self):
+        assert fingerprint_netlist(
+            generate_mastrovito(0b10011)
+        ) == fingerprint_netlist(generate_mastrovito(0b10011))
+
+    def test_gate_reordering(self):
+        net = generate_mastrovito(0b100011011)
+        assert fingerprint_netlist(reorder(net)) == fingerprint_netlist(net)
+
+    def test_internal_net_renaming(self):
+        net = generate_montgomery(0b1011)
+        assert fingerprint_netlist(
+            rename_internal(net)
+        ) == fingerprint_netlist(net)
+
+    def test_strash_fixpoint(self):
+        net = generate_mastrovito(0b10011)
+        assert fingerprint_netlist(
+            structural_hash(net)
+        ) == fingerprint_netlist(net)
+
+    def test_buf_chain_and_duplicate_logic_collapse(self):
+        base = Netlist("t", inputs=["a0", "b0"], outputs=["z0"])
+        base.add_gate(Gate("z0", GateType.AND, ("a0", "b0")))
+
+        decorated = Netlist("t", inputs=["a0", "b0"], outputs=["z0"])
+        decorated.add_gate(Gate("n1", GateType.AND, ("a0", "b0")))
+        decorated.add_gate(Gate("n2", GateType.AND, ("b0", "a0")))  # dup
+        decorated.add_gate(Gate("n3", GateType.BUF, ("n1",)))
+        decorated.add_gate(Gate("z0", GateType.BUF, ("n3",)))
+        # n2 is dead after CSE; BUF chain aliases through.
+        assert fingerprint_netlist(decorated) == fingerprint_netlist(base)
+
+    def test_commutative_input_order(self):
+        lhs = Netlist("t", inputs=["a0", "b0"], outputs=["z0"])
+        lhs.add_gate(Gate("z0", GateType.XOR, ("a0", "b0")))
+        rhs = Netlist("t", inputs=["a0", "b0"], outputs=["z0"])
+        rhs.add_gate(Gate("z0", GateType.XOR, ("b0", "a0")))
+        assert fingerprint_netlist(lhs) == fingerprint_netlist(rhs)
+
+
+class TestDiscrimination:
+    def test_different_modulus_differs(self):
+        assert fingerprint_netlist(
+            generate_mastrovito(0b10011)
+        ) != fingerprint_netlist(generate_mastrovito(0b11001))
+
+    def test_different_architecture_differs(self):
+        assert fingerprint_netlist(
+            generate_mastrovito(0b1011)
+        ) != fingerprint_netlist(generate_montgomery(0b1011))
+
+    def test_noncommutative_input_order_differs(self):
+        lhs = Netlist("t", inputs=["a0", "b0", "c0"], outputs=["z0"])
+        lhs.add_gate(Gate("z0", GateType.MUX2, ("a0", "b0", "c0")))
+        rhs = Netlist("t", inputs=["a0", "b0", "c0"], outputs=["z0"])
+        rhs.add_gate(Gate("z0", GateType.MUX2, ("c0", "b0", "a0")))
+        assert fingerprint_netlist(lhs) != fingerprint_netlist(rhs)
+
+    def test_output_order_is_part_of_the_key(self):
+        lhs = Netlist("t", inputs=["a0", "b0"], outputs=["z0", "z1"])
+        lhs.add_gate(Gate("z0", GateType.AND, ("a0", "b0")))
+        lhs.add_gate(Gate("z1", GateType.XOR, ("a0", "b0")))
+        rhs = Netlist("t", inputs=["a0", "b0"], outputs=["z1", "z0"])
+        rhs.add_gate(Gate("z0", GateType.AND, ("a0", "b0")))
+        rhs.add_gate(Gate("z1", GateType.XOR, ("a0", "b0")))
+        assert fingerprint_netlist(lhs) != fingerprint_netlist(rhs)
+
+
+def test_format_is_versioned_hex():
+    fingerprint = fingerprint_netlist(generate_mastrovito(0b111))
+    prefix, digest = fingerprint.split("-")
+    assert prefix == f"v{FINGERPRINT_SCHEMA}"
+    assert len(digest) == 64
+    int(digest, 16)  # hex or raise
