@@ -20,9 +20,9 @@ Quickstart::
     print(verify_multiplier(netlist, result).equivalent)   # True
 
 See README.md at the repository root for the quickstart and the
-architecture map (netlist model, generators, rewriting engines,
-extraction/verification, synthesis, the caching/batch/HTTP service
-layer, CLI, benchmarks).
+architecture map (netlist model, the shared hash-consed AIG IR,
+generators, rewriting engines, extraction/verification, synthesis,
+the caching/batch/HTTP service layer, CLI, benchmarks).
 """
 
 from repro.fieldmath import (
@@ -60,6 +60,7 @@ from repro.netlist import (
     write_eqn,
     write_verilog,
 )
+from repro.aig import Aig, balance_xor_trees
 from repro.engine import available_engines, get_engine, register_engine
 from repro.rewrite import backward_rewrite, extract_expressions
 from repro.rewrite.backward import RewriteStats
@@ -75,7 +76,7 @@ from repro.extract import (
     format_extraction_report,
     verify_multiplier,
 )
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Service-layer conveniences re-exported lazily (PEP 562) so that a
 #: bare ``import repro`` stays as light as it was before the service
@@ -97,6 +98,7 @@ def __dir__():
     return sorted(set(globals()) | set(_SERVICE_EXPORTS))
 
 __all__ = [
+    "Aig",
     "GF2m",
     "bitpoly_parse",
     "bitpoly_str",
@@ -127,6 +129,7 @@ __all__ = [
     "write_blif",
     "write_eqn",
     "write_verilog",
+    "balance_xor_trees",
     "available_engines",
     "get_engine",
     "register_engine",

@@ -1,0 +1,468 @@
+"""The :class:`Aig` container — hash-consed AND/XOR nodes, literal edges.
+
+See the package docstring (:mod:`repro.aig`) for the design note.  The
+operations the rest of the system relies on:
+
+* **construction** — :meth:`Aig.aig_and` / :meth:`Aig.aig_xor` with
+  structural hashing, so CSE / inverter-pair removal / constant
+  folding happen by construction;
+* **round-trip** — :meth:`Aig.from_netlist` lowers every
+  :class:`~repro.netlist.gate.GateType`; :meth:`Aig.to_netlist`
+  re-emits an equivalent AND/XOR/INV netlist with the original ports;
+* **topological iteration** — ascending node id is a topological
+  order (fanins are always created first);
+* **liveness** — :meth:`Aig.live_nodes` marks the transitive fan-in
+  of the outputs (the dead-node sweep);
+* **simulation** — :meth:`Aig.simulate` mirrors the bit-parallel
+  netlist semantics, the ground truth for the round-trip tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.netlist.gate import Gate, GateType
+from repro.netlist.netlist import Netlist
+
+#: Literal of the constant-0 function (node 0, uncomplemented).
+CONST0 = 0
+#: Literal of the constant-1 function (node 0, complemented).
+CONST1 = 1
+
+#: Node kinds (stored per node id).
+_KIND_CONST = 0
+_KIND_PI = 1
+_KIND_AND = 2
+_KIND_XOR = 3
+
+
+class AigError(ValueError):
+    """Structural problem while building or converting an AIG."""
+
+
+def make_lit(node: int, complemented: bool = False) -> int:
+    """Pack a node id and a complement flag into a literal."""
+    return (node << 1) | int(complemented)
+
+
+def lit_node(lit: int) -> int:
+    """Node id of a literal."""
+    return lit >> 1
+
+
+def lit_is_complemented(lit: int) -> bool:
+    """Whether the literal carries the complement attribute."""
+    return bool(lit & 1)
+
+
+def lit_complement(lit: int) -> int:
+    """The inverted literal (edge complement — never a gate)."""
+    return lit ^ 1
+
+
+class Aig:
+    """A hash-consed And-Inverter(-Xor) graph.
+
+    >>> aig = Aig()
+    >>> a, b = aig.add_input("a"), aig.add_input("b")
+    >>> aig.aig_and(a, b) == aig.aig_and(b, a)       # CSE by construction
+    True
+    >>> aig.aig_xor(a, a)                            # cancellation
+    0
+    >>> aig.aig_and(a, lit_complement(a))            # a AND NOT a
+    0
+    """
+
+    __slots__ = (
+        "kinds",
+        "fanin0",
+        "fanin1",
+        "pi_name",
+        "inputs",
+        "outputs",
+        "name",
+        "_leaf_lit",
+        "_strash",
+        "net_literal",
+    )
+
+    def __init__(self, name: str = "aig"):
+        self.name = name
+        #: Parallel node arrays; node 0 is the constant-0 node.
+        self.kinds: List[int] = [_KIND_CONST]
+        self.fanin0: List[int] = [0]
+        self.fanin1: List[int] = [0]
+        #: node id -> primary-input name (leaves only).
+        self.pi_name: Dict[int, str] = {}
+        #: Declared input names in declaration order (see from_netlist).
+        self.inputs: List[str] = []
+        #: (name, literal) pairs in output declaration order.
+        self.outputs: List[Tuple[str, int]] = []
+        self._leaf_lit: Dict[str, int] = {}
+        self._strash: Dict[Tuple[int, int, int], int] = {}
+        #: net name -> literal for every net of the source netlist
+        #: (populated by from_netlist; empty for hand-built graphs).
+        self.net_literal: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of nodes, constant node included."""
+        return len(self.kinds)
+
+    def _new_node(self, kind: int, f0: int, f1: int) -> int:
+        node = len(self.kinds)
+        self.kinds.append(kind)
+        self.fanin0.append(f0)
+        self.fanin1.append(f1)
+        return node
+
+    def add_input(self, name: str, declare: bool = True) -> int:
+        """Literal of the named leaf, creating it on first sight.
+
+        ``declare=False`` creates the leaf without listing it in
+        :attr:`inputs` — how :meth:`from_netlist` represents nets a
+        netlist reads but neither drives nor declares.
+        """
+        lit = self._leaf_lit.get(name)
+        if lit is None:
+            node = self._new_node(_KIND_PI, 0, 0)
+            self.pi_name[node] = name
+            lit = make_lit(node)
+            self._leaf_lit[name] = lit
+            if declare:
+                self.inputs.append(name)
+        return lit
+
+    def aig_and(self, a: int, b: int) -> int:
+        """Hash-consed AND of two literals."""
+        if a == CONST0 or b == CONST0 or a == lit_complement(b):
+            return CONST0
+        if a == CONST1 or a == b:
+            return b
+        if b == CONST1:
+            return a
+        if a > b:
+            a, b = b, a
+        key = (_KIND_AND, a, b)
+        node = self._strash.get(key)
+        if node is None:
+            node = self._new_node(_KIND_AND, a, b)
+            self._strash[key] = node
+        return make_lit(node)
+
+    def aig_xor(self, a: int, b: int) -> int:
+        """Hash-consed XOR; fanin complements are pulled to the output."""
+        out = (a & 1) ^ (b & 1)
+        a &= ~1
+        b &= ~1
+        if a == b:
+            return out
+        if a == CONST0:
+            return b ^ out
+        if b == CONST0:
+            return a ^ out
+        if a > b:
+            a, b = b, a
+        key = (_KIND_XOR, a, b)
+        node = self._strash.get(key)
+        if node is None:
+            node = self._new_node(_KIND_XOR, a, b)
+            self._strash[key] = node
+        return make_lit(node) ^ out
+
+    def aig_not(self, a: int) -> int:
+        """Edge complement (free — no node is ever created)."""
+        return lit_complement(a)
+
+    def aig_or(self, a: int, b: int) -> int:
+        """OR via De Morgan on the AND core."""
+        return lit_complement(
+            self.aig_and(lit_complement(a), lit_complement(b))
+        )
+
+    def aig_mux(self, sel: int, d1: int, d0: int) -> int:
+        """2:1 multiplexer: ``d0 XOR (sel AND (d0 XOR d1))``."""
+        return self.aig_xor(d0, self.aig_and(sel, self.aig_xor(d0, d1)))
+
+    def aig_and_all(self, lits: Sequence[int]) -> int:
+        """Balanced AND tree over any number of literals."""
+        return self._balanced(list(lits), self.aig_and, CONST1)
+
+    def aig_xor_all(self, lits: Sequence[int]) -> int:
+        """Balanced XOR tree over any number of literals."""
+        return self._balanced(list(lits), self.aig_xor, CONST0)
+
+    def aig_or_all(self, lits: Sequence[int]) -> int:
+        """Balanced OR tree over any number of literals."""
+        return self._balanced(list(lits), self.aig_or, CONST0)
+
+    @staticmethod
+    def _balanced(layer: List[int], op, empty: int) -> int:
+        if not layer:
+            return empty
+        while len(layer) > 1:
+            paired = [
+                op(layer[idx], layer[idx + 1])
+                for idx in range(0, len(layer) - 1, 2)
+            ]
+            if len(layer) % 2:
+                paired.append(layer[-1])
+            layer = paired
+        return layer[0]
+
+    def add_output(self, name: str, lit: int) -> None:
+        self.outputs.append((name, lit))
+
+    # ------------------------------------------------------------------
+    # Gate lowering
+    # ------------------------------------------------------------------
+
+    def gate_literal(self, gtype: GateType, operands: Sequence[int]) -> int:
+        """Lower one netlist cell onto the AND/XOR/complement core.
+
+        Covers every :class:`~repro.netlist.gate.GateType`, including
+        the mapped AOI/OAI/MUX complex cells.
+        """
+        if gtype is GateType.CONST0:
+            return CONST0
+        if gtype is GateType.CONST1:
+            return CONST1
+        if gtype is GateType.BUF:
+            return operands[0]
+        if gtype is GateType.INV:
+            return lit_complement(operands[0])
+        if gtype is GateType.AND:
+            return self.aig_and_all(operands)
+        if gtype is GateType.NAND:
+            return lit_complement(self.aig_and_all(operands))
+        if gtype is GateType.OR:
+            return self.aig_or_all(operands)
+        if gtype is GateType.NOR:
+            return lit_complement(self.aig_or_all(operands))
+        if gtype is GateType.XOR:
+            return self.aig_xor_all(operands)
+        if gtype is GateType.XNOR:
+            return lit_complement(self.aig_xor_all(operands))
+        if gtype is GateType.AOI21:
+            a, b, c = operands
+            return self.aig_and(
+                lit_complement(self.aig_and(a, b)), lit_complement(c)
+            )
+        if gtype is GateType.AOI22:
+            a, b, c, d = operands
+            return self.aig_and(
+                lit_complement(self.aig_and(a, b)),
+                lit_complement(self.aig_and(c, d)),
+            )
+        if gtype is GateType.OAI21:
+            a, b, c = operands
+            return lit_complement(self.aig_and(self.aig_or(a, b), c))
+        if gtype is GateType.OAI22:
+            a, b, c, d = operands
+            return lit_complement(
+                self.aig_and(self.aig_or(a, b), self.aig_or(c, d))
+            )
+        if gtype is GateType.MUX2:
+            sel, d1, d0 = operands
+            return self.aig_mux(sel, d1, d0)
+        raise AigError(f"no AIG lowering for gate type {gtype}")
+
+    # ------------------------------------------------------------------
+    # Netlist round-trip
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_netlist(cls, netlist: Netlist) -> "Aig":
+        """Build the hash-consed AIG of a netlist.
+
+        Constant propagation, structural hashing and inverter-pair
+        removal happen by construction; nets the netlist reads without
+        driving (and without declaring) become extra leaves, so an
+        incomplete cone stays representable — and detectable.
+
+        >>> from repro.gen.mastrovito import generate_mastrovito
+        >>> aig = Aig.from_netlist(generate_mastrovito(0b10011))
+        >>> sorted(name for name, _ in aig.outputs)
+        ['z0', 'z1', 'z2', 'z3']
+        """
+        aig = cls(netlist.name)
+        literal: Dict[str, int] = {}
+        for name in netlist.inputs:
+            literal[name] = aig.add_input(name)
+        for gate in netlist.topological_order():
+            operands = [
+                literal[net]
+                if net in literal
+                else literal.setdefault(
+                    net, aig.add_input(net, declare=False)
+                )
+                for net in gate.inputs
+            ]
+            literal[gate.output] = aig.gate_literal(gate.gtype, operands)
+        for net in netlist.outputs:
+            if net not in literal:
+                # Undriven primary output: surface it as a leaf, like
+                # any other undriven net, rather than failing here.
+                literal[net] = aig.add_input(net, declare=False)
+            aig.add_output(net, literal[net])
+        aig.net_literal = literal
+        return aig
+
+    def to_netlist(self, name: Optional[str] = None) -> Netlist:
+        """Emit an equivalent AND/XOR/INV netlist.
+
+        Ports keep their names; internal nodes receive fresh
+        collision-free names; only live nodes are emitted (the
+        dead-node sweep is implicit).
+
+        >>> from repro.gen.mastrovito import generate_mastrovito
+        >>> net = generate_mastrovito(0b10011)
+        >>> back = Aig.from_netlist(net).to_netlist()
+        >>> back.simulate({n: 1 for n in net.inputs}) == \\
+        ...     net.simulate({n: 1 for n in net.inputs})
+        True
+        """
+        result = Netlist(name or self.name, inputs=list(self.inputs))
+        live = self.live_nodes()
+
+        taken = set(self.pi_name.values()) | {n for n, _ in self.outputs}
+        prefix = "__aig"
+        while any(net.startswith(prefix) for net in taken):
+            prefix += "_"
+
+        # Primary outputs claim their driving node's net name when they
+        # can (uncomplemented, non-leaf, first claimant) — mirroring the
+        # named-PO-driver convention of the netlist-level passes.
+        claimed: Dict[int, str] = {}
+        for po_name, lit in self.outputs:
+            node = lit_node(lit)
+            if (
+                not lit_is_complemented(lit)
+                and self.kinds[node] in (_KIND_AND, _KIND_XOR)
+                and node not in claimed
+            ):
+                claimed[node] = po_name
+
+        node_net: Dict[int, str] = {}
+        inv_net: Dict[int, str] = {}
+
+        def net_of(lit: int) -> str:
+            """Result-netlist net carrying this literal's function."""
+            node = lit_node(lit)
+            if lit_is_complemented(lit):
+                net = inv_net.get(node)
+                if net is None:
+                    net = f"{prefix}n{node}"
+                    result.add_gate(Gate(net, GateType.INV, (node_net[node],)))
+                    inv_net[node] = net
+                return net
+            return node_net[node]
+
+        for node in live:
+            kind = self.kinds[node]
+            if kind == _KIND_CONST:
+                # Constants fold during construction, so node 0 can only
+                # be reached by an output edge — handled below.
+                continue
+            elif kind == _KIND_PI:
+                node_net[node] = self.pi_name[node]
+            else:
+                operands = (net_of(self.fanin0[node]), net_of(self.fanin1[node]))
+                gtype = GateType.AND if kind == _KIND_AND else GateType.XOR
+                net = claimed.get(node, f"{prefix}{node}")
+                result.add_gate(Gate(net, gtype, operands))
+                node_net[node] = net
+
+        for po_name, lit in self.outputs:
+            node = lit_node(lit)
+            if lit == CONST0:
+                result.add_gate(Gate(po_name, GateType.CONST0, ()))
+            elif lit == CONST1:
+                result.add_gate(Gate(po_name, GateType.CONST1, ()))
+            elif claimed.get(node) == po_name and not lit_is_complemented(lit):
+                pass  # the node was emitted under the PO's own name
+            elif lit_is_complemented(lit):
+                result.add_gate(Gate(po_name, GateType.INV, (node_net[node],)))
+            else:
+                result.add_gate(Gate(po_name, GateType.BUF, (node_net[node],)))
+            result.add_output(po_name)
+        return result
+
+    # ------------------------------------------------------------------
+    # Iteration / liveness / simulation
+    # ------------------------------------------------------------------
+
+    def fanins(self, node: int) -> Tuple[int, int]:
+        """The two fanin literals of an AND/XOR node."""
+        return self.fanin0[node], self.fanin1[node]
+
+    def is_leaf(self, node: int) -> bool:
+        return self.kinds[node] == _KIND_PI
+
+    def is_and(self, node: int) -> bool:
+        return self.kinds[node] == _KIND_AND
+
+    def is_xor(self, node: int) -> bool:
+        return self.kinds[node] == _KIND_XOR
+
+    def live_nodes(self, roots: Optional[Iterable[int]] = None) -> List[int]:
+        """Node ids in the transitive fan-in of ``roots``, ascending.
+
+        ``roots`` defaults to the registered outputs; ascending id
+        order is a topological order, so the result can be evaluated
+        front to back.
+        """
+        if roots is None:
+            roots = [lit_node(lit) for _, lit in self.outputs]
+        seen = set()
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if self.kinds[node] in (_KIND_AND, _KIND_XOR):
+                stack.append(lit_node(self.fanin0[node]))
+                stack.append(lit_node(self.fanin1[node]))
+        return sorted(seen)
+
+    def simulate(
+        self, assignment: Mapping[str, int], width: int = 1
+    ) -> Dict[str, int]:
+        """Bit-parallel simulation, mirroring ``Netlist.simulate``."""
+        mask = (1 << width) - 1
+        values: List[int] = [0] * len(self.kinds)
+        for node, name in self.pi_name.items():
+            try:
+                values[node] = assignment[name] & mask
+            except KeyError:
+                raise AigError(f"missing value for input {name!r}") from None
+        for node in range(1, len(self.kinds)):
+            kind = self.kinds[node]
+            if kind == _KIND_PI:
+                continue
+            f0, f1 = self.fanin0[node], self.fanin1[node]
+            v0 = values[lit_node(f0)] ^ (mask if f0 & 1 else 0)
+            v1 = values[lit_node(f1)] ^ (mask if f1 & 1 else 0)
+            values[node] = (v0 & v1) if kind == _KIND_AND else (v0 ^ v1)
+        out: Dict[str, int] = {}
+        for name, lit in self.outputs:
+            value = values[lit_node(lit)]
+            out[name] = (value ^ mask if lit & 1 else value) & mask
+        return out
+
+    def lit_value(self, lit: int, values: Sequence[int], mask: int = 1) -> int:
+        """Value of a literal given per-node values (simulation helper)."""
+        value = values[lit_node(lit)]
+        return (value ^ mask if lit & 1 else value) & mask
+
+    def __repr__(self) -> str:
+        ands = sum(1 for kind in self.kinds if kind == _KIND_AND)
+        xors = sum(1 for kind in self.kinds if kind == _KIND_XOR)
+        return (
+            f"Aig({self.name!r}, {len(self.pi_name)} leaves, "
+            f"{ands} and, {xors} xor, {len(self.outputs)} outputs)"
+        )

@@ -1,0 +1,112 @@
+"""XOR-tree rebalancing as an AIG→AIG pass.
+
+GF(2^m) multipliers are dominated by XOR trees, and naive elaboration
+produces linear-depth chains.  The netlist-level pass
+(:mod:`repro.synth.xor_opt`) collects each maximal single-fanout XOR
+tree into its leaf multiset, cancels duplicate leaves mod 2, and
+re-emits a balanced tree; this module is the same transformation on
+the AIG, where it is both simpler and stronger:
+
+* fanin complements are already pulled to the edges, so XNOR chains
+  participate in the same trees;
+* duplicate-leaf cancellation composes with the hash-consed
+  constructor's own cancellation (``x ⊕ x = 0`` by construction);
+* the rebuilt graph is re-hash-consed, so balancing can only ever
+  share more structure, never duplicate it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.aig.aig import Aig, lit_complement, lit_node
+
+
+def balance_xor_trees(aig: Aig) -> Aig:
+    """Return a rebuilt AIG with balanced, leaf-cancelled XOR trees.
+
+    >>> aig = Aig()
+    >>> a, b = aig.add_input("a"), aig.add_input("b")
+    >>> chain = aig.aig_xor(aig.aig_xor(a, b), a)     # a ⊕ b ⊕ a
+    >>> aig.add_output("y", chain)
+    >>> balanced = balance_xor_trees(aig)
+    >>> balanced.simulate({"a": 1, "b": 1})["y"]
+    1
+    """
+    live = aig.live_nodes()
+    live_set = set(live)
+
+    # Reference counts over the live graph (outputs count as refs):
+    # an XOR node is *internal* — dissolvable into its consumer's tree —
+    # when its only consumer is another live XOR and it is not a PO root.
+    refs: Dict[int, int] = {}
+    xor_consumers: Dict[int, int] = {}
+    for node in live:
+        if not (aig.is_and(node) or aig.is_xor(node)):
+            continue
+        for lit in aig.fanins(node):
+            child = lit_node(lit)
+            refs[child] = refs.get(child, 0) + 1
+            if aig.is_xor(node):
+                xor_consumers[child] = xor_consumers.get(child, 0) + 1
+    for _, lit in aig.outputs:
+        node = lit_node(lit)
+        refs[node] = refs.get(node, 0) + 1
+
+    def is_internal(node: int) -> bool:
+        return (
+            aig.is_xor(node)
+            and node in live_set
+            and refs.get(node, 0) == 1
+            and xor_consumers.get(node, 0) == 1
+        )
+
+    result = Aig(aig.name)
+    # Declared inputs first (and in order) so they survive the round
+    # trip even when unused; undeclared leaves stay undeclared.
+    for name in aig.inputs:
+        result.add_input(name)
+    new_lit: Dict[int, int] = {0: 0}
+    for node in live:
+        if aig.is_leaf(node):
+            new_lit[node] = result.add_input(
+                aig.pi_name[node], declare=False
+            )
+
+    def leaves_of(root: int, parity: Dict[int, int]) -> None:
+        # Explicit stack: the motivating input is a linear-depth XOR
+        # chain, which would blow the recursion limit long before it
+        # troubles an iterative walk.
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for lit in aig.fanins(node):
+                child = lit_node(lit)  # XOR fanins are never complemented
+                if is_internal(child):
+                    stack.append(child)
+                else:
+                    parity[child] = parity.get(child, 0) ^ 1
+
+    for node in live:
+        if aig.is_and(node):
+            f0, f1 = aig.fanins(node)
+            new_lit[node] = result.aig_and(
+                new_lit[lit_node(f0)] ^ (f0 & 1),
+                new_lit[lit_node(f1)] ^ (f1 & 1),
+            )
+        elif aig.is_xor(node):
+            if is_internal(node):
+                continue  # absorbed by the root that reaches it
+            parity: Dict[int, int] = {}
+            leaves_of(node, parity)
+            lits = [
+                new_lit[leaf]
+                for leaf in sorted(parity)
+                if parity[leaf]
+            ]
+            new_lit[node] = result.aig_xor_all(lits)
+
+    for name, lit in aig.outputs:
+        mapped = new_lit[lit_node(lit)]
+        result.add_output(name, lit_complement(mapped) if lit & 1 else mapped)
+    return result

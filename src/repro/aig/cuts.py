@@ -1,0 +1,169 @@
+"""K-feasible cut enumeration with truth tables.
+
+A *cut* of node ``n`` is a set of nodes (the *leaves*) such that every
+path from a primary input to ``n`` passes through a leaf; the cut is
+k-feasible when it has at most ``k`` leaves.  Cuts are the unit of work
+of ABC-style rewriting: the function of ``n`` over its cut leaves is a
+tiny truth table, and whole multi-level regions (a four-NAND XOR, an
+AOI cell's cone, an inverter ladder) collapse into one algebraic step.
+
+This module enumerates cuts *root-locally* by frontier expansion —
+start from the trivial cut ``{n}`` and repeatedly replace a non-leaf
+frontier node by its fanins — rather than bottom-up over the whole
+graph, because the cut-based engine only needs cuts for the sparse set
+of nodes whose packed polynomials outgrow the flattening bound.
+
+The truth table of a cut is computed by bit-parallel simulation of the
+enclosed cone (one int per node, ``2^k`` lanes), and
+:func:`truth_table_to_anf` converts it to the algebraic normal form —
+the exact mod-2 polynomial over the cut leaves that backward rewriting
+substitutes in a single step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.aig.aig import Aig, lit_node
+
+Cut = Tuple[int, ...]
+
+#: (variable position, total variables) -> its standard truth-table
+#: pattern, e.g. variable 0 of 2 is ``0b1010``.  Tiny and shared.
+_PATTERNS: Dict[Tuple[int, int], int] = {}
+
+
+def _variable_pattern(position: int, n_vars: int) -> int:
+    pattern = _PATTERNS.get((position, n_vars))
+    if pattern is None:
+        pattern = 0
+        for minterm in range(1 << n_vars):
+            if (minterm >> position) & 1:
+                pattern |= 1 << minterm
+        _PATTERNS[(position, n_vars)] = pattern
+    return pattern
+
+
+def iter_cuts(aig: Aig, node: int, k: int = 4, limit: int = 16):
+    """Lazily yield the cuts of :func:`enumerate_cuts`, nearest-first.
+
+    Consumers that stop at the first acceptable cut (the flattening
+    pass) avoid paying for the rest of the breadth-first frontier.
+    """
+    trivial: Cut = (node,)
+    seen = {trivial}
+    queue: List[Cut] = [trivial]
+    head = 0
+    yielded = 0
+    while head < len(queue) and yielded < limit:
+        cut = queue[head]
+        head += 1
+        yielded += 1
+        yield cut
+        for leaf in cut:
+            if not (aig.is_and(leaf) or aig.is_xor(leaf)):
+                continue
+            f0, f1 = aig.fanins(leaf)
+            expanded = set(cut)
+            expanded.discard(leaf)
+            expanded.add(lit_node(f0))
+            expanded.add(lit_node(f1))
+            if len(expanded) > k:
+                continue
+            candidate = tuple(sorted(expanded))
+            if candidate not in seen:
+                seen.add(candidate)
+                queue.append(candidate)
+
+
+def enumerate_cuts(
+    aig: Aig, node: int, k: int = 4, limit: int = 16
+) -> List[Cut]:
+    """Cuts of ``node`` with at most ``k`` leaves, nearest-first.
+
+    The first entry is always the trivial cut ``(node,)``; at most
+    ``limit`` cuts are returned.  Every leaf id is strictly smaller
+    than ``node`` (fanins precede their node), which is what lets the
+    rewriting engine use any cut as a substitution model.
+
+    >>> aig = Aig()
+    >>> a, b = aig.add_input("a"), aig.add_input("b")
+    >>> y = aig.aig_and(aig.aig_xor(a, b), a)
+    >>> cuts = enumerate_cuts(aig, lit_node(y))
+    >>> cuts[0] == (lit_node(y),)
+    True
+    >>> (lit_node(a), lit_node(b)) in cuts        # the PI-level cut
+    True
+    """
+    return list(iter_cuts(aig, node, k=k, limit=limit))
+
+
+def cut_truth_table(aig: Aig, node: int, leaves: Cut) -> int:
+    """Truth table of ``node`` over ``leaves`` (bit ``i`` = minterm ``i``).
+
+    Leaf ``j`` is variable ``j`` of the table (in the order given).
+    ``leaves`` must actually be a cut of ``node`` — every PI-to-node
+    path blocked — which holds for anything :func:`enumerate_cuts`
+    returns.
+
+    >>> aig = Aig()
+    >>> a, b = aig.add_input("a"), aig.add_input("b")
+    >>> y = aig.aig_xor(a, b)
+    >>> bin(cut_truth_table(aig, lit_node(y), (lit_node(a), lit_node(b))))
+    '0b110'
+    """
+    lanes = 1 << len(leaves)
+    mask = (1 << lanes) - 1
+    values: Dict[int, int] = {}
+    for position, leaf in enumerate(leaves):
+        values[leaf] = _variable_pattern(position, len(leaves))
+
+    # Gather the cone between the leaves and the root, then evaluate
+    # in ascending (topological) id order.
+    cone: List[int] = []
+    stack = [node]
+    visited = set(leaves)
+    while stack:
+        current = stack.pop()
+        if current in visited:
+            continue
+        visited.add(current)
+        cone.append(current)
+        if aig.is_and(current) or aig.is_xor(current):
+            stack.append(lit_node(aig.fanin0[current]))
+            stack.append(lit_node(aig.fanin1[current]))
+    for current in sorted(cone):
+        if current in values:
+            continue
+        if current == 0:
+            values[current] = 0
+            continue
+        f0, f1 = aig.fanins(current)
+        v0 = values[lit_node(f0)] ^ (mask if f0 & 1 else 0)
+        v1 = values[lit_node(f1)] ^ (mask if f1 & 1 else 0)
+        values[current] = (v0 & v1) if aig.is_and(current) else (v0 ^ v1)
+    return values[node] & mask
+
+
+def truth_table_to_anf(table: int, n_vars: int) -> List[int]:
+    """Monomial masks of the ANF of an ``n_vars``-variable truth table.
+
+    Returns the positive-coefficient monomials of the algebraic normal
+    form (Möbius transform); mask bit ``j`` set means variable ``j``
+    occurs, the empty mask is the constant monomial ``1``.
+
+    >>> truth_table_to_anf(0b0110, 2)          # XOR
+    [1, 2]
+    >>> truth_table_to_anf(0b1000, 2)          # AND
+    [3]
+    >>> truth_table_to_anf(0b1001, 2)          # XNOR: 1 + a + b
+    [0, 1, 2]
+    """
+    size = 1 << n_vars
+    coefficients = [(table >> minterm) & 1 for minterm in range(size)]
+    for position in range(n_vars):
+        bit = 1 << position
+        for minterm in range(size):
+            if minterm & bit:
+                coefficients[minterm] ^= coefficients[minterm ^ bit]
+    return [mask for mask in range(size) if coefficients[mask]]

@@ -25,8 +25,10 @@ Commands mirror the paper's tool flow:
 ``serve``
     run the HTTP verification API (:mod:`repro.service.api`);
 ``cache``
-    inspect (``stats``) or empty (``clear``) the content-addressed
-    result cache (``REPRO_CACHE_DIR``, default ``~/.cache/repro``).
+    inspect (``stats``), evict down to a budget (``prune``,
+    oldest-mtime-first; see ``REPRO_CACHE_MAX_ENTRIES``) or empty
+    (``clear``) the content-addressed result cache
+    (``REPRO_CACHE_DIR``, default ``~/.cache/repro``).
 """
 
 from __future__ import annotations
@@ -160,6 +162,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         netlist,
         map_cells=not args.no_map,
         use_xor_cells=not args.nand_only,
+        ir=args.ir,
     )
     out_fmt = _infer_format(args.output, args.format)
     _WRITERS[out_fmt](optimized, args.output)
@@ -255,9 +258,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.service.cache import ResultCache
 
-    cache = ResultCache(args.cache_dir)
+    cache = ResultCache(args.cache_dir, max_entries=args.max_entries)
     if args.action == "stats":
         print(cache.stats())
+    elif args.action == "prune":
+        # An explicit --max-entries goes straight to prune() so that 0
+        # means "drop every artifact entry", as prune() documents; the
+        # constructor's budget (env-derived) treats 0 as "unbounded".
+        budget = args.max_entries
+        if budget is None:
+            budget = cache.max_entries
+        if budget is None:
+            raise SystemExit(
+                "no entry budget: pass --max-entries or set "
+                "REPRO_CACHE_MAX_ENTRIES"
+            )
+        removed = cache.prune(max_entries=budget)
+        print(
+            f"pruned {removed} cached entries from {cache.root} "
+            f"(budget {budget})"
+        )
     else:  # clear
         removed = cache.clear()
         print(f"cleared {removed} cached entries from {cache.root}")
@@ -337,6 +357,15 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("-o", "--output", required=True)
     synth.add_argument("--no-map", action="store_true")
     synth.add_argument("--nand-only", action="store_true")
+    synth.add_argument(
+        "--ir",
+        choices=["aig", "netlist"],
+        default="aig",
+        help=(
+            "optimization IR: hash-consed AIG passes (default) or the "
+            "legacy gate-level passes"
+        ),
+    )
     synth.add_argument("--format", choices=sorted(_READERS), default=None)
     synth.set_defaults(func=_cmd_synth)
 
@@ -438,11 +467,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(func=_cmd_serve)
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear the result cache"
+        "cache", help="inspect, prune, or clear the result cache"
     )
-    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("action", choices=["stats", "prune", "clear"])
     cache.add_argument(
         "--cache-dir", default=None, help="override REPRO_CACHE_DIR"
+    )
+    cache.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        help=(
+            "entry budget for prune (default: REPRO_CACHE_MAX_ENTRIES); "
+            "oldest-mtime entries beyond it are evicted"
+        ),
     )
     cache.set_defaults(func=_cmd_cache)
     return parser

@@ -51,7 +51,16 @@ Backends
     the original ``Gf2Poly`` path (the differential-testing oracle);
 ``bitpack``
     interned bitmask monomials, typically ≥5× faster (see
-    ``benchmarks/bench_engines.py`` / ``BENCH_engines.json``).
+    ``benchmarks/bench_engines.py`` / ``BENCH_engines.json``);
+``aig``
+    cut-based rewriting over the hash-consed And-Inverter Graph
+    (:mod:`repro.aig`): the netlist is strashed into complement-edge
+    AND/XOR nodes, flattened node-by-node into packed PI-space
+    polynomials, and the remainder is substituted cut-by-cut from
+    exact k-feasible-cut ANFs — the backend of choice for
+    technology-mapped / NAND-lowered netlists, where gate-granular
+    rewriting suffers intermediate-expression blowup (see
+    ``benchmarks/bench_aig.py`` / ``BENCH_aig.json``).
 
 Every backend produces bit-identical *results* — canonical
 expressions, P(x), member bits — and fails structurally broken
@@ -64,6 +73,7 @@ intermediates smaller).  New backends (e.g. AIG/cut-based rewriting)
 register via :func:`register_engine`.
 """
 
+from repro.engine.aig import AigEngine
 from repro.engine.base import ConeExpression, Engine, EngineError
 from repro.engine.bitpack import BitpackEngine, PackedExpression
 from repro.engine.interning import SignalInterner
@@ -78,11 +88,13 @@ from repro.engine.registry import (
 
 register_engine(ReferenceEngine.name, ReferenceEngine)
 register_engine(BitpackEngine.name, BitpackEngine)
+register_engine(AigEngine.name, AigEngine)
 
 __all__ = [
     "ConeExpression",
     "Engine",
     "EngineError",
+    "AigEngine",
     "BitpackEngine",
     "PackedExpression",
     "SignalInterner",

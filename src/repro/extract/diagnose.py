@@ -119,11 +119,15 @@ def diagnose(
     term_limit: Optional[int] = None,
     find_counterexample: bool = True,
     engine: str = "reference",
+    cache=None,
 ) -> Diagnosis:
     """Triage a netlist: verified multiplier, buggy, or out of scope.
 
     ``engine`` selects the rewriting backend (see :mod:`repro.engine`);
-    the verdict is backend-independent.
+    the verdict is backend-independent.  ``cache`` (optionally, a
+    :class:`repro.service.cache.ResultCache`) is threaded through to
+    the extraction phases — the multiplier *and* squarer branches — so
+    a re-diagnosed structural duplicate never rewrites a gate.
 
     >>> from repro.gen.mastrovito import generate_mastrovito
     >>> diagnose(generate_mastrovito(0b10011)).verdict.value
@@ -136,11 +140,15 @@ def diagnose(
         return diagnosis
 
     if _looks_like_squarer(netlist):
-        return finish(_diagnose_squarer(netlist))
+        return finish(_diagnose_squarer(netlist, cache=cache))
 
     try:
         result = extract_irreducible_polynomial(
-            netlist, jobs=jobs, term_limit=term_limit, engine=engine
+            netlist,
+            jobs=jobs,
+            term_limit=term_limit,
+            engine=engine,
+            cache=cache,
         )
     except ExtractionError as error:
         return finish(
@@ -229,7 +237,7 @@ def _looks_like_squarer(netlist: Netlist) -> bool:
     ) == {f"z{i}" for i in range(m)}
 
 
-def _diagnose_squarer(netlist: Netlist) -> Diagnosis:
+def _diagnose_squarer(netlist: Netlist, cache=None) -> Diagnosis:
     """The squarer branch of the decision tree."""
     from repro.extract.squarer import (
         SquarerExtractionError,
@@ -237,7 +245,7 @@ def _diagnose_squarer(netlist: Netlist) -> Diagnosis:
     )
 
     try:
-        result = extract_squarer_polynomial(netlist)
+        result = extract_squarer_polynomial(netlist, cache=cache)
     except SquarerExtractionError as error:
         return Diagnosis(
             verdict=Verdict.NOT_A_SQUARER,

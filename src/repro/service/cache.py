@@ -19,6 +19,7 @@ Layout (all JSON, all written atomically)::
         extraction/<aa>/<fingerprint>.json
         verification/<aa>/<fingerprint>.json
         diagnosis/<aa>/<fingerprint>.json
+        squarer/<aa>/<fingerprint>.json
         jobs/<fingerprint>.jsonl           (checkpoints; repro.service.jobs)
 
 where ``<aa>`` is a two-hex-digit shard of the fingerprint digest (so
@@ -26,6 +27,13 @@ no directory grows unboundedly).  Entries carry the schema version and
 their kind inline; a schema bump changes the directory, so stale
 entries are never *misread* — they are simply invisible until
 ``clear()`` reclaims them.
+
+The artifact population is bounded by an optional entry budget
+(``REPRO_CACHE_MAX_ENTRIES`` or the ``max_entries`` constructor
+argument): every ``put`` past the budget evicts the oldest-mtime
+entries (:meth:`ResultCache.prune`, also exposed as ``repro cache
+prune``), and the session's hit/miss/evict counters appear in
+``repro cache stats``.
 
 Decoded polynomials are stored as sorted lists of sorted variable
 lists (the canonical set-of-monomials form), so cached expressions are
@@ -52,7 +60,10 @@ from repro.ioutil import atomic_write_text
 from repro.netlist.netlist import Netlist
 from repro.rewrite.backward import RewriteStats
 from repro.rewrite.parallel import ExtractionRun, LazyExpressions
-from repro.service.fingerprint import fingerprint_netlist
+from repro.service.fingerprint import (
+    FINGERPRINT_SCHEMA,
+    fingerprint_netlist,
+)
 
 #: Bump on any change to the serialized artifact layout.
 CACHE_SCHEMA_VERSION = 1
@@ -60,8 +71,13 @@ CACHE_SCHEMA_VERSION = 1
 #: Environment variable overriding the cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Environment variable bounding the number of artifact entries kept
+#: on disk; oldest-mtime entries are evicted past it (0/unset = keep
+#: everything).
+CACHE_MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
+
 #: The artifact kinds the cache stores.
-KINDS = ("extraction", "verification", "diagnosis")
+KINDS = ("extraction", "verification", "diagnosis", "squarer")
 
 
 def default_cache_dir() -> Path:
@@ -255,15 +271,41 @@ def decode_diagnosis(data: Dict[str, Any]) -> Diagnosis:
     )
 
 
+def encode_squarer_result(result) -> Dict[str, Any]:
+    return {
+        "modulus": result.modulus,
+        "m": result.m,
+        "observed_columns": list(result.observed_columns),
+        "irreducible": result.irreducible,
+        "verified": result.verified,
+        "total_time_s": result.total_time_s,
+    }
+
+
+def decode_squarer_result(data: Dict[str, Any]):
+    from repro.extract.squarer import SquarerExtractionResult
+
+    return SquarerExtractionResult(
+        modulus=data["modulus"],
+        m=data["m"],
+        observed_columns=list(data["observed_columns"]),
+        irreducible=data["irreducible"],
+        verified=data["verified"],
+        total_time_s=data["total_time_s"],
+    )
+
+
 _ENCODERS = {
     "extraction": encode_extraction_result,
     "verification": encode_verification_report,
     "diagnosis": encode_diagnosis,
+    "squarer": encode_squarer_result,
 }
 _DECODERS = {
     "extraction": decode_extraction_result,
     "verification": decode_verification_report,
     "diagnosis": decode_diagnosis,
+    "squarer": decode_squarer_result,
 }
 
 
@@ -273,13 +315,15 @@ _DECODERS = {
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters (this instance) + on-disk totals (shared)."""
+    """Hit/miss/evict counters (this instance) + on-disk totals."""
 
     root: str
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
     entries: Dict[str, int] = field(default_factory=dict)
     disk_bytes: int = 0
+    max_entries: Optional[int] = None
 
     @property
     def total_entries(self) -> int:
@@ -294,11 +338,14 @@ class CacheStats:
         per_kind = ", ".join(
             f"{kind}:{count}" for kind, count in sorted(self.entries.items())
         ) or "empty"
+        budget = (
+            f" (max {self.max_entries})" if self.max_entries else ""
+        )
         return (
-            f"cache at {self.root}: {self.total_entries} entries "
+            f"cache at {self.root}: {self.total_entries} entries{budget} "
             f"[{per_kind}], {self.disk_bytes / 1024:.1f} KiB, "
             f"session hits={self.hits} misses={self.misses} "
-            f"({self.hit_rate:.0%} hit rate)"
+            f"evictions={self.evictions} ({self.hit_rate:.0%} hit rate)"
         )
 
 
@@ -322,11 +369,33 @@ class ResultCache:
     'x^4 + x + 1'
     """
 
-    def __init__(self, root: Optional[Union[str, os.PathLike]] = None):
+    def __init__(
+        self,
+        root: Optional[Union[str, os.PathLike]] = None,
+        max_entries: Optional[int] = None,
+    ):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.version_dir = self.root / f"v{CACHE_SCHEMA_VERSION}"
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        if max_entries is None:
+            env = os.environ.get(CACHE_MAX_ENTRIES_ENV)
+            if env:
+                try:
+                    max_entries = int(env)
+                except ValueError:
+                    raise ValueError(
+                        f"{CACHE_MAX_ENTRIES_ENV}={env!r} is not an integer"
+                    ) from None
+        #: Artifact-entry budget; ``None``/``0`` disables eviction.
+        self.max_entries = max_entries or None
+        #: Approximate on-disk artifact count, seeded by the first
+        #: budgeted ``put`` and corrected by every :meth:`prune` scan —
+        #: so a long fill pays one directory walk per eviction batch,
+        #: not one per write.  Concurrent writers can make it drift
+        #: low, which only delays eviction until the next scan.
+        self._entry_estimate: Optional[int] = None
 
     # -- key handling ---------------------------------------------------
 
@@ -381,7 +450,11 @@ class ResultCache:
         if (
             memo.get("mtime_ns") != stat.st_mtime_ns
             or memo.get("size") != stat.st_size
+            or memo.get("schema") != FINGERPRINT_SCHEMA
         ):
+            # A schema bump stales every memo: the recorded fingerprint
+            # was computed under the old canonical form and would stop
+            # structurally identical designs from deduplicating.
             return None
         return memo
 
@@ -412,6 +485,7 @@ class ResultCache:
                     "path": os.fsdecode(os.path.abspath(path)),
                     "mtime_ns": stat.st_mtime_ns,
                     "size": stat.st_size,
+                    "schema": FINGERPRINT_SCHEMA,
                     "fingerprint": fingerprint,
                     "gates": gates,
                 }
@@ -448,6 +522,13 @@ class ResultCache:
             "payload": _ENCODERS[kind](artifact),
         }
         atomic_write_text(path, json.dumps(entry, indent=1, sort_keys=True))
+        if self.max_entries is not None:
+            if self._entry_estimate is None:
+                self.prune()  # first budgeted write: scan once to seed
+            else:
+                self._entry_estimate += 1
+                if self._entry_estimate > self.max_entries:
+                    self.prune()
         return path
 
     def contains(self, kind: str, key: Union[str, Netlist]) -> bool:
@@ -483,6 +564,12 @@ class ResultCache:
     def put_diagnosis(self, key, diagnosis: Diagnosis) -> None:
         self.put("diagnosis", key, diagnosis)
 
+    def get_squarer(self, key):
+        return self.get("squarer", key)
+
+    def put_squarer(self, key, result) -> None:
+        self.put("squarer", key, result)
+
     # -- stats / maintenance --------------------------------------------
 
     def stats(self) -> CacheStats:
@@ -501,9 +588,50 @@ class ResultCache:
             root=str(self.root),
             hits=self.hits,
             misses=self.misses,
+            evictions=self.evictions,
             entries=entries,
             disk_bytes=disk_bytes,
+            max_entries=self.max_entries,
         )
+
+    def prune(self, max_entries: Optional[int] = None) -> int:
+        """Evict oldest-mtime artifact entries beyond the budget.
+
+        ``max_entries`` defaults to the instance budget (set via the
+        constructor or ``REPRO_CACHE_MAX_ENTRIES``); passing it
+        explicitly prunes to any size, including ``0`` (drop all
+        artifact entries).  File-fingerprint memos and job checkpoints
+        are not counted and not evicted.  Returns the eviction count.
+        """
+        if max_entries is None:
+            max_entries = self.max_entries
+        if max_entries is None:
+            return 0
+        aged: List[tuple] = []
+        for kind in KINDS:
+            kind_dir = self.version_dir / kind
+            if not kind_dir.is_dir():
+                continue
+            for path in kind_dir.rglob("*.json"):
+                try:
+                    aged.append((path.stat().st_mtime_ns, path))
+                except OSError:
+                    continue  # concurrently evicted by another writer
+        excess = len(aged) - max_entries
+        if excess <= 0:
+            self._entry_estimate = len(aged)
+            return 0
+        aged.sort()
+        removed = 0
+        for _, path in aged[:excess]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        self.evictions += removed
+        self._entry_estimate = len(aged) - removed
+        return removed
 
     def clear(self) -> int:
         """Delete every entry (all schema versions); returns the count."""

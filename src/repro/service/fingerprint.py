@@ -1,29 +1,35 @@
 """Canonical, strash-invariant content hashing of netlists.
 
 The service layer addresses every artifact by *what the netlist
-computes structurally*, not by file name or byte content.  The
-fingerprint is a sha256 over a canonical form with three invariances:
+computes structurally*, not by file name or byte content.  Since the
+AIG refactor the canonical form **is** the hash-consed And-Inverter
+Graph (:mod:`repro.aig`): the netlist is lowered once with
+:meth:`~repro.aig.Aig.from_netlist` — CSE, BUF aliasing, INV-pair
+removal and constant folding happen by construction — and the Merkle
+labels are derived from the node table in a single traversal instead
+of a separate strash pass plus relabelling.  The fingerprint is a
+sha256 over that form, with the three documented invariances:
 
-* **gate order** — gates are identified by a canonical label computed
-  bottom-up from their fan-in, and the gate list is sorted, so
-  insertion/serialization order is irrelevant;
-* **internal net names** — a gate's label is derived from its type and
-  its inputs' labels (hash-consing), never from the net name a tool
-  happened to pick; primary ports keep their names (the a/b/z port
-  contract is part of the key);
-* **strash** — the netlist is structurally hashed
-  (:func:`repro.synth.strash.structural_hash`: CSE, BUF aliasing,
-  INV-pair removal, dead-gate sweep) before labelling, so a netlist
-  and its strashed form — or two netlists differing only in shared
-  structure duplication — collapse to the same fingerprint.
+* **gate order** — node labels are computed bottom-up from fan-in and
+  the label multiset is sorted, so insertion/serialization order is
+  irrelevant;
+* **internal net names** — a node's label is derived from its kind
+  and its fanins' labels (hash-consing), never from the net name a
+  tool happened to pick; primary ports keep their names (the a/b/z
+  port contract is part of the key);
+* **strash** — structurally redundant forms (shared-structure
+  duplicates, buffer chains, inverter pairs, and — stronger than the
+  old netlist-level strash — De-Morgan/XNOR recodings of the same
+  AND/XOR/complement graph) collapse to the same fingerprint.
 
-The label scheme is exactly a Merkle DAG over the strashed netlist:
-``label(PI) = H("pi:" + name)`` and ``label(gate) = H(gtype,
-labels(inputs))`` with inputs sorted for commutative types.  The
-fingerprint hashes the port signature (input names sorted, output
-names *in declaration order* with their labels) plus the sorted label
-multiset, and is prefixed with the schema version so future canonical-
-form changes never alias old cache entries.
+The label scheme is exactly a Merkle DAG over the AIG: ``label(PI) =
+H("pi:" + name)``, ``label(node) = H(kind, edge labels)`` with edges
+sorted (AND/XOR are commutative) and a complemented edge marked with
+``!``.  The fingerprint hashes the port signature (input names sorted,
+output names *in declaration order* with their edge labels) plus the
+sorted label multiset of the live nodes, and is prefixed with the
+schema version so canonical-form changes never alias old cache
+entries — including this one: the AIG derivation is schema 2.
 """
 
 from __future__ import annotations
@@ -31,43 +37,49 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, List
 
-from repro.netlist.gate import COMMUTATIVE_TYPES, GateType
+from repro.aig import Aig, lit_is_complemented, lit_node
 from repro.netlist.netlist import Netlist
 
 #: Version of the canonical form; bump on any change to the labelling
-#: scheme so old cache entries can never be misattributed.
-FINGERPRINT_SCHEMA = 1
+#: scheme so old cache entries can never be misattributed.  Schema 2:
+#: Merkle labels over the hash-consed AIG node table (schema 1
+#: labelled the strashed netlist gate-by-gate).
+FINGERPRINT_SCHEMA = 2
 
 
 def _digest(payload: str) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def _canonical_labels(netlist: Netlist) -> Dict[str, str]:
-    """Merkle label of every net: PIs by name, gates by structure."""
-    labels: Dict[str, str] = {
-        name: _digest(f"pi:{name}") for name in netlist.inputs
-    }
-    for gate in netlist.topological_order():
-        if gate.gtype is GateType.BUF:
-            # Transparent: a PO-preserving alias (the one BUF shape that
-            # survives strash) must not perturb the label of its net.
-            labels[gate.output] = labels[gate.inputs[0]]
+def _edge_label(labels: Dict[int, str], lit: int) -> str:
+    label = labels[lit_node(lit)]
+    return "!" + label if lit_is_complemented(lit) else label
+
+
+def _canonical_labels(aig: Aig) -> Dict[int, str]:
+    """Merkle label of every live node, in one ascending traversal."""
+    labels: Dict[int, str] = {0: _digest("const0")}
+    for node in aig.live_nodes():
+        if node == 0:
             continue
-        operands = [labels[net] for net in gate.inputs]
-        if gate.gtype in COMMUTATIVE_TYPES:
-            operands.sort()
-        labels[gate.output] = _digest(
-            "gate:" + gate.gtype.value + ":" + ",".join(operands)
+        if aig.is_leaf(node):
+            labels[node] = _digest(f"pi:{aig.pi_name[node]}")
+            continue
+        kind = "and" if aig.is_and(node) else "xor"
+        f0, f1 = aig.fanins(node)
+        operands = sorted(
+            (_edge_label(labels, f0), _edge_label(labels, f1))
         )
+        labels[node] = _digest(kind + ":" + ",".join(operands))
     return labels
 
 
 def fingerprint_netlist(netlist: Netlist, strash: bool = True) -> str:
     """The content address of a netlist: ``v<schema>-<sha256 hex>``.
 
-    ``strash=False`` skips the structural-hash normalisation (for
-    callers that already strashed, or want a strictly structural key).
+    ``strash`` is kept for interface compatibility and is now a no-op:
+    the AIG lowering *is* the structural normalisation, and it is no
+    longer worth skipping.
 
     >>> from repro.gen.mastrovito import generate_mastrovito
     >>> a = fingerprint_netlist(generate_mastrovito(0b10011))
@@ -76,24 +88,22 @@ def fingerprint_netlist(netlist: Netlist, strash: bool = True) -> str:
     >>> a == b, a == c
     (True, False)
     """
-    if strash:
-        from repro.synth.strash import structural_hash
-
-        netlist = structural_hash(netlist)
-    labels = _canonical_labels(netlist)
+    del strash  # normalisation is inherent in the AIG lowering
+    aig = Aig.from_netlist(netlist)
+    labels = _canonical_labels(aig)
 
     ports = [
         "in:" + ",".join(sorted(netlist.inputs)),
         "out:" + ",".join(
-            f"{name}={labels[name]}" for name in netlist.outputs
+            f"{name}={_edge_label(labels, lit)}" for name, lit in aig.outputs
         ),
     ]
-    gate_labels: List[str] = sorted(
-        labels[gate.output]
-        for gate in netlist.gates
-        if gate.gtype is not GateType.BUF
+    node_labels: List[str] = sorted(
+        label
+        for node, label in labels.items()
+        if not aig.is_leaf(node) and node != 0
     )
     payload = "\n".join(
-        [f"schema:{FINGERPRINT_SCHEMA}"] + ports + gate_labels
+        [f"schema:{FINGERPRINT_SCHEMA}"] + ports + node_labels
     )
     return f"v{FINGERPRINT_SCHEMA}-{_digest(payload)}"

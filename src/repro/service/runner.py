@@ -164,7 +164,9 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
             if cache is not None:
                 record["cache"] = "hit" if diagnosis is not None else "miss"
             if diagnosis is None:
-                diagnosis = diagnose(load(), jobs=jobs, engine=engine)
+                diagnosis = diagnose(
+                    load(), jobs=jobs, engine=engine, cache=cache
+                )
                 if cache is not None:
                     cache.put_diagnosis(fingerprint, diagnosis)
             record["verdict"] = diagnosis.verdict.value

@@ -1,15 +1,29 @@
 """The full synthesis pipeline — our stand-in for ``abc`` (Table III).
 
-``synthesize`` runs, in order: constant propagation, structural
-hashing, XOR-tree rebalancing with mod-2 leaf cancellation, another
-strash, then technology mapping onto the standard-cell library.  The
-result is the kind of netlist the paper's Table III extracts from:
+Since the AIG refactor the technology-independent half of the flow is
+a composition of passes over the hash-consed IR (:mod:`repro.aig`):
+
+1. :meth:`~repro.aig.Aig.from_netlist` — constant propagation,
+   structural hashing, inverter-pair removal and the dead-node sweep
+   all happen *by construction* while the graph is built;
+2. :func:`~repro.aig.balance_xor_trees` — AIG→AIG: XOR trees are
+   collected, duplicate leaves cancelled mod 2, and re-emitted
+   balanced;
+3. :meth:`~repro.aig.Aig.to_netlist` — AIG→Netlist: only live nodes
+   are emitted, with the original port names;
+4. :func:`~repro.synth.mapping.technology_map` (optional) — onto the
+   standard-cell library, including the inverted/complex forms.
+
+The result is the kind of netlist the paper's Table III extracts from:
 functionally identical, structurally reshaped, expressed in mapped
-cells (including inverted forms) rather than plain AND/XOR.
+cells rather than plain AND/XOR.  ``ir="netlist"`` selects the legacy
+pass-by-pass pipeline over named nets (constprop → strash → XOR
+rebalancing → strash → map), kept as a cross-check for the AIG flow.
 """
 
 from __future__ import annotations
 
+from repro.aig import Aig, balance_xor_trees
 from repro.netlist.netlist import Netlist
 from repro.synth.constprop import propagate_constants
 from repro.synth.mapping import technology_map
@@ -21,13 +35,17 @@ def synthesize(
     netlist: Netlist,
     map_cells: bool = True,
     use_xor_cells: bool = True,
+    ir: str = "aig",
 ) -> Netlist:
     """Optimize and (optionally) technology-map a netlist.
 
     ``map_cells=False`` stops after the technology-independent passes
-    (constprop + strash + XOR rebalancing).  ``use_xor_cells=False``
+    (AIG construction + XOR rebalancing).  ``use_xor_cells=False``
     additionally lowers XORs to NAND networks — the harshest mapped
-    form for the extraction engine.
+    form for the extraction engine.  ``ir`` selects the pipeline
+    implementation: ``"aig"`` (the default) runs the AIG passes,
+    ``"netlist"`` the legacy gate-level passes; both produce
+    functionally equivalent output.
 
     >>> from repro.gen.mastrovito import generate_mastrovito
     >>> flat = generate_mastrovito(0b10011, balanced=False)
@@ -35,10 +53,15 @@ def synthesize(
     >>> opt.name.endswith("_syn")
     True
     """
-    staged = propagate_constants(netlist)
-    staged = structural_hash(staged)
-    staged = rebalance_xor_trees(staged)
-    staged = structural_hash(staged)
+    if ir == "aig":
+        staged = balance_xor_trees(Aig.from_netlist(netlist)).to_netlist()
+    elif ir == "netlist":
+        staged = propagate_constants(netlist)
+        staged = structural_hash(staged)
+        staged = rebalance_xor_trees(staged)
+        staged = structural_hash(staged)
+    else:
+        raise ValueError(f"unknown synthesis IR {ir!r} (aig or netlist)")
     if map_cells:
         staged = technology_map(staged, use_xor_cells=use_xor_cells)
     staged.name = f"{netlist.name}_syn"

@@ -1,23 +1,34 @@
 """Structural hashing (strash): CSE, BUF aliasing, double-INV removal.
 
-Rewrites the netlist bottom-up, mapping every original net to a
-canonical net in the result:
+Since the AIG refactor there is exactly **one** strash implementation
+in the tree: the hash-consed constructor of :class:`repro.aig.Aig`.
+This pass walks the netlist once, folds every gate into the AIG to
+obtain its canonical *literal* — the function identity — and emits a
+gate only when no earlier net already computes the same literal:
 
-* two gates of the same type over the same (canonical) inputs collapse
-  into one — for commutative gates the input order is ignored;
+* two gates of the same function over the same fan-in collapse into
+  one, commutative input order and buffer chains included;
 * ``BUF`` gates become pure aliases (unless they drive a primary
   output, which must keep a driver of that name);
-* ``INV(INV(x))`` collapses to ``x``.
+* ``INV(INV(x))`` collapses to ``x`` — and, more generally, any gate
+  whose function is the complement of an existing net's aliases
+  through that net;
+* the netlist's name is preserved — callers no longer need to restore
+  it.
 
-This is the netlist-level analogue of ABC's ``strash`` and the
-workhorse of the Table III "optimized multiplier" flow.
+The cell library is preserved: gates are re-emitted as-is (with
+canonicalised input nets), never decomposed, so mapped netlists keep
+their AOI/OAI/MUX cells.  This is the netlist-level analogue of ABC's
+``strash`` and the workhorse of the Table III "optimized multiplier"
+flow.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
-from repro.netlist.gate import COMMUTATIVE_TYPES, Gate, GateType
+from repro.aig import Aig
+from repro.netlist.gate import Gate, GateType
 from repro.netlist.netlist import Netlist
 from repro.synth.sweep import sweep_dead_gates
 
@@ -31,34 +42,31 @@ def structural_hash(netlist: Netlist) -> Netlist:
     >>> y = b.and2("b", "a")          # same function, swapped inputs
     >>> out = b.xor2(x, y)            # XOR(x, x) after strash
     >>> b.set_outputs([out])
-    >>> len(structural_hash(b.finish()))
-    2
+    >>> hashed = structural_hash(b.finish())
+    >>> len(hashed), hashed.name
+    (2, 't')
     """
+    aig = Aig(netlist.name)
+    literal: Dict[str, int] = {}
+    #: canonical literal -> net in the result computing it.
+    representative: Dict[int, str] = {}
+    for name in netlist.inputs:
+        lit = aig.add_input(name)
+        literal[name] = lit
+        representative[lit] = name
+
     result = Netlist(netlist.name, inputs=netlist.inputs)
+    #: original net -> canonical net in the result.
     canonical: Dict[str, str] = {net: net for net in netlist.inputs}
-    table: Dict[Tuple, str] = {}
-    #: canonical net -> net it is the inversion of (for INV(INV(x)) -> x)
-    inversion_of: Dict[str, str] = {}
     output_set = set(netlist.outputs)
 
     for gate in netlist.topological_order():
-        inputs = tuple(canonical[name] for name in gate.inputs)
+        operand_lits = [literal[net] for net in gate.inputs]
+        out_lit = aig.gate_literal(gate.gtype, operand_lits)
+        literal[gate.output] = out_lit
+        existing = representative.get(out_lit)
         is_output = gate.output in output_set
 
-        # BUF: alias through, unless a PO needs a named driver.
-        if gate.gtype is GateType.BUF and not is_output:
-            canonical[gate.output] = inputs[0]
-            continue
-
-        # INV(INV(x)) -> x.
-        if gate.gtype is GateType.INV and not is_output:
-            target = inversion_of.get(inputs[0])
-            if target is not None:
-                canonical[gate.output] = target
-                continue
-
-        key = _key(gate.gtype, inputs)
-        existing = table.get(key)
         if existing is not None and not is_output:
             canonical[gate.output] = existing
             continue
@@ -68,14 +76,10 @@ def structural_hash(netlist: Netlist) -> Netlist:
             canonical[gate.output] = gate.output
             continue
 
-        result.add_gate(Gate(gate.output, gate.gtype, inputs))
+        inputs_canonical = tuple(canonical[net] for net in gate.inputs)
+        result.add_gate(Gate(gate.output, gate.gtype, inputs_canonical))
         canonical[gate.output] = gate.output
-        table[key] = gate.output
-        if gate.gtype is GateType.INV:
-            inversion_of[gate.output] = inputs[0]
-            # And remember the reverse direction too: INV of the input
-            # is this gate, so INV(this) can alias back to the input.
-            inversion_of.setdefault(inputs[0], gate.output)
+        representative[out_lit] = gate.output
 
     for net in netlist.outputs:
         target = canonical[net]
@@ -85,9 +89,3 @@ def structural_hash(netlist: Netlist) -> Netlist:
     # Aliasing (BUF/INV-pair removal, CSE) strands the original drivers;
     # sweep them so the gate count reflects live logic only.
     return sweep_dead_gates(result)
-
-
-def _key(gtype: GateType, inputs: Tuple[str, ...]) -> Tuple:
-    if gtype in COMMUTATIVE_TYPES:
-        return (gtype, tuple(sorted(inputs)))
-    return (gtype, inputs)

@@ -1,0 +1,281 @@
+"""The hash-consed AIG IR: construction invariants, netlist round-trip
+property tests, XOR balancing, and cut enumeration."""
+
+import random
+
+import pytest
+
+from repro.aig import (
+    CONST0,
+    CONST1,
+    Aig,
+    balance_xor_trees,
+    cut_truth_table,
+    enumerate_cuts,
+    lit_complement,
+    lit_node,
+    truth_table_to_anf,
+)
+from repro.gen.mastrovito import generate_mastrovito
+from repro.gen.montgomery import generate_montgomery
+from repro.gen.normal_basis import generate_massey_omura
+from repro.gen.random_logic import generate_random_netlist
+from repro.gen.redundancy import decorate_with_redundancy
+from repro.netlist.gate import Gate, GateType
+from repro.netlist.netlist import Netlist
+
+
+def simulation_equivalent(lhs, rhs, trials=32, width=64, seed=0):
+    """Random bit-parallel vectors agree on every output."""
+    rng = random.Random(seed)
+    for _ in range(trials):
+        assignment = {
+            name: rng.getrandbits(width) for name in lhs.inputs
+        }
+        if lhs.simulate(assignment, width=width) != rhs.simulate(
+            assignment, width=width
+        ):
+            return False
+    return True
+
+
+class TestHashConsing:
+    def test_commutative_and_shared(self):
+        aig = Aig()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        assert aig.aig_and(a, b) == aig.aig_and(b, a)
+
+    def test_xor_self_cancels(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        assert aig.aig_xor(a, a) == CONST0
+        assert aig.aig_xor(a, lit_complement(a)) == CONST1
+
+    def test_and_absorbs_constants(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        assert aig.aig_and(a, CONST0) == CONST0
+        assert aig.aig_and(a, CONST1) == a
+        assert aig.aig_and(a, lit_complement(a)) == CONST0
+        assert aig.aig_and(a, a) == a
+
+    def test_xor_complements_pull_to_output(self):
+        """XNOR-shaped constructions share the XOR node."""
+        aig = Aig()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        x = aig.aig_xor(a, b)
+        assert aig.aig_xor(lit_complement(a), b) == lit_complement(x)
+        assert aig.aig_xor(a, lit_complement(b)) == lit_complement(x)
+        assert aig.aig_xor(lit_complement(a), lit_complement(b)) == x
+
+    def test_inverter_pairs_are_free(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        assert lit_complement(lit_complement(a)) == a
+        assert len(aig) == 2  # const + the input; no INV nodes exist
+
+    def test_de_morgan_shares_structure(self):
+        """OR(a,b) and NAND(!a,!b) are the same literal."""
+        aig = Aig()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        by_or = aig.aig_or(a, b)
+        by_nand = lit_complement(
+            aig.aig_and(lit_complement(a), lit_complement(b))
+        )
+        assert by_or == by_nand
+
+    def test_node_ids_are_topological(self):
+        aig = Aig.from_netlist(generate_mastrovito(0b10011))
+        for node in range(1, len(aig)):
+            if aig.is_and(node) or aig.is_xor(node):
+                f0, f1 = aig.fanins(node)
+                assert lit_node(f0) < node
+                assert lit_node(f1) < node
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "generator, modulus",
+        [
+            (generate_mastrovito, 0b10011),
+            (generate_montgomery, 0b1011),
+            (generate_massey_omura, 0b1011),
+        ],
+        ids=["mastrovito", "montgomery", "massey-omura"],
+    )
+    def test_generators_round_trip(self, generator, modulus):
+        netlist = generator(modulus)
+        back = Aig.from_netlist(netlist).to_netlist()
+        back.validate()
+        assert back.inputs == netlist.inputs
+        assert back.outputs == netlist.outputs
+        assert simulation_equivalent(netlist, back)
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_netlists_round_trip(self, seed):
+        """Property: to_netlist(from_netlist(n)) is simulation-equal
+        on random vectors, across the full cell library."""
+        netlist = generate_random_netlist(seed)
+        back = Aig.from_netlist(netlist).to_netlist()
+        back.validate()
+        assert simulation_equivalent(netlist, back, seed=seed)
+
+    def test_round_trip_emits_only_core_cells(self):
+        netlist = generate_random_netlist(3)
+        back = Aig.from_netlist(netlist).to_netlist()
+        assert {gate.gtype for gate in back.gates} <= {
+            GateType.AND,
+            GateType.XOR,
+            GateType.INV,
+            GateType.BUF,
+            GateType.CONST0,
+            GateType.CONST1,
+        }
+
+    def test_redundancy_collapses_by_construction(self):
+        lean = generate_mastrovito(0b10011)
+        fat = decorate_with_redundancy(lean)
+        slim = Aig.from_netlist(fat).to_netlist()
+        assert len(slim) < len(fat)
+        assert simulation_equivalent(fat, slim)
+
+    def test_po_aliased_to_input_gets_buf(self):
+        netlist = Netlist("t", inputs=["a"], outputs=["z"])
+        netlist.add_gate(Gate("n", GateType.INV, ("a",)))
+        netlist.add_gate(Gate("z", GateType.INV, ("n",)))
+        back = Aig.from_netlist(netlist).to_netlist()
+        back.validate()
+        assert back.simulate({"a": 1})["z"] == 1
+
+    def test_constant_output(self):
+        netlist = Netlist("t", inputs=["a"], outputs=["z"])
+        netlist.add_gate(Gate("z", GateType.XOR, ("a", "a")))
+        back = Aig.from_netlist(netlist).to_netlist()
+        assert back.simulate({"a": 1})["z"] == 0
+        assert [gate.gtype for gate in back.gates] == [GateType.CONST0]
+
+    def test_dead_logic_swept_by_construction(self):
+        netlist = Netlist("t", inputs=["a", "b"], outputs=["z"])
+        netlist.add_gate(Gate("z", GateType.AND, ("a", "b")))
+        netlist.add_gate(Gate("dead", GateType.XOR, ("a", "b")))
+        back = Aig.from_netlist(netlist).to_netlist()
+        assert len(back) == 1
+
+    def test_unused_inputs_survive(self):
+        netlist = Netlist("t", inputs=["a", "b"], outputs=["z"])
+        netlist.add_gate(Gate("z", GateType.BUF, ("a",)))
+        back = Aig.from_netlist(netlist).to_netlist()
+        assert back.inputs == ["a", "b"]
+
+
+class TestBalance:
+    def test_chain_becomes_log_depth(self):
+        aig = Aig()
+        lits = [aig.add_input(f"i{k}") for k in range(16)]
+        acc = lits[0]
+        for lit in lits[1:]:
+            acc = aig.aig_xor(acc, lit)
+        aig.add_output("y", acc)
+        chain = aig.to_netlist()
+        balanced = balance_xor_trees(aig).to_netlist()
+        assert balanced.stats().depth <= 4 < chain.stats().depth
+        assert simulation_equivalent(chain, balanced)
+
+    def test_duplicate_leaves_cancel(self):
+        aig = Aig()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        shared = aig.aig_xor(a, b)
+        aig.add_output("y", aig.aig_xor(shared, a))  # a⊕b⊕a = b
+        balanced = balance_xor_trees(aig)
+        assert balanced.simulate({"a": 1, "b": 0})["y"] == 0
+        assert balanced.simulate({"a": 0, "b": 1})["y"] == 1
+
+    def test_multi_fanout_xor_not_dissolved(self):
+        aig = Aig()
+        a, b, c = (aig.add_input(n) for n in "abc")
+        shared = aig.aig_xor(a, b)
+        aig.add_output("y1", aig.aig_xor(shared, c))
+        aig.add_output("y2", aig.aig_and(shared, c))
+        balanced = balance_xor_trees(aig)
+        for bits in range(8):
+            env = {"a": bits & 1, "b": (bits >> 1) & 1, "c": (bits >> 2) & 1}
+            assert balanced.simulate(env) == aig.simulate(env)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_netlists_function_preserved(self, seed):
+        netlist = generate_random_netlist(seed, n_gates=30)
+        aig = Aig.from_netlist(netlist)
+        balanced = balance_xor_trees(aig).to_netlist()
+        balanced.validate()
+        assert simulation_equivalent(netlist, balanced, seed=seed)
+
+
+class TestCuts:
+    def test_trivial_cut_first(self):
+        aig = Aig.from_netlist(generate_mastrovito(0b1011))
+        _, lit = aig.outputs[0]
+        cuts = enumerate_cuts(aig, lit_node(lit))
+        assert cuts[0] == (lit_node(lit),)
+
+    def test_leaves_precede_root(self):
+        aig = Aig.from_netlist(generate_mastrovito(0b10011))
+        for _, lit in aig.outputs:
+            root = lit_node(lit)
+            for cut in enumerate_cuts(aig, root, k=4, limit=12):
+                if cut == (root,):
+                    continue
+                assert all(leaf < root for leaf in cut)
+                assert len(cut) <= 4
+
+    def test_cut_function_matches_simulation(self):
+        """The cut truth table composed with leaf values equals the
+        node's simulated value — for every enumerated cut."""
+        aig = Aig.from_netlist(generate_montgomery(0b1011))
+        rng = random.Random(1)
+        live = [n for n in aig.live_nodes() if aig.is_and(n) or aig.is_xor(n)]
+        for node in rng.sample(live, min(10, len(live))):
+            for cut in enumerate_cuts(aig, node, k=4, limit=8):
+                table = cut_truth_table(aig, node, cut)
+                for _ in range(8):
+                    assignment = {
+                        name: rng.getrandbits(1) for name in aig.inputs
+                    }
+                    values = [0] * len(aig)
+                    for n2 in range(1, len(aig)):
+                        if aig.is_leaf(n2):
+                            values[n2] = assignment[aig.pi_name[n2]]
+                        else:
+                            f0, f1 = aig.fanins(n2)
+                            v0 = aig.lit_value(f0, values)
+                            v1 = aig.lit_value(f1, values)
+                            values[n2] = (
+                                v0 & v1 if aig.is_and(n2) else v0 ^ v1
+                            )
+                    minterm = sum(
+                        values[leaf] << position
+                        for position, leaf in enumerate(cut)
+                    )
+                    assert (table >> minterm) & 1 == values[node]
+
+    def test_anf_is_moebius_transform(self):
+        assert truth_table_to_anf(0b0110, 2) == [1, 2]          # a ⊕ b
+        assert truth_table_to_anf(0b1000, 2) == [3]             # a·b
+        assert truth_table_to_anf(0b1110, 2) == [1, 2, 3]       # a ∨ b
+        assert truth_table_to_anf(0b0000, 2) == []
+        assert truth_table_to_anf(0b1111, 2) == [0]             # const 1
+
+
+class TestDeepChains:
+    def test_linear_xor_chain_does_not_recurse_out(self):
+        """balance_xor_trees's motivating input — a linear-depth XOR
+        chain — must not hit the Python recursion limit."""
+        depth = 3000
+        netlist = Netlist("chain", inputs=[f"i{k}" for k in range(depth)])
+        previous = "i0"
+        for k in range(1, depth):
+            net = f"x{k}"
+            netlist.add_gate(Gate(net, GateType.XOR, (previous, f"i{k}")))
+            previous = net
+        netlist.add_output(previous)
+        balanced = balance_xor_trees(Aig.from_netlist(netlist)).to_netlist()
+        assert balanced.stats().depth <= 13

@@ -73,6 +73,16 @@ class TestSynth:
         assert dst.exists()
         assert main(["extract", str(dst)]) == 0
 
+    @pytest.mark.parametrize("ir", ["aig", "netlist"])
+    def test_synth_ir_flag(self, tmp_path, capsys, ir):
+        src = tmp_path / "flat.eqn"
+        dst = tmp_path / f"opt_{ir}.eqn"
+        main(["gen", "--p", "x^4+x+1", "-o", str(src)])
+        assert main(["synth", str(src), "--ir", ir, "-o", str(dst)]) == 0
+        assert main(["extract", str(dst), "--engine", "aig"]) == 0
+        out = capsys.readouterr().out
+        assert "x^4 + x + 1" in out
+
 
 class TestInfoCommands:
     def test_reduction_tables(self, capsys):

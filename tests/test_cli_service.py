@@ -108,3 +108,29 @@ class TestCacheVerb:
         assert "cleared 6 cached entries" in capsys.readouterr().out
         assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
         assert "0 entries" in capsys.readouterr().out
+
+    def test_prune_verb(self, designs, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        main(
+            [
+                "batch", str(designs),
+                "-o", str(tmp_path / "report.jsonl"),
+                "--cache-dir", str(cache_dir),
+            ]
+        )
+        capsys.readouterr()
+        # 2 extractions + 2 verifications on disk; prune down to 1.
+        assert main(
+            [
+                "cache", "prune",
+                "--cache-dir", str(cache_dir),
+                "--max-entries", "1",
+            ]
+        ) == 0
+        assert "pruned 3 cached entries" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        assert "1 entries" in capsys.readouterr().out
+
+    def test_prune_without_budget_fails_cleanly(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", "--cache-dir", str(tmp_path / "c")])

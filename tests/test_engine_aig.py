@@ -1,0 +1,172 @@
+"""Differential tests: the cut-based ``aig`` engine against the
+reference oracle.
+
+The engine contract (:mod:`repro.engine`) requires bit-identical
+*results* — canonical expressions, extracted P(x), member bits,
+verdicts, and failure modes — from every backend.  This suite drives
+the ``aig`` engine across the full generator zoo in both flat and
+synthesized/technology-mapped forms (mapped netlists are the case this
+backend exists for), across faulty mutants, random netlists over the
+full cell library, and the structural failure modes."""
+
+import pytest
+
+from repro.extract.diagnose import diagnose
+from repro.extract.extractor import extract_irreducible_polynomial
+from repro.gen.digit_serial import generate_digit_serial
+from repro.gen.faults import random_fault
+from repro.gen.interleaved import generate_interleaved
+from repro.gen.karatsuba import generate_karatsuba
+from repro.gen.mastrovito import generate_mastrovito
+from repro.gen.montgomery import generate_montgomery
+from repro.gen.normal_basis import generate_massey_omura
+from repro.gen.random_logic import generate_random_netlist
+from repro.gen.schoolbook import generate_schoolbook
+from repro.netlist.gate import Gate, GateType
+from repro.netlist.netlist import Netlist
+from repro.rewrite.backward import (
+    BackwardRewriteError,
+    TermLimitExceeded,
+    backward_rewrite,
+)
+from repro.synth.pipeline import synthesize
+
+GENERATORS = {
+    "mastrovito": generate_mastrovito,
+    "schoolbook": generate_schoolbook,
+    "montgomery": generate_montgomery,
+    "karatsuba": generate_karatsuba,
+    "interleaved": generate_interleaved,
+    "interleaved-lsb": lambda modulus: generate_interleaved(
+        modulus, msb_first=False
+    ),
+    "digit-serial": generate_digit_serial,
+}
+
+
+def assert_extractions_identical(netlist):
+    """Both engines agree on every observable extraction result."""
+    reference = extract_irreducible_polynomial(netlist, engine="reference")
+    aig = extract_irreducible_polynomial(netlist, engine="aig")
+    assert aig.modulus == reference.modulus
+    assert aig.member_bits == reference.member_bits
+    assert aig.irreducible == reference.irreducible
+    for bit in range(reference.m):
+        assert aig.expression_of(bit) == reference.expression_of(bit)
+
+
+class TestGeneratorZoo:
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_flat(self, name):
+        assert_extractions_identical(GENERATORS[name](0b1011011))
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_synthesized(self, name):
+        assert_extractions_identical(synthesize(GENERATORS[name](0b100101)))
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_nand_mapped(self, name):
+        """The harshest form — the case this backend exists for."""
+        assert_extractions_identical(
+            synthesize(GENERATORS[name](0b100101), use_xor_cells=False)
+        )
+
+    def test_unmapped_pipeline_output(self):
+        assert_extractions_identical(
+            synthesize(generate_mastrovito(0b1011011), map_cells=False)
+        )
+
+
+class TestRandomNetlists:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_per_cone_identity_and_error_parity(self, seed):
+        """Expression-identical where the oracle succeeds, and the
+        same structural failure where it raises."""
+        netlist = generate_random_netlist(seed)
+        for output in netlist.outputs:
+            try:
+                expected, _ = backward_rewrite(
+                    netlist, output, engine="reference"
+                )
+            except BackwardRewriteError:
+                with pytest.raises(BackwardRewriteError):
+                    backward_rewrite(netlist, output, engine="aig")
+                continue
+            actual, _ = backward_rewrite(netlist, output, engine="aig")
+            assert actual == expected
+
+
+class TestVerdictsAndFaults:
+    def test_clean_multiplier(self):
+        diagnosis = diagnose(generate_mastrovito(0b10011), engine="aig")
+        assert diagnosis.verdict.value == "verified-multiplier"
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fault_verdicts_match(self, seed):
+        mutant, _ = random_fault(generate_mastrovito(0b10011), seed=seed)
+        assert (
+            diagnose(mutant, engine="aig").verdict
+            is diagnose(mutant, engine="reference").verdict
+        )
+
+    def test_normal_basis_rejected(self):
+        """The Theorem-3 negative case is backend-independent."""
+        netlist = generate_massey_omura(0b1011)
+        assert (
+            diagnose(netlist, engine="aig").verdict
+            is diagnose(netlist, engine="reference").verdict
+        )
+
+
+class TestFailureModes:
+    def test_incomplete_cone_raises(self):
+        netlist = Netlist("t", inputs=["a0"], outputs=["z0"])
+        netlist.add_gate(Gate("z0", GateType.AND, ("a0", "floating")))
+        with pytest.raises(BackwardRewriteError):
+            backward_rewrite(netlist, "z0", engine="aig")
+
+    def test_unknown_output_raises(self):
+        netlist = generate_mastrovito(0b1011)
+        with pytest.raises(BackwardRewriteError):
+            backward_rewrite(netlist, "nonexistent", engine="aig")
+
+    def test_term_limit_is_memory_out(self):
+        with pytest.raises(TermLimitExceeded):
+            extract_irreducible_polynomial(
+                generate_mastrovito(0b100011011),
+                engine="aig",
+                term_limit=2,
+            )
+
+    def test_rewriting_a_primary_input(self):
+        netlist = generate_mastrovito(0b1011)
+        poly, _ = backward_rewrite(netlist, "a0", engine="aig")
+        assert str(poly) == "a0"
+
+
+class TestTrace:
+    def test_trace_records_cut_steps(self):
+        netlist = synthesize(
+            generate_mastrovito(0b10011), use_xor_cells=False
+        )
+        _, stats = backward_rewrite(
+            netlist, "z0", engine="aig", trace=True
+        )
+        assert len(stats.trace) == stats.iterations
+        for step in stats.trace:
+            assert "=" in step.gate
+
+
+class TestCacheInvalidation:
+    def test_compiled_netlist_tracks_mutation(self):
+        """Appending gates after a rewrite must recompile, like the
+        bitpack engine's weak cache does."""
+        netlist = Netlist("t", inputs=["a0", "b0"], outputs=["z0"])
+        netlist.add_gate(Gate("z0", GateType.AND, ("a0", "b0")))
+        first, _ = backward_rewrite(netlist, "z0", engine="aig")
+        netlist.add_gate(Gate("extra", GateType.XOR, ("a0", "b0")))
+        netlist.add_output("extra")
+        second, _ = backward_rewrite(netlist, "extra", engine="aig")
+        reference, _ = backward_rewrite(netlist, "extra", engine="reference")
+        assert second == reference
+        assert str(first) == "a0*b0"

@@ -153,3 +153,113 @@ class TestExtractorCacheParam:
         again = extract_irreducible_polynomial(net, cache=cache)
         assert again.polynomial_str == first.polynomial_str == "x^4 + x + 1"
         assert cache.hits == 1  # second call served from disk
+
+
+class TestSquarerRoundTrip:
+    def test_result_survives_and_hits(self, cache):
+        from repro.extract.squarer import extract_squarer_polynomial
+        from repro.gen.squarer import generate_squarer
+
+        squarer = generate_squarer(0b10011)
+        first = extract_squarer_polynomial(squarer, cache=cache)
+        assert cache.stats().entries["squarer"] == 1
+        second = extract_squarer_polynomial(squarer, cache=cache)
+        assert cache.hits == 1
+        assert second.modulus == first.modulus
+        assert second.observed_columns == first.observed_columns
+        assert second.verified and second.irreducible
+
+    def test_key_is_structural(self, cache):
+        from repro.extract.squarer import extract_squarer_polynomial
+        from repro.gen.squarer import generate_squarer
+        from repro.synth.strash import structural_hash
+
+        squarer = generate_squarer(0b1011)
+        extract_squarer_polynomial(squarer, cache=cache)
+        extract_squarer_polynomial(structural_hash(squarer), cache=cache)
+        assert cache.hits == 1
+
+    def test_diagnose_threads_the_cache(self, cache):
+        from repro.gen.squarer import generate_squarer
+
+        squarer = generate_squarer(0b10011)
+        assert diagnose(squarer, cache=cache).is_clean
+        assert cache.stats().entries["squarer"] == 1
+        assert diagnose(squarer, cache=cache).is_clean
+        assert cache.hits == 1
+
+
+class TestEviction:
+    def _fill(self, cache, count):
+        import time as _time
+
+        moduli = [0b111, 0b1011, 0b10011, 0b100101, 0b1000011]
+        for modulus in moduli[:count]:
+            net = generate_mastrovito(modulus)
+            cache.put_extraction(net, extract_irreducible_polynomial(net))
+            _time.sleep(0.01)  # distinct mtimes for deterministic order
+
+    def test_put_evicts_oldest_past_budget(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", max_entries=3)
+        self._fill(cache, 5)
+        stats = cache.stats()
+        assert stats.total_entries == 3
+        assert cache.evictions == 2
+        assert stats.evictions == 2
+        # Oldest gone, newest kept.
+        assert cache.get_extraction(generate_mastrovito(0b111)) is None
+        assert (
+            cache.get_extraction(generate_mastrovito(0b1000011)) is not None
+        )
+
+    def test_env_var_sets_budget(self, tmp_path, monkeypatch):
+        from repro.service.cache import CACHE_MAX_ENTRIES_ENV
+
+        monkeypatch.setenv(CACHE_MAX_ENTRIES_ENV, "2")
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.max_entries == 2
+        self._fill(cache, 3)
+        assert cache.stats().total_entries == 2
+
+    def test_env_var_must_be_integer(self, tmp_path, monkeypatch):
+        from repro.service.cache import CACHE_MAX_ENTRIES_ENV
+
+        monkeypatch.setenv(CACHE_MAX_ENTRIES_ENV, "lots")
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path / "cache")
+
+    def test_explicit_prune(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")  # no budget: no eviction
+        self._fill(cache, 4)
+        assert cache.stats().total_entries == 4
+        assert cache.prune() == 0  # still no budget
+        assert cache.prune(max_entries=1) == 3
+        assert cache.stats().total_entries == 1
+
+    def test_no_budget_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        self._fill(cache, 5)
+        assert cache.stats().total_entries == 5
+        assert cache.evictions == 0
+
+
+class TestFingerprintSchemaMemo:
+    def test_memo_from_older_schema_is_stale(self, tmp_path):
+        """A FINGERPRINT_SCHEMA bump must invalidate file memos, or
+        warm campaigns keep keying by the old canonical form."""
+        import json
+
+        from repro.service.fingerprint import FINGERPRINT_SCHEMA
+
+        cache = ResultCache(tmp_path / "cache")
+        netlist_file = tmp_path / "x.eqn"
+        netlist_file.write_text("placeholder")
+        cache.remember_file(netlist_file, "v2-abc", gates=3)
+        memo = cache.file_fingerprint(netlist_file)
+        assert memo["schema"] == FINGERPRINT_SCHEMA
+
+        memo_path = cache._file_memo_path(netlist_file)
+        stale = json.loads(memo_path.read_text())
+        stale["schema"] = FINGERPRINT_SCHEMA - 1
+        memo_path.write_text(json.dumps(stale))
+        assert cache.file_fingerprint(netlist_file) is None

@@ -115,3 +115,56 @@ def test_format_is_versioned_hex():
     assert prefix == f"v{FINGERPRINT_SCHEMA}"
     assert len(digest) == 64
     int(digest, 16)  # hex or raise
+
+
+class TestAigSchema:
+    """Schema 2: labels derive from the hash-consed AIG node table."""
+
+    def test_schema_is_bumped(self):
+        assert FINGERPRINT_SCHEMA == 2
+        assert fingerprint_netlist(
+            generate_mastrovito(0b111)
+        ).startswith("v2-")
+
+    def test_strash_flag_is_inert(self):
+        net = generate_montgomery(0b1011)
+        assert fingerprint_netlist(net, strash=False) == fingerprint_netlist(
+            net
+        )
+
+    def test_xnor_equals_inverted_xor(self):
+        """Complement pulling: XNOR(a,b) and INV(XOR(a,b)) share the
+        XOR node, so they must share the fingerprint."""
+        lhs = Netlist("t", inputs=["a0", "b0"], outputs=["z0"])
+        lhs.add_gate(Gate("z0", GateType.XNOR, ("a0", "b0")))
+        rhs = Netlist("t", inputs=["a0", "b0"], outputs=["z0"])
+        rhs.add_gate(Gate("x", GateType.XOR, ("a0", "b0")))
+        rhs.add_gate(Gate("z0", GateType.INV, ("x",)))
+        assert fingerprint_netlist(lhs) == fingerprint_netlist(rhs)
+
+    def test_de_morgan_recodings_collapse(self):
+        """OR(a,b) and NAND(INV(a), INV(b)) are one AIG structure."""
+        lhs = Netlist("t", inputs=["a0", "b0"], outputs=["z0"])
+        lhs.add_gate(Gate("z0", GateType.OR, ("a0", "b0")))
+        rhs = Netlist("t", inputs=["a0", "b0"], outputs=["z0"])
+        rhs.add_gate(Gate("na", GateType.INV, ("a0",)))
+        rhs.add_gate(Gate("nb", GateType.INV, ("b0",)))
+        rhs.add_gate(Gate("z0", GateType.NAND, ("na", "nb")))
+        assert fingerprint_netlist(lhs) == fingerprint_netlist(rhs)
+
+    def test_complemented_output_is_part_of_the_key(self):
+        lhs = Netlist("t", inputs=["a0", "b0"], outputs=["z0"])
+        lhs.add_gate(Gate("z0", GateType.AND, ("a0", "b0")))
+        rhs = Netlist("t", inputs=["a0", "b0"], outputs=["z0"])
+        rhs.add_gate(Gate("z0", GateType.NAND, ("a0", "b0")))
+        assert fingerprint_netlist(lhs) != fingerprint_netlist(rhs)
+
+    def test_synthesized_form_keeps_its_own_key(self):
+        """Synthesis reshapes the AIG (mapping introduces real
+        structure), so mapped and flat forms key separately while
+        each stays deterministic."""
+        flat = generate_mastrovito(0b10011)
+        from repro.synth.pipeline import synthesize
+
+        mapped = synthesize(flat, use_xor_cells=False)
+        assert fingerprint_netlist(mapped) == fingerprint_netlist(mapped)

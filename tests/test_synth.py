@@ -245,3 +245,45 @@ class TestPipeline:
         assert types <= {
             GateType.AND, GateType.XOR, GateType.BUF, GateType.CONST0,
         }
+
+
+class TestStrashName:
+    def test_name_preserved(self):
+        netlist = generate_mastrovito(0b1011)
+        netlist.name = "my_special_name"
+        assert structural_hash(netlist).name == "my_special_name"
+
+    def test_stronger_aliasing_through_complements(self):
+        """AIG literal identity catches INV(NAND) == AND — beyond the
+        old name-keyed strash."""
+        builder = NetlistBuilder("t", inputs=["a", "b"])
+        x = builder.and2("a", "b")
+        builder.netlist.add_gate(Gate("n", GateType.NAND, ("a", "b")))
+        builder.netlist.add_gate(Gate("y", GateType.INV, ("n",)))
+        out = builder.xor2(x, "y")          # XOR(x, x) functionally
+        builder.set_outputs([out])
+        hashed = structural_hash(builder.finish())
+        assert sum(
+            1 for g in hashed.gates if g.gtype is GateType.AND
+        ) == 1
+        assert sum(1 for g in hashed.gates if g.gtype is GateType.INV) == 0
+
+
+class TestPipelineIr:
+    @pytest.mark.parametrize("ir", ["aig", "netlist"])
+    def test_both_irs_equivalent(self, ir):
+        flat = decorate_with_redundancy(generate_mastrovito(0b10011))
+        optimized = synthesize(flat, ir=ir)
+        assert optimized.name.endswith("_syn")
+        assert _equivalent(flat, optimized, 4)
+
+    @pytest.mark.parametrize("ir", ["aig", "netlist"])
+    def test_nand_only_in_both_irs(self, ir):
+        flat = generate_mastrovito(0b1011)
+        mapped = synthesize(flat, use_xor_cells=False, ir=ir)
+        assert GateType.XOR not in {g.gtype for g in mapped.gates}
+        assert _equivalent(flat, mapped, 3)
+
+    def test_unknown_ir_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize(generate_mastrovito(0b111), ir="rtl")
