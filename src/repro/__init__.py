@@ -60,7 +60,7 @@ from repro.netlist import (
     write_eqn,
     write_verilog,
 )
-from repro.aig import Aig, balance_xor_trees
+from repro.aig import Aig, balance_and_trees, balance_xor_trees
 from repro.engine import available_engines, get_engine, register_engine
 from repro.rewrite import backward_rewrite, extract_expressions
 from repro.rewrite.backward import RewriteStats
@@ -76,7 +76,7 @@ from repro.extract import (
     format_extraction_report,
     verify_multiplier,
 )
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Service-layer conveniences re-exported lazily (PEP 562) so that a
 #: bare ``import repro`` stays as light as it was before the service
@@ -129,6 +129,7 @@ __all__ = [
     "write_blif",
     "write_eqn",
     "write_verilog",
+    "balance_and_trees",
     "balance_xor_trees",
     "available_engines",
     "get_engine",

@@ -38,7 +38,7 @@ Round-trip and passes
 MUX cells) onto the AND/XOR/complement core;
 :meth:`Aig.to_netlist` re-emits a plain ``AND``/``XOR``/``INV``
 netlist with the original port names.  :mod:`repro.aig.balance`
-rebalances XOR trees AIG→AIG, and :mod:`repro.aig.cuts` enumerates
+rebalances XOR and AND trees AIG→AIG, and :mod:`repro.aig.cuts` enumerates
 k-feasible cuts with truth tables — the unit of work for the
 cut-based rewriting engine (:mod:`repro.engine.aig`).
 
@@ -66,7 +66,7 @@ from repro.aig.aig import (
     lit_node,
     make_lit,
 )
-from repro.aig.balance import balance_xor_trees
+from repro.aig.balance import balance_and_trees, balance_xor_trees
 from repro.aig.cuts import (
     cut_truth_table,
     enumerate_cuts,
@@ -78,6 +78,7 @@ __all__ = [
     "AigError",
     "CONST0",
     "CONST1",
+    "balance_and_trees",
     "balance_xor_trees",
     "cut_truth_table",
     "enumerate_cuts",

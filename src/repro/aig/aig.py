@@ -137,13 +137,23 @@ class Aig:
         return lit
 
     def aig_and(self, a: int, b: int) -> int:
-        """Hash-consed AND of two literals."""
+        """Hash-consed AND of two literals.
+
+        Beyond the local normalisations, the constructor recognises the
+        3-AND NAND/AOI decompositions of XOR, XNOR and MUX (see
+        :meth:`_detect_xor_mux`), so NAND-lowered netlists strash back
+        to first-class XOR nodes instead of opaque AND clusters.
+        """
         if a == CONST0 or b == CONST0 or a == lit_complement(b):
             return CONST0
         if a == CONST1 or a == b:
             return b
         if b == CONST1:
             return a
+        if a & 1 and b & 1:
+            detected = self._detect_xor_mux(a, b)
+            if detected is not None:
+                return detected
         if a > b:
             a, b = b, a
         key = (_KIND_AND, a, b)
@@ -152,6 +162,56 @@ class Aig:
             node = self._new_node(_KIND_AND, a, b)
             self._strash[key] = node
         return make_lit(node)
+
+    def _detect_xor_mux(self, a: int, b: int) -> Optional[int]:
+        """Structural XOR/XNOR/MUX recovery for ``AND(!X, !Y)`` shapes.
+
+        Both operands are complemented edges; when both point at AND
+        nodes the product is an OR of two product terms — exactly how
+        technology mapping encodes XOR/XNOR/MUX in NAND/AOI logic:
+
+        * ``!(p·q) · !(!p·!q)  =  p ⊕ q``  (the AOI22 / 5-NAND form);
+        * ``!(p·w) · !(q·w)`` with ``w = !(p·q)``  =  ``¬(p ⊕ q)``
+          (the shared-inner-NAND 4-NAND XOR the mapper emits);
+        * ``!(d1·s) · !(d0·!s)  =  ¬MUX(s, d1, d0)`` (NAND-mapped mux;
+          rebuilt through :meth:`aig_mux`, i.e. XOR/AND nodes).
+
+        Rebuilding references strictly older nodes, so the recursion
+        through :meth:`aig_xor`/:meth:`aig_mux` terminates; the old AND
+        cluster simply goes dead unless shared elsewhere.  Returns the
+        equivalent literal, or ``None`` when no shape matches.
+        """
+        na, nb = a >> 1, b >> 1
+        if self.kinds[na] != _KIND_AND or self.kinds[nb] != _KIND_AND:
+            return None
+        p, q = self.fanin0[na], self.fanin1[na]
+        r, s = self.fanin0[nb], self.fanin1[nb]
+        # XOR: the two product terms cover complementary minterm pairs.
+        if (r == lit_complement(p) and s == lit_complement(q)) or (
+            r == lit_complement(q) and s == lit_complement(p)
+        ):
+            return self.aig_xor(p, q)
+        # XNOR: both terms share w = !(p·q); !(p·w)·!(q·w) = ¬(p ⊕ q).
+        for w in (r, s):
+            if w not in (p, q) or not (w & 1):
+                continue
+            m = w >> 1
+            if self.kinds[m] != _KIND_AND:
+                continue
+            other_a = q if w == p else p
+            other_b = s if w == r else r
+            g0, g1 = self.fanin0[m], self.fanin1[m]
+            if {g0, g1} == {other_a, other_b}:
+                return lit_complement(self.aig_xor(other_a, other_b))
+        # MUX: exactly one complementary literal across the two terms
+        # is the select; !(d1·s)·!(d0·!s) = s·!d1 + !s·!d0.
+        for sel, d1 in ((p, q), (q, p)):
+            for v, d0 in ((r, s), (s, r)):
+                if v == lit_complement(sel):
+                    return self.aig_mux(
+                        sel, lit_complement(d1), lit_complement(d0)
+                    )
+        return None
 
     def aig_xor(self, a: int, b: int) -> int:
         """Hash-consed XOR; fanin complements are pulled to the output."""

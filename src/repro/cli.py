@@ -25,10 +25,18 @@ Commands mirror the paper's tool flow:
 ``serve``
     run the HTTP verification API (:mod:`repro.service.api`);
 ``cache``
-    inspect (``stats``), evict down to a budget (``prune``,
-    oldest-mtime-first; see ``REPRO_CACHE_MAX_ENTRIES``) or empty
-    (``clear``) the content-addressed result cache
-    (``REPRO_CACHE_DIR``, default ``~/.cache/repro``).
+    inspect (``stats``), evict down to an entry and/or byte budget
+    (``prune``, oldest-mtime-first; see ``REPRO_CACHE_MAX_ENTRIES``
+    and ``REPRO_CACHE_MAX_BYTES``) or empty (``clear``) the
+    content-addressed result cache (``REPRO_CACHE_DIR``, default
+    ``~/.cache/repro``) — which also holds the engines' compiled
+    programs (``stats`` reports them as the ``compiled`` kind).
+
+The ``--engine`` choices come from the backend registry
+(:mod:`repro.engine`): ``reference`` (the oracle), ``bitpack``
+(interned bitmask monomials), ``aig`` (cut-based rewriting over the
+strashed AIG) and — when numpy is installed — ``vector`` (numpy
+bitslice rewriting over uint64 mask matrices).
 """
 
 from __future__ import annotations
@@ -84,7 +92,10 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
         "--engine",
         choices=sorted(available_engines()),
         default=DEFAULT_ENGINE,
-        help="rewriting backend (default: %(default)s)",
+        help=(
+            "rewriting backend: %(choices)s (default: %(default)s; "
+            "'vector' appears only when numpy is installed)"
+        ),
     )
 
 
@@ -258,25 +269,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.service.cache import ResultCache
 
-    cache = ResultCache(args.cache_dir, max_entries=args.max_entries)
+    cache = ResultCache(
+        args.cache_dir,
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+    )
     if args.action == "stats":
         print(cache.stats())
     elif args.action == "prune":
-        # An explicit --max-entries goes straight to prune() so that 0
-        # means "drop every artifact entry", as prune() documents; the
-        # constructor's budget (env-derived) treats 0 as "unbounded".
-        budget = args.max_entries
-        if budget is None:
-            budget = cache.max_entries
-        if budget is None:
+        # Explicit --max-entries/--max-bytes go straight to prune() so
+        # that 0 means "drop every artifact entry", as prune()
+        # documents; the constructor's budgets (env-derived) treat 0
+        # as "unbounded".
+        entry_budget = args.max_entries
+        if entry_budget is None:
+            entry_budget = cache.max_entries
+        byte_budget = args.max_bytes
+        if byte_budget is None:
+            byte_budget = cache.max_bytes
+        if entry_budget is None and byte_budget is None:
             raise SystemExit(
-                "no entry budget: pass --max-entries or set "
-                "REPRO_CACHE_MAX_ENTRIES"
+                "no budget: pass --max-entries/--max-bytes or set "
+                "REPRO_CACHE_MAX_ENTRIES/REPRO_CACHE_MAX_BYTES"
             )
-        removed = cache.prune(max_entries=budget)
+        removed = cache.prune(
+            max_entries=entry_budget, max_bytes=byte_budget
+        )
+        budgets = []
+        if entry_budget is not None:
+            budgets.append(f"{entry_budget} entries")
+        if byte_budget is not None:
+            budgets.append(f"{byte_budget} bytes")
         print(
             f"pruned {removed} cached entries from {cache.root} "
-            f"(budget {budget})"
+            f"(budget {', '.join(budgets)})"
         )
     else:  # clear
         removed = cache.clear()
@@ -480,6 +506,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "entry budget for prune (default: REPRO_CACHE_MAX_ENTRIES); "
             "oldest-mtime entries beyond it are evicted"
+        ),
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help=(
+            "size budget in bytes for prune (default: "
+            "REPRO_CACHE_MAX_BYTES); oldest-mtime entries are evicted "
+            "until the store fits"
         ),
     )
     cache.set_defaults(func=_cmd_cache)

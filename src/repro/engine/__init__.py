@@ -60,7 +60,23 @@ Backends
     exact k-feasible-cut ANFs — the backend of choice for
     technology-mapped / NAND-lowered netlists, where gate-granular
     rewriting suffers intermediate-expression blowup (see
-    ``benchmarks/bench_aig.py`` / ``BENCH_aig.json``).
+    ``benchmarks/bench_aig.py`` / ``BENCH_aig.json``);
+``vector``
+    the same compiled program as ``aig``, with the substitution loop
+    vectorized in numpy: a polynomial is a ``uint64`` bit-matrix (one
+    row per monomial, interned signals packed 64 per word), one
+    substitution is a broadcast OR against the model matrix, and
+    GF(2) cancellation is a lexsort + run-parity pass (see
+    ``benchmarks/bench_vector.py`` / ``BENCH_vector.json``).  numpy
+    is optional — the backend registers only when it imports.
+
+Compiling backends (bitpack, aig, vector) additionally persist their
+one-time per-netlist compile through the ``compile_cache=`` hook
+(:class:`~repro.engine.base.CompilingEngine`): programs are stored in
+the service result cache keyed by (fingerprint, compile key, compile
+schema), validated against an exact-netlist token on load, and
+re-stored when rewriting grows them (lazily built cut models), so a
+batch campaign compiles each distinct structure once ever.
 
 Every backend produces bit-identical *results* — canonical
 expressions, P(x), member bits — and fails structurally broken
@@ -74,7 +90,13 @@ register via :func:`register_engine`.
 """
 
 from repro.engine.aig import AigEngine
-from repro.engine.base import ConeExpression, Engine, EngineError
+from repro.engine.base import (
+    CompilingEngine,
+    ConeExpression,
+    Engine,
+    EngineError,
+    netlist_token,
+)
 from repro.engine.bitpack import BitpackEngine, PackedExpression
 from repro.engine.interning import SignalInterner
 from repro.engine.reference import ReferenceEngine, ReferenceExpression
@@ -85,21 +107,30 @@ from repro.engine.registry import (
     get_engine,
     register_engine,
 )
+from repro.engine.vector import VectorEngine
 
 register_engine(ReferenceEngine.name, ReferenceEngine)
 register_engine(BitpackEngine.name, BitpackEngine)
 register_engine(AigEngine.name, AigEngine)
+if VectorEngine.available():
+    # numpy is optional: the backend self-reports availability and the
+    # registry (and thus ``--engine`` choices, the differential suite,
+    # the benchmarks) skips it cleanly when numpy is missing.
+    register_engine(VectorEngine.name, VectorEngine)
 
 __all__ = [
+    "CompilingEngine",
     "ConeExpression",
     "Engine",
     "EngineError",
+    "netlist_token",
     "AigEngine",
     "BitpackEngine",
     "PackedExpression",
     "SignalInterner",
     "ReferenceEngine",
     "ReferenceExpression",
+    "VectorEngine",
     "DEFAULT_ENGINE",
     "available_engines",
     "engine_name",

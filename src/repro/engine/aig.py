@@ -36,13 +36,13 @@ backend-specific, as the engine contract allows.
 from __future__ import annotations
 
 import time
+from array import array
 from heapq import heappop, heappush
-from typing import Dict, List, Optional, Set, Tuple
-from weakref import WeakKeyDictionary
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.aig import Aig, enumerate_cuts, cut_truth_table, truth_table_to_anf
 from repro.aig.cuts import iter_cuts
-from repro.engine.base import Engine
+from repro.engine.base import CompilingEngine
 from repro.engine.bitpack import PackedExpression, _flat_product
 from repro.engine.interning import SignalInterner
 from repro.gf2.polynomial import Gf2Poly
@@ -148,6 +148,70 @@ class _CompiledAig:
             if poly is not None and len(poly) <= _FLAT_BOUND:
                 flats[node] = poly
         return flats
+
+    # -- serialization ---------------------------------------------------
+    #
+    # Compiled programs travel through the fingerprint-keyed cache
+    # (:mod:`repro.service.cache`), and a warm load must be a small
+    # fraction of a recompile.  The default pickle of the embedded
+    # :class:`~repro.aig.Aig` spends most of its bytes on the strash
+    # table — pure construction state a finished program never touches
+    # — so the custom state drops it and packs the node arrays as raw
+    # ``array('q')`` bytes (memcpy-speed on load).  Lazily built cut
+    # models are included: a program re-stored after rewriting
+    # (:meth:`AigEngine.finalize` via the program marker) hands the
+    # next cold process its models for free.  The deserialized graph
+    # is read-only — growing it would bypass hash-consing.
+
+    def __getstate__(self):
+        aig = self.aig
+        return {
+            "name": aig.name,
+            "kinds": bytes(aig.kinds),
+            "fanin0": array("q", aig.fanin0).tobytes(),
+            "fanin1": array("q", aig.fanin1).tobytes(),
+            "pi_name": aig.pi_name,
+            "inputs": aig.inputs,
+            "outputs": aig.outputs,
+            "net_literal": aig.net_literal,
+            "leaf_index": self.leaf_index,
+            "leaf_names": self.leaf_names,
+            "leaf_bits": self.leaf_bits,
+            "undeclared_bits": self.undeclared_bits,
+            # Tuples load ~3x faster than sets and every post-compile
+            # consumer only iterates/len()s/copies flat polynomials.
+            "flats": {
+                node: tuple(poly) for node, poly in self.flats.items()
+            },
+            "n_gates": self.n_gates,
+            "models": self._models,
+        }
+
+    def __setstate__(self, state):
+        aig = Aig(state["name"])
+        aig.kinds = list(state["kinds"])
+        fanin0 = array("q")
+        fanin0.frombytes(state["fanin0"])
+        fanin1 = array("q")
+        fanin1.frombytes(state["fanin1"])
+        aig.fanin0 = list(fanin0)
+        aig.fanin1 = list(fanin1)
+        aig.pi_name = state["pi_name"]
+        aig.inputs = state["inputs"]
+        aig.outputs = state["outputs"]
+        aig.net_literal = state["net_literal"]
+        aig._leaf_lit = {
+            name: node << 1 for node, name in aig.pi_name.items()
+        }
+        self.aig = aig
+        self.net_literal = aig.net_literal
+        self.leaf_index = state["leaf_index"]
+        self.leaf_names = state["leaf_names"]
+        self.leaf_bits = state["leaf_bits"]
+        self.undeclared_bits = state["undeclared_bits"]
+        self.flats = state["flats"]
+        self.n_gates = state["n_gates"]
+        self._models = state["models"]
 
     def _flatten_via_cuts(
         self, node: int, flats: Dict[int, Set[int]]
@@ -292,22 +356,24 @@ class _CompiledAig:
         return tuple(key for key, parity in counts.items() if parity)
 
 
-class AigEngine(Engine):
+class AigEngine(CompilingEngine):
     """Backward rewriting cut-by-cut over the strashed AIG."""
 
     name = "aig"
+    #: Bump on any change to :class:`_CompiledAig`'s layout.  The
+    #: ``vector`` backend compiles the very same program, so both
+    #: share the ``aig`` key in the compiled-program cache.
+    compile_schema = 1
+    compile_key = "aig"
 
-    def __init__(self) -> None:
-        self._compiled: "WeakKeyDictionary[Netlist, _CompiledAig]" = (
-            WeakKeyDictionary()
-        )
+    def _compile(self, netlist: Netlist) -> _CompiledAig:
+        return _CompiledAig(netlist)
 
-    def _compiled_for(self, netlist: Netlist) -> _CompiledAig:
-        compiled = self._compiled.get(netlist)
-        if compiled is None or compiled.n_gates != len(netlist):
-            compiled = _CompiledAig(netlist)
-            self._compiled[netlist] = compiled
-        return compiled
+    def _program_marker(self, compiled: _CompiledAig) -> int:
+        # Cut models accrete lazily during rewriting; a changed count
+        # makes finalize() re-store the program so the next cold
+        # process inherits them.
+        return len(compiled._models)
 
     def _check_residue(
         self,
@@ -356,11 +422,12 @@ class AigEngine(Engine):
         output: str,
         trace: bool = False,
         term_limit: Optional[int] = None,
+        compile_cache: Optional[Any] = None,
     ) -> Tuple[PackedExpression, RewriteStats]:
         stats = RewriteStats(output=output)
         started = time.perf_counter()
 
-        compiled = self._compiled_for(netlist)
+        compiled = self._compiled_for(netlist, compile_cache)
         literal = compiled.net_literal.get(output)
         if literal is None:
             # A net the netlist never mentions: the same failure the

@@ -19,12 +19,34 @@ their *internal* expression representation; the contract is:
   ``term_limit`` is exceeded; the limit bounds each backend's *own*
   intermediate representation, so the memory-out point may differ
   between backends.
+
+Compiled programs
+-----------------
+Backends that precompile a netlist into a reusable *program* (bitpack,
+aig, vector) derive from :class:`CompilingEngine`, which owns the
+per-netlist weak cache, the pickle round-trip, and the
+``compile_cache=`` hook: when a caller passes an object with the
+``get_compiled`` / ``put_compiled`` contract of
+:class:`repro.service.cache.ResultCache`, a freshly-compiled program
+is stored under ``(fingerprint, engine, compile_schema)`` and the next
+cold process loads it instead of recompiling — the one-time compile
+tax becomes a once-*ever* tax per distinct structure.  Fingerprints
+are strash-invariant while compiled programs may depend on internal
+net names and gate order, so every serialized program carries an exact
+:func:`netlist_token`; a cache entry whose token mismatches the
+netlist in hand (same structure, different spelling) is recompiled
+rather than mis-served.  ``compile_schema`` is each backend's own
+layout version: bumping it retires every stored program of that
+backend without touching the others.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import ClassVar, Iterable, Optional, Tuple
+import hashlib
+import pickle
+from typing import Any, ClassVar, Iterable, Optional, Tuple
+from weakref import WeakKeyDictionary
 
 from repro.gf2.monomial import Monomial
 from repro.gf2.polynomial import Gf2Poly
@@ -62,6 +84,10 @@ class Engine(abc.ABC):
     #: Registry name of the backend (e.g. ``"reference"``).
     name: ClassVar[str] = ""
 
+    #: Layout version of the backend's compiled program; ``None`` for
+    #: backends that do not compile (see :class:`CompilingEngine`).
+    compile_schema: ClassVar[Optional[int]] = None
+
     @abc.abstractmethod
     def rewrite_cone(
         self,
@@ -69,8 +95,16 @@ class Engine(abc.ABC):
         output: str,
         trace: bool = False,
         term_limit: Optional[int] = None,
+        compile_cache: Optional[Any] = None,
     ) -> Tuple[ConeExpression, RewriteStats]:
-        """Algorithm 1 on one output cone, in native representation."""
+        """Algorithm 1 on one output cone, in native representation.
+
+        ``compile_cache`` (anything with the ``get_compiled`` /
+        ``put_compiled`` contract of
+        :class:`repro.service.cache.ResultCache`) lets compiling
+        backends load/store their compiled program; non-compiling
+        backends ignore it.
+        """
 
     def rewrite(
         self,
@@ -78,12 +112,216 @@ class Engine(abc.ABC):
         output: str,
         trace: bool = False,
         term_limit: Optional[int] = None,
+        compile_cache: Optional[Any] = None,
     ) -> Tuple[Gf2Poly, RewriteStats]:
         """Algorithm 1 with the result decoded to :class:`Gf2Poly`."""
+        # Forward the cache only when one was given: injected ad-hoc
+        # backends written against the pre-cache rewrite_cone
+        # signature keep working as long as no cache is involved.
+        extra = (
+            {"compile_cache": compile_cache}
+            if compile_cache is not None
+            else {}
+        )
         expression, stats = self.rewrite_cone(
-            netlist, output, trace=trace, term_limit=term_limit
+            netlist, output, trace=trace, term_limit=term_limit, **extra
         )
         return expression.decode(), stats
 
+    def prepare(
+        self, netlist: Netlist, compile_cache: Optional[Any] = None
+    ) -> None:
+        """Warm whatever per-netlist state the backend keeps (no-op
+        here; compiling backends ensure their program is ready so that
+        forked workers inherit it copy-on-write)."""
+
+    def finalize(
+        self, netlist: Netlist, compile_cache: Optional[Any] = None
+    ) -> None:
+        """Persist per-netlist state grown during rewriting (no-op
+        here; see :meth:`CompilingEngine.finalize`)."""
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+def netlist_token(netlist: Netlist) -> str:
+    """Exact-content token of a netlist (ports, gates, order, names).
+
+    Content fingerprints are deliberately strash-*invariant*, but a
+    compiled program may bake in topological gate positions and
+    internal net names — properties two same-fingerprint netlists can
+    disagree on.  The token ties a serialized program to the exact
+    netlist text it was compiled from, so a fingerprint collision
+    between structural twins degrades to a recompile, never to a
+    mis-served program.
+    """
+    parts = [
+        "\x1e".join(netlist.inputs),
+        "\x1e".join(netlist.outputs),
+    ]
+    parts.extend(
+        "\x1e".join((gate.output, gate.gtype.name) + tuple(gate.inputs))
+        for gate in netlist.gates
+    )
+    # One join + one hash pass: this runs on every warm program load,
+    # so per-gate digest updates would dominate the load itself.
+    return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
+
+
+#: Sentinel distinguishing "never persisted to a cache" from a stored
+#: marker that happens to be ``None`` (backends without markers).
+_UNSTORED = object()
+
+
+class CompilingEngine(Engine):
+    """Shared machinery for backends with a per-netlist compile step.
+
+    Subclasses implement :meth:`_compile` (netlist → program object;
+    the program must expose ``n_gates`` for the in-memory staleness
+    check and must pickle) and set :attr:`Engine.compile_schema`.
+    Everything else — the weak in-process cache, the serialized
+    envelope, token validation, the ``compile_cache`` round-trip — is
+    inherited.
+    """
+
+    #: Cache key namespace for stored programs.  Defaults to the
+    #: engine name; backends that share one program format (``aig``
+    #: and ``vector`` both compile a ``_CompiledAig``) share the key
+    #: so a campaign never compiles the same structure twice even
+    #: across those backends.
+    compile_key: ClassVar[str] = ""
+
+    def __init__(self) -> None:
+        self._compiled: "WeakKeyDictionary[Netlist, Any]" = (
+            WeakKeyDictionary()
+        )
+        self._stored_marker: "WeakKeyDictionary[Netlist, Any]" = (
+            WeakKeyDictionary()
+        )
+
+    @abc.abstractmethod
+    def _compile(self, netlist: Netlist) -> Any:
+        """Build the backend's compiled program for one netlist."""
+
+    def _program_marker(self, compiled: Any) -> Optional[Any]:
+        """State marker deciding whether :meth:`finalize` re-stores.
+
+        ``None`` (the default) means the program never grows after
+        compilation.  Backends whose program accretes reusable state
+        during rewriting (the aig/vector engines build cut models
+        lazily) return a cheap marker that changes when it does.
+        """
+        del compiled
+        return None
+
+    def _compiled_for(
+        self, netlist: Netlist, compile_cache: Optional[Any] = None
+    ) -> Any:
+        compiled = self._compiled.get(netlist)
+        if compiled is not None and compiled.n_gates == len(netlist):
+            if (
+                compile_cache is not None
+                and self._stored_marker.get(netlist, _UNSTORED)
+                is _UNSTORED
+            ):
+                # Compiled earlier without any cache in play; a cache
+                # has appeared, so persist the program now — otherwise
+                # "once ever" would silently mean "once per process".
+                self._store(netlist, compiled, compile_cache)
+            return compiled
+        compiled = None
+        if compile_cache is not None:
+            compiled = self._load_compiled(netlist, compile_cache)
+        fresh = compiled is None
+        if fresh:
+            compiled = self._compile(netlist)
+        self._compiled[netlist] = compiled
+        if compile_cache is not None:
+            if fresh:
+                self._store(netlist, compiled, compile_cache)
+            else:
+                self._stored_marker[netlist] = self._program_marker(
+                    compiled
+                )
+        return compiled
+
+    def _store(
+        self, netlist: Netlist, compiled: Any, compile_cache: Any
+    ) -> None:
+        compile_cache.put_compiled(
+            netlist,
+            self.compile_key or self.name,
+            self.compile_schema,
+            self.serialize_compiled(netlist, compiled),
+        )
+        self._stored_marker[netlist] = self._program_marker(compiled)
+
+    def _load_compiled(
+        self, netlist: Netlist, compile_cache: Any
+    ) -> Optional[Any]:
+        payload = compile_cache.get_compiled(
+            netlist, self.compile_key or self.name, self.compile_schema
+        )
+        if payload is None:
+            return None
+        compiled = self.deserialize_compiled(netlist, payload)
+        if compiled is None:
+            # The read counted as a hit, but the payload was unusable
+            # (token mismatch, corruption) and a recompile follows —
+            # let the cache's stats reflect that.
+            rejected = getattr(compile_cache, "note_compile_rejected", None)
+            if rejected is not None:
+                rejected()
+        return compiled
+
+    def serialize_compiled(self, netlist: Netlist, compiled: Any) -> bytes:
+        """Pickle the program together with its exact-netlist token."""
+        return pickle.dumps(
+            (netlist_token(netlist), compiled),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    def deserialize_compiled(
+        self, netlist: Netlist, payload: bytes
+    ) -> Optional[Any]:
+        """The stored program, or ``None`` when it does not fit.
+
+        A corrupt payload or a token mismatch (a structural twin with
+        different internal naming hit the same fingerprint) degrades
+        to a recompile.
+        """
+        try:
+            token, compiled = pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - any corruption means miss
+            return None
+        if token != netlist_token(netlist):
+            return None
+        if getattr(compiled, "n_gates", None) != len(netlist):
+            return None
+        return compiled
+
+    def prepare(
+        self, netlist: Netlist, compile_cache: Optional[Any] = None
+    ) -> None:
+        """Ensure the compiled program exists (loading it from
+        ``compile_cache`` when possible, storing it when fresh)."""
+        self._compiled_for(netlist, compile_cache)
+
+    def finalize(
+        self, netlist: Netlist, compile_cache: Optional[Any] = None
+    ) -> None:
+        """Re-store the program if rewriting grew it since the last
+        store (lazily built cut models travel with the program, so the
+        next cold process skips rebuilding them too).  A no-op for
+        backends whose programs are complete at compile time."""
+        if compile_cache is None:
+            return
+        compiled = self._compiled.get(netlist)
+        if compiled is None:
+            return
+        marker = self._program_marker(compiled)
+        stored = self._stored_marker.get(netlist, _UNSTORED)
+        if stored is not _UNSTORED and (marker is None or marker == stored):
+            return
+        self._store(netlist, compiled, compile_cache)

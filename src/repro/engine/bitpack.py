@@ -58,10 +58,9 @@ from __future__ import annotations
 
 import time
 from heapq import heappop, heappush
-from typing import Dict, Iterable, List, Optional, Set, Tuple
-from weakref import WeakKeyDictionary
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.engine.base import ConeExpression, Engine
+from repro.engine.base import CompilingEngine, ConeExpression
 from repro.engine.interning import SignalInterner
 from repro.gf2.monomial import Monomial
 from repro.gf2.polynomial import Gf2Poly
@@ -286,22 +285,15 @@ class _CompiledNetlist:
         return models, None
 
 
-class BitpackEngine(Engine):
+class BitpackEngine(CompilingEngine):
     """Backward rewriting over interned bitmask monomials."""
 
     name = "bitpack"
+    #: Bump on any change to :class:`_CompiledNetlist`'s layout.
+    compile_schema = 1
 
-    def __init__(self) -> None:
-        self._compiled: "WeakKeyDictionary[Netlist, _CompiledNetlist]" = (
-            WeakKeyDictionary()
-        )
-
-    def _compiled_for(self, netlist: Netlist) -> _CompiledNetlist:
-        compiled = self._compiled.get(netlist)
-        if compiled is None or compiled.n_gates != len(netlist):
-            compiled = _CompiledNetlist(netlist)
-            self._compiled[netlist] = compiled
-        return compiled
+    def _compile(self, netlist: Netlist) -> _CompiledNetlist:
+        return _CompiledNetlist(netlist)
 
     def rewrite_cone(
         self,
@@ -309,11 +301,12 @@ class BitpackEngine(Engine):
         output: str,
         trace: bool = False,
         term_limit: Optional[int] = None,
+        compile_cache: Optional[Any] = None,
     ) -> Tuple[PackedExpression, RewriteStats]:
         stats = RewriteStats(output=output)
         started = time.perf_counter()
 
-        compiled = self._compiled_for(netlist)
+        compiled = self._compiled_for(netlist, compile_cache)
         models = compiled.models
         position_of = netlist.topological_positions()
         position_get = position_of.get

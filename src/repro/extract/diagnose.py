@@ -120,6 +120,7 @@ def diagnose(
     find_counterexample: bool = True,
     engine: str = "reference",
     cache=None,
+    compile_cache=None,
 ) -> Diagnosis:
     """Triage a netlist: verified multiplier, buggy, or out of scope.
 
@@ -128,6 +129,9 @@ def diagnose(
     :class:`repro.service.cache.ResultCache`) is threaded through to
     the extraction phases — the multiplier *and* squarer branches — so
     a re-diagnosed structural duplicate never rewrites a gate.
+    ``compile_cache`` is forwarded the same way so a compiling backend
+    skips its one-time netlist compile on known structures (see
+    :func:`~repro.extract.extractor.extract_irreducible_polynomial`).
 
     >>> from repro.gen.mastrovito import generate_mastrovito
     >>> diagnose(generate_mastrovito(0b10011)).verdict.value
@@ -149,6 +153,7 @@ def diagnose(
             term_limit=term_limit,
             engine=engine,
             cache=cache,
+            compile_cache=compile_cache,
         )
     except ExtractionError as error:
         return finish(

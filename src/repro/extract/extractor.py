@@ -153,6 +153,7 @@ def extract_irreducible_polynomial(
     measure_memory: bool = False,
     engine: str = "reference",
     cache=None,
+    compile_cache=None,
 ) -> ExtractionResult:
     """Reverse engineer P(x) from a gate-level GF(2^m) multiplier.
 
@@ -167,6 +168,11 @@ def extract_irreducible_polynomial(
     ``get_extraction`` / ``put_extraction`` contract: a cached result
     for a structurally identical netlist is returned without rewriting
     a single gate, and fresh results are stored for the next caller.
+    ``compile_cache`` (typically the same cache) separately persists
+    the *engine's compiled program*: on a result-cache miss a
+    compiling backend (bitpack/aig/vector) then skips its one-time
+    netlist compile whenever the structure was ever compiled before —
+    the service runner passes its cache for both.
 
     >>> from repro.gen.mastrovito import generate_mastrovito
     >>> result = extract_irreducible_polynomial(generate_mastrovito(0b10011))
@@ -192,6 +198,7 @@ def extract_irreducible_polynomial(
         term_limit=term_limit,
         measure_memory=measure_memory,
         engine=engine,
+        compile_cache=compile_cache,
     )
     result = result_from_run(run, m)
     # Stamp after the Algorithm-2 analysis phase so the total covers

@@ -47,6 +47,17 @@ def atomic_write_text(path: PathLike, text: str, encoding: str = "utf-8") -> Non
     replaced, the link survives).  The replace needs write permission
     on the destination directory — inherent to atomic renames.
     """
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_bytes(path: PathLike, payload: bytes) -> None:
+    """Atomically replace ``path`` with a binary payload.
+
+    The one shared implementation of the write-temp-then-replace
+    recipe (the text variant encodes and delegates); also used
+    directly for the compiled-program blobs of the result cache,
+    which are pickles rather than JSON.
+    """
     # realpath: os.replace onto a symlink would clobber the link
     # itself; writers that previously wrote through links must keep
     # doing so.
@@ -64,8 +75,8 @@ def atomic_write_text(path: PathLike, text: str, encoding: str = "utf-8") -> Non
         except OSError:
             mode = 0o666 & ~_current_umask()
         os.chmod(fd if os.chmod in os.supports_fd else tmp_path, mode)
-        with os.fdopen(fd, "w", encoding=encoding) as handle:
-            handle.write(text)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)

@@ -88,6 +88,7 @@ def backward_rewrite(
     trace: bool = False,
     term_limit: Optional[int] = None,
     engine: str = "reference",
+    compile_cache=None,
 ) -> Tuple[Gf2Poly, RewriteStats]:
     """Extract the canonical GF(2) expression of one output bit.
 
@@ -97,7 +98,12 @@ def backward_rewrite(
     :class:`TermLimitExceeded` when the intermediate expression
     explodes, modelling the paper's memory-out condition.  ``engine``
     selects the execution backend (see :mod:`repro.engine`); every
-    backend returns identical results.
+    backend returns identical results.  ``compile_cache`` (a
+    :class:`repro.service.cache.ResultCache` or anything with its
+    ``get_compiled``/``put_compiled`` contract) lets compiling
+    backends persist their one-time per-netlist compile across
+    processes; the reference backend has nothing to compile and
+    ignores it.
 
     >>> from repro.gen.mastrovito import generate_mastrovito
     >>> net = generate_mastrovito(0b111)       # GF(2^2), x^2+x+1
@@ -111,7 +117,11 @@ def backward_rewrite(
         from repro.engine import get_engine
 
         return get_engine(engine).rewrite(
-            netlist, output, trace=trace, term_limit=term_limit
+            netlist,
+            output,
+            trace=trace,
+            term_limit=term_limit,
+            compile_cache=compile_cache,
         )
     stats = RewriteStats(output=output)
     started = time.perf_counter()

@@ -162,6 +162,7 @@ def extract_expressions(
     measure_memory: bool = False,
     engine: str = "reference",
     on_result: Optional[ResultHook] = None,
+    compile_cache=None,
 ) -> ExtractionRun:
     """Extract the canonical GF(2) expression of every output bit.
 
@@ -179,6 +180,14 @@ def extract_expressions(
     (completion order, not bit order), so a killed run loses at most
     the bits still in flight.  The returned run is independent of the
     hook and of completion order.
+
+    ``compile_cache`` is the compiled-program hook of
+    :mod:`repro.service.cache`: the backend's one-time netlist compile
+    is loaded from / stored to the cache *in the coordinating process*
+    before any rewriting starts, so a warm cache collapses the cold
+    first call to near steady-state — and forked workers inherit the
+    prepared program copy-on-write instead of each compiling their
+    own.
     """
     chosen = list(outputs) if outputs is not None else list(netlist.outputs)
     if jobs == 0:
@@ -191,6 +200,12 @@ def extract_expressions(
         tracemalloc.start()
     started_wall = time.perf_counter()
     started_cpu = time.process_time()
+
+    if compile_cache is not None:
+        # Prepare inside the timed region (the compile is part of this
+        # run's cost, cached or not) and in the *coordinating* process,
+        # so forked workers inherit the program copy-on-write.
+        backend.prepare(netlist, compile_cache=compile_cache)
 
     results: List[Tuple[str, "ConeExpression", RewriteStats]] = []
     if jobs == 1:
@@ -233,6 +248,13 @@ def extract_expressions(
                     on_result(*item)
         position = {output: idx for idx, output in enumerate(chosen)}
         results.sort(key=lambda item: position[item[0]])
+
+    if compile_cache is not None:
+        # Persist whatever the program accreted during rewriting
+        # (lazily built cut models) so the next cold process inherits
+        # it.  Pool workers grow their own forked copies, which the
+        # coordinator cannot see — only sequential runs re-store.
+        backend.finalize(netlist, compile_cache=compile_cache)
 
     wall = time.perf_counter() - started_wall
     cpu = time.process_time() - started_cpu

@@ -30,10 +30,25 @@ entries are never *misread* — they are simply invisible until
 
 The artifact population is bounded by an optional entry budget
 (``REPRO_CACHE_MAX_ENTRIES`` or the ``max_entries`` constructor
-argument): every ``put`` past the budget evicts the oldest-mtime
-entries (:meth:`ResultCache.prune`, also exposed as ``repro cache
-prune``), and the session's hit/miss/evict counters appear in
-``repro cache stats``.
+argument) and an optional size-in-bytes budget
+(``REPRO_CACHE_MAX_BYTES`` / ``max_bytes``): every ``put`` past either
+budget evicts the oldest-mtime entries (:meth:`ResultCache.prune`,
+also exposed as ``repro cache prune``), and the session's
+hit/miss/evict counters appear in ``repro cache stats``.
+
+Compiled programs
+-----------------
+Besides the JSON artifacts, the cache stores the **compiled programs**
+of the rewriting engines (``compiled/<aa>/<fingerprint>.<engine>.s<N>.bin``)
+— the pickled per-netlist structures a compiling backend (bitpack,
+aig, vector) builds before its first rewrite.  Entries are keyed by
+``(fingerprint, engine compile key, engine compile schema)``: a schema
+bump changes the file name, so stale layouts are never loaded, and the
+engine layer additionally validates an exact-netlist token inside the
+payload (see :class:`repro.engine.base.CompilingEngine`).  Compiled
+blobs count against both budgets and are evicted like any artifact.
+They are pickles: treat the cache directory with the trust you would
+give any local build cache.
 
 Decoded polynomials are stored as sorted lists of sorted variable
 lists (the canonical set-of-monomials form), so cached expressions are
@@ -50,13 +65,14 @@ import time
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from weakref import WeakKeyDictionary
 
 from repro.extract.diagnose import Diagnosis, Verdict
 from repro.extract.extractor import ExtractionResult
 from repro.extract.verify import VerificationReport
 from repro.gf2.polynomial import Gf2Poly
-from repro.ioutil import atomic_write_text
+from repro.ioutil import atomic_write_bytes, atomic_write_text
 from repro.netlist.netlist import Netlist
 from repro.rewrite.backward import RewriteStats
 from repro.rewrite.parallel import ExtractionRun, LazyExpressions
@@ -76,8 +92,17 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: everything).
 CACHE_MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
 
-#: The artifact kinds the cache stores.
+#: Environment variable bounding the total artifact bytes kept on
+#: disk; oldest-mtime entries are evicted past it (0/unset = keep
+#: everything).
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+
+#: The JSON artifact kinds the cache stores.
 KINDS = ("extraction", "verification", "diagnosis", "squarer")
+
+#: Binary compiled-program entries (see the module docstring); listed
+#: separately from :data:`KINDS` because they are pickles, not JSON.
+COMPILED_KIND = "compiled"
 
 
 def default_cache_dir() -> Path:
@@ -324,6 +349,9 @@ class CacheStats:
     entries: Dict[str, int] = field(default_factory=dict)
     disk_bytes: int = 0
     max_entries: Optional[int] = None
+    max_bytes: Optional[int] = None
+    compile_hits: int = 0
+    compile_misses: int = 0
 
     @property
     def total_entries(self) -> int:
@@ -338,14 +366,19 @@ class CacheStats:
         per_kind = ", ".join(
             f"{kind}:{count}" for kind, count in sorted(self.entries.items())
         ) or "empty"
-        budget = (
-            f" (max {self.max_entries})" if self.max_entries else ""
-        )
+        budgets = []
+        if self.max_entries:
+            budgets.append(f"max {self.max_entries}")
+        if self.max_bytes:
+            budgets.append(f"max {self.max_bytes / 1024:.0f} KiB")
+        budget = f" ({', '.join(budgets)})" if budgets else ""
         return (
             f"cache at {self.root}: {self.total_entries} entries{budget} "
             f"[{per_kind}], {self.disk_bytes / 1024:.1f} KiB, "
             f"session hits={self.hits} misses={self.misses} "
-            f"evictions={self.evictions} ({self.hit_rate:.0%} hit rate)"
+            f"evictions={self.evictions} ({self.hit_rate:.0%} hit rate), "
+            f"compiled hits={self.compile_hits} "
+            f"misses={self.compile_misses}"
         )
 
 
@@ -373,37 +406,71 @@ class ResultCache:
         self,
         root: Optional[Union[str, os.PathLike]] = None,
         max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
     ):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.version_dir = self.root / f"v{CACHE_SCHEMA_VERSION}"
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.compile_hits = 0
+        self.compile_misses = 0
         if max_entries is None:
-            env = os.environ.get(CACHE_MAX_ENTRIES_ENV)
-            if env:
-                try:
-                    max_entries = int(env)
-                except ValueError:
-                    raise ValueError(
-                        f"{CACHE_MAX_ENTRIES_ENV}={env!r} is not an integer"
-                    ) from None
+            max_entries = self._int_env(CACHE_MAX_ENTRIES_ENV)
+        if max_bytes is None:
+            max_bytes = self._int_env(CACHE_MAX_BYTES_ENV)
         #: Artifact-entry budget; ``None``/``0`` disables eviction.
         self.max_entries = max_entries or None
-        #: Approximate on-disk artifact count, seeded by the first
-        #: budgeted ``put`` and corrected by every :meth:`prune` scan —
-        #: so a long fill pays one directory walk per eviction batch,
-        #: not one per write.  Concurrent writers can make it drift
-        #: low, which only delays eviction until the next scan.
+        #: Artifact-bytes budget; ``None``/``0`` disables eviction.
+        self.max_bytes = max_bytes or None
+        #: Approximate on-disk artifact count/bytes, seeded by the
+        #: first budgeted ``put`` and corrected by every :meth:`prune`
+        #: scan — so a long fill pays one directory walk per eviction
+        #: batch, not one per write.  Concurrent writers can make them
+        #: drift low, which only delays eviction until the next scan.
         self._entry_estimate: Optional[int] = None
+        self._bytes_estimate: Optional[int] = None
+        self._fingerprint_memo: "WeakKeyDictionary[Netlist, Tuple[int, str]]" = (
+            WeakKeyDictionary()
+        )
+
+    @staticmethod
+    def _int_env(variable: str) -> Optional[int]:
+        env = os.environ.get(variable)
+        if not env:
+            return None
+        try:
+            return int(env)
+        except ValueError:
+            raise ValueError(
+                f"{variable}={env!r} is not an integer"
+            ) from None
 
     # -- key handling ---------------------------------------------------
 
     def fingerprint(self, key: Union[str, Netlist]) -> str:
-        """Normalise a key: pass fingerprints through, hash netlists."""
+        """Normalise a key: pass fingerprints through, hash netlists.
+
+        Netlist fingerprints are memoized weakly (guarded by gate
+        count, like the engines' compiled-program caches), so one
+        request that consults several kinds hashes the netlist once.
+        """
         if isinstance(key, Netlist):
-            return fingerprint_netlist(key)
+            memo = self._fingerprint_memo.get(key)
+            if memo is not None and memo[0] == len(key):
+                return memo[1]
+            fingerprint = fingerprint_netlist(key)
+            self._fingerprint_memo[key] = (len(key), fingerprint)
+            return fingerprint
         return key
+
+    def remember_fingerprint(
+        self, netlist: Netlist, fingerprint: str
+    ) -> None:
+        """Seed the weak fingerprint memo with an externally known
+        value (e.g. from the stat-validated file memo), so keyed
+        accesses on this netlist object never re-hash it."""
+        self._fingerprint_memo[netlist] = (len(netlist), fingerprint)
 
     def path_for(self, kind: str, key: Union[str, Netlist]) -> Path:
         if kind not in KINDS:
@@ -521,15 +588,52 @@ class ResultCache:
             "created_unix": time.time(),
             "payload": _ENCODERS[kind](artifact),
         }
+        replaced = self._size_before_write(path)
         atomic_write_text(path, json.dumps(entry, indent=1, sort_keys=True))
-        if self.max_entries is not None:
-            if self._entry_estimate is None:
-                self.prune()  # first budgeted write: scan once to seed
-            else:
-                self._entry_estimate += 1
-                if self._entry_estimate > self.max_entries:
-                    self.prune()
+        self._after_budgeted_write(path, replaced)
         return path
+
+    def _size_before_write(self, path: Path) -> Optional[int]:
+        """Size of the entry a write is about to replace (None = new).
+
+        Only consulted when a budget is active; an overwrite (re-put
+        of the same key, a re-stored compiled program) must not count
+        as a new entry or its replaced bytes stay in the estimate.
+        """
+        if self.max_entries is None and self.max_bytes is None:
+            return None
+        try:
+            return path.stat().st_size
+        except OSError:
+            return None
+
+    def _after_budgeted_write(
+        self, path: Path, replaced: Optional[int] = None
+    ) -> None:
+        """Update the entry/byte estimates; prune when a budget trips."""
+        if self.max_entries is None and self.max_bytes is None:
+            return
+        if self._entry_estimate is None:
+            self.prune()  # first budgeted write: scan once to seed
+            return
+        if replaced is None:
+            self._entry_estimate += 1
+        try:
+            self._bytes_estimate = (
+                (self._bytes_estimate or 0)
+                + path.stat().st_size
+                - (replaced or 0)
+            )
+        except OSError:  # pragma: no cover - concurrently evicted
+            pass
+        if (
+            self.max_entries is not None
+            and self._entry_estimate > self.max_entries
+        ) or (
+            self.max_bytes is not None
+            and (self._bytes_estimate or 0) > self.max_bytes
+        ):
+            self.prune()
 
     def contains(self, kind: str, key: Union[str, Netlist]) -> bool:
         """Presence test without decoding (does not count hit/miss)."""
@@ -543,6 +647,70 @@ class ResultCache:
                 return json.load(handle)
         except (FileNotFoundError, json.JSONDecodeError):
             return None
+
+    # -- compiled engine programs ---------------------------------------
+
+    def compiled_path_for(
+        self, key: Union[str, Netlist], engine: str, schema: Optional[int]
+    ) -> Path:
+        """Location of one engine's compiled program for a netlist.
+
+        The engine compile key and its compile schema are part of the
+        file name, so a schema bump retires that engine's programs
+        without touching any other entry.
+        """
+        fingerprint = self.fingerprint(key)
+        digest = fingerprint.rsplit("-", 1)[-1]
+        return (
+            self.version_dir
+            / COMPILED_KIND
+            / digest[:2]
+            / f"{fingerprint}.{engine}.s{schema}.bin"
+        )
+
+    def get_compiled(
+        self, key: Union[str, Netlist], engine: str, schema: Optional[int]
+    ) -> Optional[bytes]:
+        """The stored compiled-program payload, or ``None`` (a miss).
+
+        The payload is returned as opaque bytes; deserialization and
+        exact-netlist validation belong to the engine layer
+        (:class:`repro.engine.base.CompilingEngine`).
+        """
+        path = self.compiled_path_for(key, engine, schema)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            self.compile_misses += 1
+            return None
+        self.compile_hits += 1
+        return payload
+
+    def note_compile_rejected(self) -> None:
+        """Reclassify the last compiled read as a miss.
+
+        The engine layer validates the payload (exact-netlist token,
+        unpickling) *after* :meth:`get_compiled` returned it; a
+        rejected program forced a full recompile, and the stats must
+        say so or a token-mismatch churn looks like a 100% hit rate.
+        """
+        self.compile_hits -= 1
+        self.compile_misses += 1
+
+    def put_compiled(
+        self,
+        key: Union[str, Netlist],
+        engine: str,
+        schema: Optional[int],
+        payload: bytes,
+    ) -> Path:
+        """Atomically store one engine's compiled program."""
+        path = self.compiled_path_for(key, engine, schema)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        replaced = self._size_before_write(path)
+        atomic_write_bytes(path, payload)
+        self._after_budgeted_write(path, replaced)
+        return path
 
     # -- typed convenience ----------------------------------------------
 
@@ -572,18 +740,32 @@ class ResultCache:
 
     # -- stats / maintenance --------------------------------------------
 
-    def stats(self) -> CacheStats:
-        """Session hit/miss counters plus an on-disk census."""
-        entries: Dict[str, int] = {}
-        disk_bytes = 0
+    def _artifact_files(self) -> Iterator[Tuple[str, Path]]:
+        """Every budgeted artifact file as ``(kind, path)`` — the JSON
+        kinds plus the compiled-program blobs.  File-fingerprint memos
+        and job checkpoints are deliberately excluded (tiny, and
+        rebuilding them costs a re-parse, not a re-extraction)."""
         for kind in KINDS:
             kind_dir = self.version_dir / kind
-            count = 0
             if kind_dir.is_dir():
                 for path in kind_dir.rglob("*.json"):
-                    count += 1
-                    disk_bytes += path.stat().st_size
-            entries[kind] = count
+                    yield kind, path
+        compiled_dir = self.version_dir / COMPILED_KIND
+        if compiled_dir.is_dir():
+            for path in compiled_dir.rglob("*.bin"):
+                yield COMPILED_KIND, path
+
+    def stats(self) -> CacheStats:
+        """Session hit/miss counters plus an on-disk census."""
+        entries: Dict[str, int] = {kind: 0 for kind in KINDS}
+        entries[COMPILED_KIND] = 0
+        disk_bytes = 0
+        for kind, path in self._artifact_files():
+            entries[kind] += 1
+            try:
+                disk_bytes += path.stat().st_size
+            except OSError:  # pragma: no cover - concurrently evicted
+                continue
         return CacheStats(
             root=str(self.root),
             hits=self.hits,
@@ -592,45 +774,60 @@ class ResultCache:
             entries=entries,
             disk_bytes=disk_bytes,
             max_entries=self.max_entries,
+            max_bytes=self.max_bytes,
+            compile_hits=self.compile_hits,
+            compile_misses=self.compile_misses,
         )
 
-    def prune(self, max_entries: Optional[int] = None) -> int:
-        """Evict oldest-mtime artifact entries beyond the budget.
+    def prune(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> int:
+        """Evict oldest-mtime artifact entries beyond the budgets.
 
-        ``max_entries`` defaults to the instance budget (set via the
-        constructor or ``REPRO_CACHE_MAX_ENTRIES``); passing it
-        explicitly prunes to any size, including ``0`` (drop all
-        artifact entries).  File-fingerprint memos and job checkpoints
+        ``max_entries`` / ``max_bytes`` default to the instance
+        budgets (set via the constructor, ``REPRO_CACHE_MAX_ENTRIES``
+        or ``REPRO_CACHE_MAX_BYTES``); passing either explicitly
+        prunes to any size, including ``0`` (drop all artifact
+        entries).  Compiled-program blobs count and are evicted like
+        any other artifact; file-fingerprint memos and job checkpoints
         are not counted and not evicted.  Returns the eviction count.
         """
         if max_entries is None:
             max_entries = self.max_entries
-        if max_entries is None:
+        if max_bytes is None:
+            max_bytes = self.max_bytes
+        if max_entries is None and max_bytes is None:
             return 0
-        aged: List[tuple] = []
-        for kind in KINDS:
-            kind_dir = self.version_dir / kind
-            if not kind_dir.is_dir():
-                continue
-            for path in kind_dir.rglob("*.json"):
-                try:
-                    aged.append((path.stat().st_mtime_ns, path))
-                except OSError:
-                    continue  # concurrently evicted by another writer
-        excess = len(aged) - max_entries
-        if excess <= 0:
-            self._entry_estimate = len(aged)
-            return 0
-        aged.sort()
+        aged: List[Tuple[int, int, Path]] = []
+        for _, path in self._artifact_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # concurrently evicted by another writer
+            aged.append((stat.st_mtime_ns, stat.st_size, path))
+        aged.sort(key=lambda item: (item[0], item[2]))
+        kept_count = len(aged)
+        kept_bytes = sum(size for _, size, _ in aged)
         removed = 0
-        for _, path in aged[:excess]:
+        for _, size, path in aged:
+            over_entries = (
+                max_entries is not None and kept_count > max_entries
+            )
+            over_bytes = max_bytes is not None and kept_bytes > max_bytes
+            if not (over_entries or over_bytes):
+                break
             try:
                 path.unlink()
                 removed += 1
             except OSError:
-                continue
+                pass  # concurrently evicted; budget-wise it is gone
+            kept_count -= 1
+            kept_bytes -= size
         self.evictions += removed
-        self._entry_estimate = len(aged) - removed
+        self._entry_estimate = kept_count
+        self._bytes_estimate = kept_bytes
         return removed
 
     def clear(self) -> int:
@@ -640,7 +837,9 @@ class ResultCache:
             for version_dir in self.root.glob("v*"):
                 if version_dir.is_dir():
                     removed += sum(
-                        1 for p in version_dir.rglob("*.json") if p.is_file()
+                        1
+                        for p in version_dir.rglob("*")
+                        if p.is_file() and p.suffix in (".json", ".bin")
                     )
                     shutil.rmtree(version_dir)
         return removed

@@ -41,10 +41,13 @@ from repro.aig import Aig, lit_is_complemented, lit_node
 from repro.netlist.netlist import Netlist
 
 #: Version of the canonical form; bump on any change to the labelling
-#: scheme so old cache entries can never be misattributed.  Schema 2:
-#: Merkle labels over the hash-consed AIG node table (schema 1
+#: scheme so old cache entries can never be misattributed.  Schema 3:
+#: the AIG constructor recognises the NAND/AOI decompositions of
+#: XOR/XNOR/MUX, so NAND-lowered netlists strash to first-class XOR
+#: nodes and collapse with their unmapped twins' recodings (schema 2:
+#: Merkle labels over the hash-consed AIG node table; schema 1:
 #: labelled the strashed netlist gate-by-gate).
-FINGERPRINT_SCHEMA = 2
+FINGERPRINT_SCHEMA = 3
 
 
 def _digest(payload: str) -> str:

@@ -219,6 +219,7 @@ def checkpointed_extract(
     checkpoint_dir: Optional[Union[str, os.PathLike]] = None,
     keep_checkpoint: bool = False,
     fingerprint: Optional[str] = None,
+    compile_cache=None,
 ) -> CheckpointedExtraction:
     """:func:`~repro.rewrite.parallel.extract_expressions` with resume.
 
@@ -229,6 +230,11 @@ def checkpointed_extract(
     the rest are extracted with the per-bit hook persisting each
     completion.  On success the checkpoint is deleted, unless
     ``keep_checkpoint`` or it still holds bits outside ``outputs``.
+
+    ``compile_cache`` is forwarded to
+    :func:`~repro.rewrite.parallel.extract_expressions`: a resumed job
+    then also skips the engine's one-time netlist compile whenever a
+    compiled program for the same structure is already stored.
 
     The assembled run reports only the *fresh* wall/cpu time (resumed
     bits cost nothing now — that is the point), but per-bit stats are
@@ -271,6 +277,7 @@ def checkpointed_extract(
             term_limit=term_limit,
             engine=engine,
             on_result=persist,
+            compile_cache=compile_cache,
         )
         cones.update(fresh.cones)
         stats.update(fresh.stats)

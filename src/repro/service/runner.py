@@ -140,6 +140,12 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
             nonlocal netlist
             if netlist is None:
                 netlist = reader(path)
+                if cache is not None and fingerprint is not None:
+                    # The file memo already knows this netlist's
+                    # fingerprint; seed the cache's weak memo so the
+                    # compiled-program lookups (and every other keyed
+                    # access) skip re-hashing the parsed netlist.
+                    cache.remember_fingerprint(netlist, fingerprint)
             return netlist
 
         fingerprint = None
@@ -165,7 +171,11 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
                 record["cache"] = "hit" if diagnosis is not None else "miss"
             if diagnosis is None:
                 diagnosis = diagnose(
-                    load(), jobs=jobs, engine=engine, cache=cache
+                    load(),
+                    jobs=jobs,
+                    engine=engine,
+                    cache=cache,
+                    compile_cache=cache,
                 )
                 if cache is not None:
                     cache.put_diagnosis(fingerprint, diagnosis)
@@ -196,6 +206,7 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
                         checkpoint_dir=cache.jobs_dir(),
                         fingerprint=fingerprint,
                         keep_checkpoint=True,
+                        compile_cache=cache,
                     )
                     run = sharded.run
                     record["resumed_bits"] = len(sharded.resumed_bits)
@@ -208,6 +219,7 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
                         jobs=jobs,
                         engine=engine,
                         term_limit=task["term_limit"],
+                        compile_cache=cache,
                     )
                 result = result_from_run(run, m, total_time_s=run.wall_time_s)
                 if cache is not None:

@@ -6,9 +6,10 @@ a composition of passes over the hash-consed IR (:mod:`repro.aig`):
 1. :meth:`~repro.aig.Aig.from_netlist` — constant propagation,
    structural hashing, inverter-pair removal and the dead-node sweep
    all happen *by construction* while the graph is built;
-2. :func:`~repro.aig.balance_xor_trees` — AIG→AIG: XOR trees are
+2. :func:`~repro.aig.balance_xor_trees` then
+   :func:`~repro.aig.balance_and_trees` — AIG→AIG: XOR trees are
    collected, duplicate leaves cancelled mod 2, and re-emitted
-   balanced;
+   balanced; AND chains are deduplicated and rebalanced the same way;
 3. :meth:`~repro.aig.Aig.to_netlist` — AIG→Netlist: only live nodes
    are emitted, with the original port names;
 4. :func:`~repro.synth.mapping.technology_map` (optional) — onto the
@@ -23,7 +24,7 @@ rebalancing → strash → map), kept as a cross-check for the AIG flow.
 
 from __future__ import annotations
 
-from repro.aig import Aig, balance_xor_trees
+from repro.aig import Aig, balance_and_trees, balance_xor_trees
 from repro.netlist.netlist import Netlist
 from repro.synth.constprop import propagate_constants
 from repro.synth.mapping import technology_map
@@ -54,7 +55,9 @@ def synthesize(
     True
     """
     if ir == "aig":
-        staged = balance_xor_trees(Aig.from_netlist(netlist)).to_netlist()
+        staged = balance_and_trees(
+            balance_xor_trees(Aig.from_netlist(netlist))
+        ).to_netlist()
     elif ir == "netlist":
         staged = propagate_constants(netlist)
         staged = structural_hash(staged)

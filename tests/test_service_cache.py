@@ -243,6 +243,88 @@ class TestEviction:
         assert cache.evictions == 0
 
 
+class TestByteBudget:
+    """REPRO_CACHE_MAX_BYTES: the size-in-bytes eviction budget."""
+
+    _fill = TestEviction._fill
+
+    def test_put_evicts_oldest_past_byte_budget(self, tmp_path):
+        # Size the budget off the *largest* entry (m=6) so the newest
+        # write always fits and eviction hits only the older entries.
+        probe = ResultCache(tmp_path / "probe")
+        net = generate_mastrovito(0b1000011)
+        probe.put_extraction(net, extract_irreducible_polynomial(net))
+        entry_bytes = probe.stats().disk_bytes
+        assert entry_bytes > 0
+
+        cache = ResultCache(
+            tmp_path / "cache", max_bytes=int(entry_bytes * 2.5)
+        )
+        self._fill(cache, 5)
+        stats = cache.stats()
+        assert stats.disk_bytes <= cache.max_bytes
+        assert stats.total_entries < 5
+        assert cache.evictions > 0
+        assert stats.evictions == cache.evictions
+        # Oldest gone, newest kept.
+        assert cache.get_extraction(generate_mastrovito(0b111)) is None
+        assert (
+            cache.get_extraction(generate_mastrovito(0b1000011)) is not None
+        )
+
+    def test_env_var_sets_budget(self, tmp_path, monkeypatch):
+        from repro.service.cache import CACHE_MAX_BYTES_ENV
+
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "1")
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.max_bytes == 1
+        self._fill(cache, 2)
+        # Budget below a single entry: only the newest write survives
+        # its own put (eviction keeps at least progressing).
+        assert cache.stats().total_entries <= 1
+
+    def test_env_var_must_be_integer(self, tmp_path, monkeypatch):
+        from repro.service.cache import CACHE_MAX_BYTES_ENV
+
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "huge")
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path / "cache")
+
+    def test_explicit_prune_by_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")  # no budget: no eviction
+        self._fill(cache, 4)
+        total = cache.stats().disk_bytes
+        assert cache.prune() == 0  # still no budget
+        removed = cache.prune(max_bytes=total // 2)
+        assert removed >= 1
+        assert cache.stats().disk_bytes <= total // 2
+
+    def test_prune_covers_compiled_entries(self, tmp_path):
+        """Compiled-program blobs count against the budgets and are
+        evicted oldest-first like any artifact."""
+        import time as _time
+
+        cache = ResultCache(tmp_path / "cache")
+        net = generate_mastrovito(0b10011)
+        cache.put_compiled(net, "aig", 1, b"x" * 512)
+        _time.sleep(0.01)
+        self._fill(cache, 2)
+        stats = cache.stats()
+        assert stats.entries["compiled"] == 1
+        assert cache.prune(max_entries=2) == 1
+        # The compiled blob was oldest, so it went first.
+        assert cache.stats().entries["compiled"] == 0
+        assert cache.get_compiled(net, "aig", 1) is None
+
+    def test_stats_reports_both_budgets(self, tmp_path):
+        cache = ResultCache(
+            tmp_path / "cache", max_entries=7, max_bytes=4096
+        )
+        rendered = str(cache.stats())
+        assert "max 7" in rendered
+        assert "4 KiB" in rendered
+
+
 class TestFingerprintSchemaMemo:
     def test_memo_from_older_schema_is_stale(self, tmp_path):
         """A FINGERPRINT_SCHEMA bump must invalidate file memos, or

@@ -118,13 +118,13 @@ def test_format_is_versioned_hex():
 
 
 class TestAigSchema:
-    """Schema 2: labels derive from the hash-consed AIG node table."""
+    """Schema 3: AIG labels with structural XOR/MUX recovery."""
 
     def test_schema_is_bumped(self):
-        assert FINGERPRINT_SCHEMA == 2
+        assert FINGERPRINT_SCHEMA == 3
         assert fingerprint_netlist(
             generate_mastrovito(0b111)
-        ).startswith("v2-")
+        ).startswith("v3-")
 
     def test_strash_flag_is_inert(self):
         net = generate_montgomery(0b1011)
