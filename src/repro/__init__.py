@@ -62,7 +62,11 @@ from repro.netlist import (
 )
 from repro.aig import Aig, balance_and_trees, balance_xor_trees
 from repro.engine import available_engines, get_engine, register_engine
-from repro.rewrite import backward_rewrite, extract_expressions
+from repro.rewrite import (
+    backward_rewrite,
+    backward_rewrite_multi,
+    extract_expressions,
+)
 from repro.rewrite.backward import RewriteStats
 from repro.rewrite.parallel import ExtractionRun
 from repro.extract import (
@@ -76,7 +80,7 @@ from repro.extract import (
     format_extraction_report,
     verify_multiplier,
 )
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Service-layer conveniences re-exported lazily (PEP 562) so that a
 #: bare ``import repro`` stays as light as it was before the service
@@ -135,6 +139,7 @@ __all__ = [
     "get_engine",
     "register_engine",
     "backward_rewrite",
+    "backward_rewrite_multi",
     "extract_expressions",
     "ExtractionRun",
     "RewriteStats",

@@ -99,6 +99,20 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fused_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fused",
+        action="store_true",
+        help=(
+            "rewrite all output cones in one fused substitution sweep "
+            "(single process, amortizes the netlist walk and the GF(2) "
+            "cancellation over every bit; fastest with --engine "
+            "vector, other engines fall back to their per-bit loop; "
+            "results are bit-identical either way)"
+        ),
+    )
+
+
 def _infer_format(path: str, explicit: Optional[str]) -> str:
     if explicit:
         return explicit
@@ -139,6 +153,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         term_limit=args.term_limit,
         engine=args.engine,
+        fused=args.fused,
     )
     print(f"P(x) = {result.polynomial_str}")
     if not result.irreducible:
@@ -156,6 +171,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         term_limit=args.term_limit,
         measure_memory=args.jobs == 1,
         engine=args.engine,
+        fused=args.fused,
     )
     verification = verify_multiplier(netlist, result, engine=args.engine)
     print(
@@ -193,6 +209,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         term_limit=args.term_limit,
         find_counterexample=not args.no_counterexample,
         engine=args.engine,
+        fused=args.fused,
     )
     print(diagnosis.render())
     return 0 if diagnosis.is_clean else 1
@@ -235,6 +252,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             checkpoint=not args.no_checkpoint,
+            fused=args.fused,
         )
     except CampaignError as error:
         raise SystemExit(str(error))
@@ -366,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument("--term-limit", type=int, default=None)
     extract.add_argument("--format", choices=sorted(_READERS), default=None)
     _add_engine_argument(extract)
+    _add_fused_argument(extract)
     extract.set_defaults(func=_cmd_extract)
 
     audit = sub.add_parser(
@@ -376,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--term-limit", type=int, default=None)
     audit.add_argument("--format", choices=sorted(_READERS), default=None)
     _add_engine_argument(audit)
+    _add_fused_argument(audit)
     audit.set_defaults(func=_cmd_audit)
 
     synth = sub.add_parser("synth", help="optimize/map a netlist")
@@ -404,6 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
     diag.add_argument("--no-counterexample", action="store_true")
     diag.add_argument("--format", choices=sorted(_READERS), default=None)
     _add_engine_argument(diag)
+    _add_fused_argument(diag)
     diag.set_defaults(func=_cmd_diagnose)
 
     inject = sub.add_parser(
@@ -473,6 +494,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable mid-extraction checkpoints",
     )
     _add_engine_argument(batch)
+    _add_fused_argument(batch)
     batch.set_defaults(func=_cmd_batch)
 
     serve = sub.add_parser(

@@ -66,9 +66,20 @@ Backends
     vectorized in numpy: a polynomial is a ``uint64`` bit-matrix (one
     row per monomial, interned signals packed 64 per word), one
     substitution is a broadcast OR against the model matrix, and
-    GF(2) cancellation is a lexsort + run-parity pass (see
-    ``benchmarks/bench_vector.py`` / ``BENCH_vector.json``).  numpy
-    is optional — the backend registers only when it imports.
+    GF(2) cancellation is a lexsort + run-parity pass — or, for steps
+    touching few rows, an incremental merge into the sorted remainder
+    (see ``benchmarks/bench_vector.py`` / ``BENCH_vector.json``).
+    numpy is optional — the backend registers only when it imports.
+    The vector engine also implements the **fused multi-output
+    sweep** (:meth:`~repro.engine.base.Engine.rewrite_cones` /
+    ``fused=True`` on the extraction drivers): all m output cones are
+    rewritten in one output-tagged bit-matrix, amortizing the DAG
+    walk, model packing and cancellation sorts m-fold while the sort
+    keys keep cancellation strictly per-cone — bit-identical to
+    per-bit extraction, ≥3x faster on the NAND-mapped m=32 sweep
+    (``benchmarks/bench_fused.py`` / ``BENCH_fused.json``).  Every
+    other backend serves ``rewrite_cones`` through its per-bit loop,
+    so ``fused=True`` degrades cleanly without numpy.
 
 Compiling backends (bitpack, aig, vector) additionally persist their
 one-time per-netlist compile through the ``compile_cache=`` hook

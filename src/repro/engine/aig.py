@@ -83,6 +83,9 @@ class _CompiledAig:
         "flats",
         "n_gates",
         "_models",
+        # The vector engine's fused sweep caches per-program state
+        # (packed model tables) in a weak-keyed map; see VectorEngine.
+        "__weakref__",
     )
 
     def __init__(self, netlist: Netlist):
@@ -356,6 +359,17 @@ class _CompiledAig:
         return tuple(key for key, parity in counts.items() if parity)
 
 
+def _missing_output_error(output: str) -> BackwardRewriteError:
+    """A net the netlist never mentions: the same failure the other
+    backends report for a dangling variable (shared by the per-bit and
+    fused paths of the compiled engines)."""
+    return BackwardRewriteError(
+        f"rewriting {output!r} left non-input variables "
+        f"[{output!r}] — netlist is not a complete "
+        "combinational cone"
+    )
+
+
 class AigEngine(CompilingEngine):
     """Backward rewriting cut-by-cut over the strashed AIG."""
 
@@ -430,13 +444,7 @@ class AigEngine(CompilingEngine):
         compiled = self._compiled_for(netlist, compile_cache)
         literal = compiled.net_literal.get(output)
         if literal is None:
-            # A net the netlist never mentions: the same failure the
-            # other backends report for a dangling variable.
-            raise BackwardRewriteError(
-                f"rewriting {output!r} left non-input variables "
-                f"[{output!r}] — netlist is not a complete "
-                "combinational cone"
-            )
+            raise _missing_output_error(output)
         node = literal >> 1
         complemented = literal & 1
 

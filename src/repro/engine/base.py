@@ -106,6 +106,39 @@ class Engine(abc.ABC):
         backends ignore it.
         """
 
+    def rewrite_cones(
+        self,
+        netlist: Netlist,
+        outputs: Iterable[str],
+        term_limit: Optional[int] = None,
+        compile_cache: Optional[Any] = None,
+    ) -> "dict[str, Tuple[ConeExpression, RewriteStats]]":
+        """Algorithm 1 on several output cones of one netlist.
+
+        The default implementation is the per-bit loop — one
+        :meth:`rewrite_cone` call per output, in request order — so
+        every backend supports the multi-root entry point.  Backends
+        with a genuinely *fused* substitution sweep (the numpy
+        ``vector`` engine rewrites all cones in one tagged bit-matrix)
+        override this; callers reach it through ``fused=True`` on
+        :func:`repro.rewrite.parallel.extract_expressions` and degrade
+        cleanly to this loop everywhere else.
+        """
+        # Forward the cache only when one was given, mirroring
+        # :meth:`rewrite`: ad-hoc backends written against the
+        # pre-cache rewrite_cone signature keep working.
+        extra = (
+            {"compile_cache": compile_cache}
+            if compile_cache is not None
+            else {}
+        )
+        return {
+            output: self.rewrite_cone(
+                netlist, output, term_limit=term_limit, **extra
+            )
+            for output in outputs
+        }
+
     def rewrite(
         self,
         netlist: Netlist,

@@ -21,6 +21,33 @@ numpy:
 * GF(2) cancellation is a lexsort: the surviving rows plus the fresh
   products are sorted, equal rows grouped, and groups of even
   multiplicity dropped — ``set[int]`` churn becomes two C passes.
+  Because a cancelled matrix comes out *sorted*, a step that produced
+  only a few fresh rows skips the next full lexsort entirely: the
+  fresh slice is cancelled on its own and merge-sorted into the
+  sorted remainder (binary-search positions + one ``insert``), the
+  incremental path below :data:`_MERGE_FRACTION`.
+
+Fused multi-output mode
+-----------------------
+:meth:`VectorEngine.rewrite_cones` rewrites *all* requested output
+cones in one matrix: every row carries an **output tag** in an extra
+trailing word (the lexsort's primary key, so cancelled matrices come
+out grouped by cone), and one bit-matrix holds every output's
+polynomial at once.  The sweep runs in *rounds*: each round claims,
+per row, the
+highest pending (interned, non-leaf) variable present in that row,
+substitutes every claimed group with one broadcast each, and cancels
+the whole matrix once — the lexsort keys on (tag, monomial), so
+cancellation stays strictly per-cone while the walk over the shared
+gate DAG, the cut-model lookups and the sorts are amortized over all
+m outputs.  Substituting per-row-highest variables first is exactly
+the reverse-topological order Algorithm 1 prescribes, applied row by
+row; intermediate *statistics* therefore differ from the per-bit
+sweep (rounds replace per-gate iterations), but the final expressions
+are bit-identical — cancellation is exact mod-2 algebra at every
+step, and canonical forms are unique (Theorem 1).  The per-bit
+entry point :meth:`rewrite_cone` is unchanged; callers opt in through
+``fused=True`` on the extraction drivers.
 
 Results are bit-identical to the reference backend (the differential
 suite drives all three packed engines across the generator zoo);
@@ -36,9 +63,11 @@ from __future__ import annotations
 
 import time
 from heapq import heappop, heappush
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.engine.aig import AigEngine
+from weakref import WeakKeyDictionary
+
+from repro.engine.aig import AigEngine, _missing_output_error
 from repro.engine.base import EngineError
 from repro.engine.bitpack import PackedExpression
 from repro.engine.interning import SignalInterner
@@ -62,29 +91,68 @@ _WORD_MASK = (1 << _WORD_BITS) - 1
 #: associative — so the transient |affected|x|model| broadcast never
 #: outgrows this bound and ``term_limit`` stays a real memory bound.
 _CHUNK_ROWS = 1 << 16
+#: Incremental-cancellation crossover: when one substitution step
+#: produced fewer fresh rows than this fraction of the already-sorted
+#: remainder, the fresh slice is cancelled on its own and merge-sorted
+#: into place instead of re-lexsorting everything.
+#: ``benchmarks/bench_fused.py`` measures the crossover and commits it
+#: to ``BENCH_fused.json``: numpy's radix lexsort is near-linear, so
+#: the merge only wins for genuinely tiny touches — the measured
+#: break-even sits around 1/16 and the default follows it.
+_MERGE_FRACTION = 0.0625
+#: Below this many remainder rows a full lexsort is always cheaper
+#: than building merge keys.
+_MERGE_MIN_ROWS = 64
 
 
 def _mask_rows(masks: List[int], words: int) -> "Any":
-    """Python int bitmasks → a ``(len(masks), words)`` uint64 matrix."""
-    rows = _np.zeros((len(masks), words), dtype=_np.uint64)
-    for row, mask in enumerate(masks):
-        word = 0
-        while mask:
-            rows[row, word] = mask & _WORD_MASK
-            mask >>= _WORD_BITS
-            word += 1
-    return rows
+    """Python int bitmasks → a ``(len(masks), words)`` uint64 matrix.
+
+    ``int.to_bytes`` writes each mask's little-endian words in one C
+    call; ``frombuffer`` reinterprets the joined buffer as the matrix.
+    """
+    width = words * 8
+    buffer = b"".join(mask.to_bytes(width, "little") for mask in masks)
+    rows = _np.frombuffer(buffer, dtype="<u8").reshape(len(masks), words)
+    return rows.astype(_np.uint64, copy=True)  # writable, native order
 
 
 def _rows_to_masks(matrix: "Any") -> "Any":
-    """Matrix rows → python int bitmasks (the decode boundary)."""
-    masks = set()
+    """Matrix rows → python int bitmasks (the decode boundary).
+
+    The row-major little-endian byte image of the matrix is sliced
+    into one ``int.from_bytes`` call per row — no per-word python
+    arithmetic.
+    """
     words = matrix.shape[1]
-    for row in matrix.tolist():  # one C-level conversion, then ints
-        mask = 0
-        for word in range(words - 1, -1, -1):
-            mask = (mask << _WORD_BITS) | row[word]
-        masks.add(mask)
+    width = words * 8
+    data = _np.ascontiguousarray(matrix).astype("<u8").tobytes()
+    from_bytes = int.from_bytes
+    return {
+        from_bytes(data[start : start + width], "little")
+        for start in range(0, len(data), width)
+    }
+
+
+def _pack_model(model, leaf_bits, intern) -> List[int]:
+    """Pack one cut model into int bitmasks.
+
+    Flat parts arrive as ready PI-space masks; opaque nodes resolve
+    through the shared leaf table or intern via ``intern`` — the
+    caller's hook, which also schedules newly seen nodes on its own
+    worklist (heap for the per-bit sweep, next round for the fused
+    one).  Shared by both sweeps so the packing rules cannot diverge.
+    """
+    masks: List[int] = []
+    for pi_mask, opaque_nodes in model:
+        mask = pi_mask
+        for opaque in opaque_nodes:
+            leaf_bit = leaf_bits.get(opaque)
+            if leaf_bit is not None:
+                mask |= 1 << leaf_bit
+            else:
+                mask |= 1 << intern(opaque)
+        masks.append(mask)
     return masks
 
 
@@ -106,6 +174,103 @@ def _cancel_mod2(rows: "Any") -> "Any":
     return ordered[starts[(lengths & 1).astype(bool)]]
 
 
+def _row_keys(rows: "Any") -> "Any":
+    """Rows as fixed-width byte strings sorting like the lexsort.
+
+    ``_cancel_mod2`` leaves matrices in ``lexsort(rows.T)`` order —
+    the *last* column is the primary key — so reversing the columns
+    and storing each word big-endian yields byte strings whose
+    bytewise comparison reproduces that order exactly (and whose
+    equality is exact row equality).  These keys make the sorted
+    remainder binary-searchable for the incremental merge.
+    """
+    swapped = _np.ascontiguousarray(rows[:, ::-1]).astype(">u8")
+    return _np.frombuffer(
+        swapped.tobytes(), dtype=f"S{8 * rows.shape[1]}"
+    )
+
+
+def _merge_sorted(base: "Any", fresh: "Any") -> "Any":
+    """GF(2)-add a small cancelled slice into a sorted remainder.
+
+    Both inputs are sorted and internally duplicate-free (``base`` is
+    a cancelled matrix or a subset of one; ``fresh`` went through
+    :func:`_cancel_mod2`).  Rows present in both carry even total
+    multiplicity and cancel; the rest interleave by binary-searched
+    positions — O(base) memcpy plus O(fresh·log base) search instead
+    of a full lexsort over everything.
+    """
+    base_keys = _row_keys(base)
+    fresh_keys = _row_keys(fresh)
+    pos = base_keys.searchsorted(fresh_keys)
+    hit = pos < base_keys.shape[0]
+    dup = _np.zeros(fresh.shape[0], dtype=bool)
+    dup[hit] = base_keys[pos[hit]] == fresh_keys[hit]
+    if dup.any():
+        keep = _np.ones(base.shape[0], dtype=bool)
+        keep[pos[dup]] = False
+        base = base[keep]
+        fresh = fresh[~dup]
+        if not fresh.shape[0]:
+            return base
+        base_keys = base_keys[keep]
+        pos = base_keys.searchsorted(_row_keys(fresh))
+    return _np.insert(base, pos, fresh, axis=0)
+
+
+def _combine(current: "Any", fresh: "Any") -> "Any":
+    """Cancel freshly produced rows into a sorted, cancelled matrix.
+
+    Dispatches between the full lexsort and the incremental merge on
+    the :data:`_MERGE_FRACTION` crossover; either way the result is
+    sorted again, preserving the invariant every substitution step
+    relies on.
+    """
+    if not fresh.shape[0]:
+        return current
+    if (
+        current.shape[0] < _MERGE_MIN_ROWS
+        or fresh.shape[0] >= _MERGE_FRACTION * current.shape[0]
+    ):
+        return _cancel_mod2(_np.concatenate([current, fresh]))
+    return _merge_sorted(current, _cancel_mod2(fresh))
+
+
+class _MatrixExpression(PackedExpression):
+    """A :class:`PackedExpression` whose mask set materializes lazily.
+
+    The fused sweep ends with every cone's monomials as rows of one
+    matrix; converting rows to python ``int`` masks is the single
+    biggest per-cone cost left after vectorization, and extract-only
+    flows may never need some cones decoded at all.  This subclass
+    keeps the cone's row slice and builds the ``set[int]`` on first
+    access (membership tests, equality, decode), after which it
+    behaves exactly like its parent.
+    """
+
+    __slots__ = ("_rows", "_masks")
+
+    def __init__(self, rows: "Any", interner: SignalInterner):
+        self._rows = rows
+        self._masks = None
+        self.interner = interner
+
+    @property
+    def masks(self):  # shadows the parent's slot descriptor
+        masks = self._masks
+        if masks is None:
+            masks = _rows_to_masks(self._rows)
+            self._masks = masks
+            self._rows = None  # the matrix slice is no longer needed
+        return masks
+
+    def term_count(self) -> int:
+        rows = self._rows
+        if rows is not None:
+            return int(rows.shape[0])
+        return len(self._masks)
+
+
 class VectorEngine(AigEngine):
     """Backward rewriting over numpy uint64 bit-matrix polynomials.
 
@@ -118,6 +283,18 @@ class VectorEngine(AigEngine):
     """
 
     name = "vector"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # Fused-sweep state (shared interning tables + packed model
+        # matrices), keyed weakly by compiled program: the tables are
+        # append-only and root-set independent, so sweeps over any
+        # output subset — a checkpointed campaign's chunks included —
+        # share one growing state and each model is packed once ever
+        # per program.
+        self._fused_state: "WeakKeyDictionary[Any, Dict[str, Any]]" = (
+            WeakKeyDictionary()
+        )
 
     @staticmethod
     def available() -> bool:
@@ -177,6 +354,15 @@ class VectorEngine(AigEngine):
                 sig_names.append(f"__aig{opaque}")
             return index
 
+        def intern_scheduled(opaque: int) -> int:
+            # First sight also enters the worklist: the new variable's
+            # own substitution is still pending.
+            index = index_of_node.get(opaque)
+            if index is None:
+                index = intern_node(opaque)
+                heappush(pending, (-opaque, index))
+            return index
+
         out_index = intern_node(node)
         heappush(pending, (-node, out_index))
 
@@ -184,7 +370,9 @@ class VectorEngine(AigEngine):
         initial = [1 << out_index]
         if complemented:
             initial.append(0)
-        matrix = _mask_rows(initial, words)
+        # Cancelled matrices are sorted; establishing the invariant up
+        # front lets every step use the incremental merge path.
+        matrix = _cancel_mod2(_mask_rows(initial, words))
 
         iterations = 0
         touched = 0
@@ -200,20 +388,9 @@ class VectorEngine(AigEngine):
 
             # Pack the cut model first: interning may allocate new bit
             # indices (and grow the matrix width) before the bit-test.
-            model_masks: List[int] = []
-            for pi_mask, opaque_nodes in model_of(-neg_node):
-                mask = pi_mask
-                for opaque in opaque_nodes:
-                    leaf_bit = leaf_bits.get(opaque)
-                    if leaf_bit is not None:
-                        mask |= 1 << leaf_bit
-                        continue
-                    index = index_of_node.get(opaque)
-                    if index is None:
-                        index = intern_node(opaque)
-                        heappush(pending, (-opaque, index))
-                    mask |= 1 << index
-                model_masks.append(mask)
+            model_masks = _pack_model(
+                model_of(-neg_node), leaf_bits, intern_scheduled
+            )
             needed = (len(sig_names) + _WORD_BITS - 1) // _WORD_BITS
             if needed > words:
                 grown = needed + 1
@@ -251,9 +428,7 @@ class VectorEngine(AigEngine):
                     part[:, None, :] | model_rows[None, :, :]
                 ).reshape(-1, words)
                 produced += int(products.shape[0])
-                current = _cancel_mod2(
-                    _np.concatenate([current, products])
-                )
+                current = _combine(current, products)
                 if current.shape[0] > peak_terms:
                     peak_terms = int(current.shape[0])
                     if term_limit is not None and peak_terms > term_limit:
@@ -296,3 +471,346 @@ class VectorEngine(AigEngine):
         stats.final_terms = len(masks)
         stats.runtime_s = time.perf_counter() - started
         return PackedExpression(masks, interner), stats
+
+    # -- fused multi-output sweep ---------------------------------------
+
+    def rewrite_cones(
+        self,
+        netlist: Netlist,
+        outputs: Iterable[str],
+        term_limit: Optional[int] = None,
+        compile_cache: Optional[Any] = None,
+    ) -> Dict[str, Tuple[PackedExpression, RewriteStats]]:
+        """All requested cones in one fused substitution sweep.
+
+        Flat outputs take the same fast path the per-bit engines use;
+        the rest share one output-tagged bit-matrix (see the module
+        docstring).  Expressions are bit-identical to the per-bit
+        sweep; per-cone statistics are round-based and each cone's
+        ``runtime_s`` is its amortized share of the shared sweep.
+        """
+        if _np is None:
+            raise EngineError(
+                "the vector engine needs numpy, which is not installed; "
+                "use engine='aig' or 'bitpack' instead "
+                "(or fused=False for the per-bit path)"
+            )
+        chosen = list(outputs)
+        compiled = self._compiled_for(netlist, compile_cache)
+        results: Dict[str, Tuple[PackedExpression, RewriteStats]] = {}
+        roots: List[Tuple[str, int, int]] = []
+        for output in chosen:
+            literal = compiled.net_literal.get(output)
+            if literal is None:
+                raise _missing_output_error(output)
+            node = literal >> 1
+            if node in compiled.flats:
+                # Flat fast path — identical to the per-bit engines.
+                results[output] = super().rewrite_cone(
+                    netlist,
+                    output,
+                    term_limit=term_limit,
+                    compile_cache=compile_cache,
+                )
+            else:
+                roots.append((output, node, literal & 1))
+        if roots:
+            results.update(
+                self._rewrite_fused(netlist, compiled, roots, term_limit)
+            )
+        return {output: results[output] for output in chosen}
+
+    def _rewrite_fused(
+        self,
+        netlist: Netlist,
+        compiled: Any,
+        roots: List[Tuple[str, int, int]],
+        term_limit: Optional[int],
+    ) -> Dict[str, Tuple[PackedExpression, RewriteStats]]:
+        """The shared sweep over every non-flat root.
+
+        Row layout: the monomial mask words first (same bit indices
+        the per-bit sweep would assign, shared across cones), the
+        owning output's tag as the final word — the lexsort's primary
+        key, so cancellation groups per cone and the finished matrix
+        needs no regrouping.  Each *round* claims, per row,
+        the highest pending variable it holds — reverse-topological
+        order applied row-wise — substitutes every claimed group with
+        one broadcast, and cancels the whole matrix once; the sort
+        keys include the tag word, so cancellation never crosses a
+        cone boundary (Theorem 2).
+        """
+        started = time.perf_counter()
+        n_roots = len(roots)
+
+        # Shared interning: one leaf region and one bit per opaque
+        # node for *all* cones — the per-bit sweep re-interns these
+        # per cone; decode only depends on names, not bit positions.
+        # The tables live per compiled *program* and are append-only,
+        # so every sweep over the same program — including the
+        # sweep-chunks a checkpointed campaign splits into — reuses
+        # the bits and packed models of everything already seen:
+        # each cut model is packed once ever per program.  Indices
+        # never move, so interners adopted by earlier sweeps' results
+        # stay valid, and variables interned for another chunk's
+        # cones are simply never live in this matrix.
+        state = self._fused_state.get(compiled)
+        if state is None:
+            state = {
+                "sig_index": dict(compiled.leaf_index),
+                "sig_names": list(compiled.leaf_names),
+                "index_of_node": {},
+                "packed_models": {},
+                "tables": {},
+            }
+            self._fused_state[compiled] = state
+        sig_index: Dict[str, int] = state["sig_index"]
+        sig_names: List[str] = state["sig_names"]
+        index_of_node: Dict[int, int] = state["index_of_node"]
+
+        def intern_node(opaque: int) -> int:
+            index = index_of_node.get(opaque)
+            if index is None:
+                index = len(sig_names)
+                index_of_node[opaque] = index
+                sig_index[f"__aig{opaque}"] = index
+                sig_names.append(f"__aig{opaque}")
+            return index
+
+        initial_masks: List[int] = []
+        initial_tags: List[int] = []
+        for tag, (_output, node, complemented) in enumerate(roots):
+            bit = intern_node(node)
+            initial_masks.append(1 << bit)
+            initial_tags.append(tag)
+            if complemented:
+                initial_masks.append(0)
+                initial_tags.append(tag)
+
+        # Row layout: mask words first, the output tag as the *last*
+        # word.  ``lexsort`` keys on the last column first, so every
+        # cancelled matrix comes out grouped by cone — cancellation
+        # stays per-(tag, monomial) and the final per-cone slicing
+        # needs no extra sort.
+        words = (len(sig_names) // _WORD_BITS) + 2  # interning headroom
+        matrix = _np.zeros((len(initial_masks), words + 1), dtype=_np.uint64)
+        matrix[:, :words] = _mask_rows(initial_masks, words)
+        matrix[:, words] = initial_tags
+        matrix = _cancel_mod2(matrix)  # establish the sorted invariant
+
+        def counts_of(rows: "Any") -> "Any":
+            if not rows.shape[0]:
+                return _np.zeros(n_roots, dtype=_np.int64)
+            return _np.bincount(
+                rows[:, -1].astype(_np.int64), minlength=n_roots
+            )
+
+        iterations = [0] * n_roots   # rounds that touched the cone
+        substituted = [0] * n_roots  # (round, variable) pairs per cone
+        eliminated = [0] * n_roots
+        peaks = _np.maximum(counts_of(matrix), 1)
+
+        model_of = compiled.model_of
+        leaf_bits = compiled.leaf_bits
+        packed_models: Dict[int, List[int]] = state["packed_models"]
+        model_tables: Dict[int, Tuple[int, Any]] = state["tables"]
+
+        def table_of(var_index: int) -> "Any":
+            """The variable's model as matrix rows (cached per width)."""
+            entry = model_tables.get(var_index)
+            if entry is not None and entry[0] == words:
+                return entry[1]
+            model_masks = packed_models[var_index]
+            table = _np.zeros(
+                (len(model_masks), words + 1), dtype=_np.uint64
+            )
+            table[:, :words] = _mask_rows(model_masks, words)
+            model_tables[var_index] = (words, table)
+            return table
+
+        one = _np.uint64(1)
+        leaf_count = len(compiled.leaf_names)
+        survivors = 0  # leaf bits left standing when the sweep ends
+        while matrix.shape[0]:
+            # One OR-reduce answers "does any pending variable survive
+            # anywhere" — the common exit — and doubles as the residue
+            # image of the finished matrix.
+            live = _np.bitwise_or.reduce(matrix[:, :-1], axis=0)
+            live_mask = 0
+            for word, value in enumerate(live.tolist()):
+                live_mask |= value << (word * _WORD_BITS)
+            if not live_mask >> leaf_count:
+                survivors = live_mask
+                break  # only leaf bits remain anywhere
+
+            # Claim, per row, the highest pending variable it holds
+            # (ascending AIG id is topological order, so this is the
+            # reverse-topological substitution order applied row-wise).
+            # One gather + shift answers every (row, variable) pair,
+            # restricted to the variables the OR image proved live.
+            var_items = sorted(
+                (
+                    item
+                    for item in index_of_node.items()
+                    if (live_mask >> item[1]) & 1
+                ),
+                key=lambda item: -item[0],
+            )
+            var_bits = _np.fromiter(
+                (index for _, index in var_items),
+                dtype=_np.int64,
+                count=len(var_items),
+            )
+            var_cols = var_bits // _WORD_BITS
+            var_shift = (var_bits % _WORD_BITS).astype(_np.uint64)
+            presence = (
+                (matrix[:, var_cols] >> var_shift[None, :]) & one
+            ).astype(bool)
+            has_var = presence.any(axis=1)
+            first = presence.argmax(axis=1)  # highest node id per row
+
+            # Pack every claimed model first: interning may allocate
+            # fresh bits (new opaque nodes join later rounds) and the
+            # matrix must be widened before any row is combined.
+            group_of = first[has_var]
+            used_groups = _np.unique(group_of)
+            for group in used_groups:
+                node, var_index = var_items[int(group)]
+                if var_index in packed_models:
+                    continue
+                # A node interned here (no scheduling hook needed)
+                # simply joins a later round's claim scan.
+                packed_models[var_index] = _pack_model(
+                    model_of(node), leaf_bits, intern_node
+                )
+            needed = (len(sig_names) + _WORD_BITS - 1) // _WORD_BITS
+            if needed > words:
+                grown = needed + 1
+                # Fresh (all-zero) mask words slot in *before* the tag
+                # column; zero keys tie everywhere, so sortedness and
+                # the per-cone grouping both survive the widening.
+                matrix = _np.hstack(
+                    [
+                        matrix[:, :words],
+                        _np.zeros(
+                            (matrix.shape[0], grown - words),
+                            dtype=_np.uint64,
+                        ),
+                        matrix[:, words:],
+                    ]
+                )
+                words = grown
+
+            # One concatenated model table for the round, plus offsets,
+            # so the substitution below is a single repeat + gather.
+            model_offset = _np.zeros(len(var_items), dtype=_np.int64)
+            model_count = _np.zeros(len(var_items), dtype=_np.int64)
+            tables: List[Any] = []
+            offset = 0
+            for group in used_groups:
+                _node, var_index = var_items[int(group)]
+                table = table_of(var_index)
+                tables.append(table)
+                model_offset[group] = offset
+                model_count[group] = table.shape[0]
+                offset += table.shape[0]
+            models = _np.concatenate(tables)
+
+            claimed = matrix[has_var]  # boolean indexing copies
+            current = matrix[~has_var]  # sorted subset stays sorted
+            strip = _np.uint64(_WORD_MASK) ^ (one << var_shift)
+            claimed[
+                _np.arange(claimed.shape[0]), var_cols[group_of]
+            ] &= strip[group_of]
+
+            # Per-cone bookkeeping before the rows multiply.
+            claim_tags = claimed[:, -1].astype(_np.int64)
+            prior = counts_of(current)
+            rep = model_count[group_of]
+            produced = _np.bincount(
+                claim_tags, weights=rep, minlength=n_roots
+            ).astype(_np.int64)
+            for pair in _np.unique(group_of * n_roots + claim_tags):
+                substituted[int(pair) % n_roots] += 1
+            for tag in _np.unique(claim_tags):
+                iterations[tag] += 1
+
+            # Substitute in chunks: row i expands to its group's model
+            # rows (repeat + gather), the OR multiplies, and each chunk
+            # cancels immediately so the transient stays bounded.
+            cum = _np.concatenate(
+                ([0], _np.cumsum(rep))
+            ).astype(_np.int64)
+            start = 0
+            while start < claimed.shape[0]:
+                end = int(
+                    _np.searchsorted(
+                        cum, cum[start] + _CHUNK_ROWS, side="left"
+                    )
+                )
+                end = max(end - 1, start + 1)
+                rep_part = rep[start:end]
+                left = _np.repeat(claimed[start:end], rep_part, axis=0)
+                part_cum = _np.concatenate(([0], _np.cumsum(rep_part)))
+                within = (
+                    _np.arange(part_cum[-1], dtype=_np.int64)
+                    - _np.repeat(part_cum[:-1], rep_part)
+                )
+                right = models[
+                    _np.repeat(model_offset[group_of[start:end]], rep_part)
+                    + within
+                ]
+                current = _combine(current, left | right)
+                counts = counts_of(current)
+                _np.maximum(peaks, counts, out=peaks)
+                if term_limit is not None:
+                    worst = int(counts.argmax())
+                    if counts[worst] > term_limit:
+                        raise TermLimitExceeded(
+                            roots[worst][0], int(counts[worst]), term_limit
+                        )
+                start = end
+            matrix = current
+            gone = prior + produced - counts_of(matrix)
+            for tag in range(n_roots):
+                eliminated[tag] += int(gone[tag])
+
+        # The tag is the sort's primary key, so the cancelled matrix
+        # is already grouped by cone: per-cone results are zero-copy
+        # slices between searchsorted bounds.  ``survivors`` (the
+        # final OR image) makes the residue check O(1) in the common
+        # all-declared case; only a genuine leftover walks per cone.
+        bounds = _np.searchsorted(
+            matrix[:, -1],
+            _np.arange(n_roots + 1, dtype=_np.uint64),
+        )
+        if survivors & compiled.undeclared_bits:
+            for tag, (output, _node, _complemented) in enumerate(roots):
+                self._check_residue(
+                    compiled,
+                    netlist,
+                    output,
+                    _rows_to_masks(
+                        matrix[bounds[tag] : bounds[tag + 1], :-1]
+                    ),
+                )
+
+        # Decode boundary, per cone: the interner is shared (read-only
+        # from here on) and each cone's rows decode lazily — a caller
+        # that never reads an expression never pays its conversion.
+        interner = SignalInterner.adopt(sig_index, sig_names)
+        share = (time.perf_counter() - started) / n_roots
+        results: Dict[str, Tuple[PackedExpression, RewriteStats]] = {}
+        for tag, (output, _node, _complemented) in enumerate(roots):
+            rows = matrix[bounds[tag] : bounds[tag + 1], :-1]
+            stats = RewriteStats(output=output)
+            stats.iterations = iterations[tag]
+            stats.cone_gates = substituted[tag]
+            stats.eliminated_monomials = eliminated[tag]
+            stats.peak_terms = int(peaks[tag])
+            stats.final_terms = int(rows.shape[0])
+            # Wall clock is genuinely shared: report each cone's
+            # amortized share so per-bit series sum to the sweep.
+            stats.runtime_s = share
+            results[output] = (_MatrixExpression(rows, interner), stats)
+        return results

@@ -121,6 +121,7 @@ def diagnose(
     engine: str = "reference",
     cache=None,
     compile_cache=None,
+    fused: bool = False,
 ) -> Diagnosis:
     """Triage a netlist: verified multiplier, buggy, or out of scope.
 
@@ -131,7 +132,10 @@ def diagnose(
     a re-diagnosed structural duplicate never rewrites a gate.
     ``compile_cache`` is forwarded the same way so a compiling backend
     skips its one-time netlist compile on known structures (see
-    :func:`~repro.extract.extractor.extract_irreducible_polynomial`).
+    :func:`~repro.extract.extractor.extract_irreducible_polynomial`);
+    both reach the squarer branch too.  ``fused=True`` runs the
+    extraction as one fused multi-cone sweep (fastest with
+    ``engine="vector"``); the verdict is mode-independent.
 
     >>> from repro.gen.mastrovito import generate_mastrovito
     >>> diagnose(generate_mastrovito(0b10011)).verdict.value
@@ -144,7 +148,15 @@ def diagnose(
         return diagnosis
 
     if _looks_like_squarer(netlist):
-        return finish(_diagnose_squarer(netlist, cache=cache))
+        return finish(
+            _diagnose_squarer(
+                netlist,
+                cache=cache,
+                engine=engine,
+                compile_cache=compile_cache,
+                fused=fused,
+            )
+        )
 
     try:
         result = extract_irreducible_polynomial(
@@ -154,6 +166,7 @@ def diagnose(
             engine=engine,
             cache=cache,
             compile_cache=compile_cache,
+            fused=fused,
         )
     except ExtractionError as error:
         return finish(
@@ -242,7 +255,13 @@ def _looks_like_squarer(netlist: Netlist) -> bool:
     ) == {f"z{i}" for i in range(m)}
 
 
-def _diagnose_squarer(netlist: Netlist, cache=None) -> Diagnosis:
+def _diagnose_squarer(
+    netlist: Netlist,
+    cache=None,
+    engine: str = "reference",
+    compile_cache=None,
+    fused: bool = False,
+) -> Diagnosis:
     """The squarer branch of the decision tree."""
     from repro.extract.squarer import (
         SquarerExtractionError,
@@ -250,7 +269,13 @@ def _diagnose_squarer(netlist: Netlist, cache=None) -> Diagnosis:
     )
 
     try:
-        result = extract_squarer_polynomial(netlist, cache=cache)
+        result = extract_squarer_polynomial(
+            netlist,
+            cache=cache,
+            engine=engine,
+            compile_cache=compile_cache,
+            fused=fused,
+        )
     except SquarerExtractionError as error:
         return Diagnosis(
             verdict=Verdict.NOT_A_SQUARER,

@@ -154,6 +154,7 @@ def extract_irreducible_polynomial(
     engine: str = "reference",
     cache=None,
     compile_cache=None,
+    fused: bool = False,
 ) -> ExtractionResult:
     """Reverse engineer P(x) from a gate-level GF(2^m) multiplier.
 
@@ -173,6 +174,12 @@ def extract_irreducible_polynomial(
     compiling backend (bitpack/aig/vector) then skips its one-time
     netlist compile whenever the structure was ever compiled before —
     the service runner passes its cache for both.
+
+    ``fused=True`` extracts all m bits in one fused substitution
+    sweep (see :func:`repro.rewrite.parallel.extract_expressions`):
+    fastest with ``engine="vector"``, a clean per-bit fallback on
+    every other backend, bit-identical results either way.  ``jobs``
+    is ignored in fused mode.
 
     >>> from repro.gen.mastrovito import generate_mastrovito
     >>> result = extract_irreducible_polynomial(generate_mastrovito(0b10011))
@@ -199,6 +206,7 @@ def extract_irreducible_polynomial(
         measure_memory=measure_memory,
         engine=engine,
         compile_cache=compile_cache,
+        fused=fused,
     )
     result = result_from_run(run, m)
     # Stamp after the Algorithm-2 analysis phase so the total covers

@@ -28,7 +28,7 @@ from repro.fieldmath.bitpoly import bitpoly_str
 from repro.fieldmath.irreducible import is_irreducible
 from repro.gen.squarer import squaring_matrix
 from repro.netlist.netlist import Netlist
-from repro.rewrite.backward import backward_rewrite
+from repro.rewrite.backward import backward_rewrite, backward_rewrite_multi
 
 
 class SquarerExtractionError(RuntimeError):
@@ -60,6 +60,9 @@ class SquarerExtractionResult:
 def extract_squarer_polynomial(
     netlist: Netlist,
     cache=None,
+    engine: str = "reference",
+    compile_cache=None,
+    fused: bool = False,
 ) -> SquarerExtractionResult:
     """Recover P(x) from a gate-level squarer.
 
@@ -69,6 +72,13 @@ def extract_squarer_polynomial(
     keyed, like every other artifact, by the strash-invariant content
     fingerprint: a structurally identical squarer is answered without
     rewriting a single gate.
+
+    ``engine`` selects the rewriting backend and ``compile_cache``
+    persists its one-time netlist compile, exactly as on the
+    multiplier path — a squarer-heavy campaign no longer pays a full
+    cold compile per design while the multiplier branch rides the
+    cache.  ``fused=True`` rewrites all m bits in one fused sweep
+    (:func:`repro.rewrite.backward.backward_rewrite_multi`).
 
     >>> from repro.gen.squarer import generate_squarer
     >>> extract_squarer_polynomial(generate_squarer(0b10011)).polynomial_str
@@ -94,10 +104,27 @@ def extract_squarer_polynomial(
             f"outputs must be z0..z{m - 1}, got {netlist.outputs}"
         )
 
-    # Backward rewriting per output bit (Algorithm 1, unchanged).
+    # Backward rewriting per output bit (Algorithm 1, unchanged);
+    # fused mode batches every bit into one multi-root engine call,
+    # per-bit mode rewrites lazily so a non-squarer fails fast.
     columns = [0] * m
-    for j in range(m):
-        poly, _stats = backward_rewrite(netlist, f"z{j}")
+    outputs = [f"z{j}" for j in range(m)]
+    if fused:
+        rewritten = backward_rewrite_multi(
+            netlist, outputs, engine=engine, compile_cache=compile_cache
+        )
+    else:
+        rewritten = None
+    for j, output in enumerate(outputs):
+        if rewritten is not None:
+            poly, _stats = rewritten[output]
+        else:
+            poly, _stats = backward_rewrite(
+                netlist,
+                output,
+                engine=engine,
+                compile_cache=compile_cache,
+            )
         for monomial in poly.monomials:
             if len(monomial) != 1:
                 raise SquarerExtractionError(

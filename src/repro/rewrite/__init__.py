@@ -23,6 +23,7 @@ from repro.rewrite.backward import (
     TermLimitExceeded,
     backward_rewrite,
     backward_rewrite_all,
+    backward_rewrite_multi,
 )
 from repro.rewrite.parallel import extract_expressions
 from repro.rewrite.signature import (
@@ -39,6 +40,7 @@ __all__ = [
     "TermLimitExceeded",
     "backward_rewrite",
     "backward_rewrite_all",
+    "backward_rewrite_multi",
     "extract_expressions",
     "output_signature",
     "spec_expression",

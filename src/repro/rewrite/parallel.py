@@ -163,6 +163,7 @@ def extract_expressions(
     engine: str = "reference",
     on_result: Optional[ResultHook] = None,
     compile_cache=None,
+    fused: bool = False,
 ) -> ExtractionRun:
     """Extract the canonical GF(2) expression of every output bit.
 
@@ -188,8 +189,20 @@ def extract_expressions(
     first call to near steady-state — and forked workers inherit the
     prepared program copy-on-write instead of each compiling their
     own.
+
+    ``fused=True`` rewrites every requested cone through the engine's
+    multi-root entry point in this process: a backend with a fused
+    substitution sweep (the numpy ``vector`` engine) amortizes the
+    DAG walk, model lookups and cancellation sorts over all m bits in
+    one tagged bit-matrix, while backends without one degrade cleanly
+    to their per-bit loop.  ``jobs`` is ignored (the sweep is the
+    parallelism); results are bit-identical to a per-bit run, and the
+    ``on_result`` hook still fires once per bit — after the sweep, in
+    request order.
     """
     chosen = list(outputs) if outputs is not None else list(netlist.outputs)
+    if fused:
+        jobs = 1  # the fused sweep is single-process by construction
     if jobs == 0:
         jobs = os.cpu_count() or 1
     jobs = max(1, min(jobs, len(chosen)))
@@ -208,7 +221,19 @@ def extract_expressions(
         backend.prepare(netlist, compile_cache=compile_cache)
 
     results: List[Tuple[str, "ConeExpression", RewriteStats]] = []
-    if jobs == 1:
+    if fused:
+        cones_by_output = backend.rewrite_cones(
+            netlist,
+            chosen,
+            term_limit=term_limit,
+            compile_cache=compile_cache,
+        )
+        for output in chosen:
+            expression, stats = cones_by_output[output]
+            results.append((output, expression, stats))
+            if on_result is not None:
+                on_result(output, expression, stats)
+    elif jobs == 1:
         netlist.topological_order()
         for output in chosen:
             expression, stats = backend.rewrite_cone(

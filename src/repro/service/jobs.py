@@ -56,6 +56,11 @@ from repro.service.fingerprint import fingerprint_netlist
 #: Bump on any change to the checkpoint layout.
 CHECKPOINT_SCHEMA = 1
 
+#: Output bits per fused substitution sweep (``fused=True``): each
+#: sweep-chunk is one multi-root engine call and its completions are
+#: checkpointed together, so a kill loses at most one chunk's work.
+FUSED_CHUNK_BITS = 16
+
 
 @dataclass
 class ExtractionCheckpoint:
@@ -220,6 +225,8 @@ def checkpointed_extract(
     keep_checkpoint: bool = False,
     fingerprint: Optional[str] = None,
     compile_cache=None,
+    fused: bool = False,
+    fused_chunk: int = FUSED_CHUNK_BITS,
 ) -> CheckpointedExtraction:
     """:func:`~repro.rewrite.parallel.extract_expressions` with resume.
 
@@ -235,6 +242,13 @@ def checkpointed_extract(
     :func:`~repro.rewrite.parallel.extract_expressions`: a resumed job
     then also skips the engine's one-time netlist compile whenever a
     compiled program for the same structure is already stored.
+
+    ``fused=True`` extracts through the engines' fused multi-cone
+    sweep instead of the per-bit fork pool; the remaining bits are
+    grouped into sweep-chunks of ``fused_chunk`` outputs, each chunk
+    runs as one fused pass and checkpoints its completions together —
+    a kill loses at most one chunk, and the checkpoint format is
+    unchanged, so fused and per-bit runs resume each other freely.
 
     The assembled run reports only the *fresh* wall/cpu time (resumed
     bits cost nothing now — that is the point), but per-bit stats are
@@ -270,20 +284,44 @@ def checkpointed_extract(
         def persist(output, cone, bit_stats) -> None:
             checkpoint.record(output, cone.decode(), bit_stats)
 
-        fresh = extract_expressions(
-            netlist,
-            outputs=remaining,
-            jobs=jobs,
-            term_limit=term_limit,
-            engine=engine,
-            on_result=persist,
-            compile_cache=compile_cache,
-        )
-        cones.update(fresh.cones)
-        stats.update(fresh.stats)
-        wall, cpu = fresh.wall_time_s, fresh.cpu_time_s
-        run_jobs = fresh.jobs
-        run_engine = fresh.engine
+        if fused:
+            # Sweep-chunk scheduling: one fused pass per chunk of
+            # bits, completions recorded together at each chunk end.
+            chunk = max(1, fused_chunk)
+            wall = cpu = 0.0
+            run_jobs = 1
+            run_engine = engine
+            for start in range(0, len(remaining), chunk):
+                fresh = extract_expressions(
+                    netlist,
+                    outputs=remaining[start : start + chunk],
+                    jobs=jobs,
+                    term_limit=term_limit,
+                    engine=engine,
+                    on_result=persist,
+                    compile_cache=compile_cache,
+                    fused=True,
+                )
+                cones.update(fresh.cones)
+                stats.update(fresh.stats)
+                wall += fresh.wall_time_s
+                cpu += fresh.cpu_time_s
+                run_engine = fresh.engine
+        else:
+            fresh = extract_expressions(
+                netlist,
+                outputs=remaining,
+                jobs=jobs,
+                term_limit=term_limit,
+                engine=engine,
+                on_result=persist,
+                compile_cache=compile_cache,
+            )
+            cones.update(fresh.cones)
+            stats.update(fresh.stats)
+            wall, cpu = fresh.wall_time_s, fresh.cpu_time_s
+            run_jobs = fresh.jobs
+            run_engine = fresh.engine
     else:
         wall = cpu = 0.0
         run_jobs = max(1, min(jobs if jobs else 1, len(chosen)))

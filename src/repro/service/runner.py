@@ -106,6 +106,7 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
     mode = task["mode"]
     engine = task["engine"]
     jobs = task["jobs"]
+    fused = bool(task.get("fused"))
     import multiprocessing
 
     if jobs != 1 and multiprocessing.current_process().daemon:
@@ -119,6 +120,7 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
         "netlist": path.stem,
         "mode": mode,
         "engine": engine,
+        "fused": fused,
         "status": "ok",
         "cache": "off",
     }
@@ -176,6 +178,7 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
                     engine=engine,
                     cache=cache,
                     compile_cache=cache,
+                    fused=fused,
                 )
                 if cache is not None:
                     cache.put_diagnosis(fingerprint, diagnosis)
@@ -207,6 +210,7 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
                         fingerprint=fingerprint,
                         keep_checkpoint=True,
                         compile_cache=cache,
+                        fused=fused,
                     )
                     run = sharded.run
                     record["resumed_bits"] = len(sharded.resumed_bits)
@@ -220,6 +224,7 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
                         engine=engine,
                         term_limit=task["term_limit"],
                         compile_cache=cache,
+                        fused=fused,
                     )
                 result = result_from_run(run, m, total_time_s=run.wall_time_s)
                 if cache is not None:
@@ -315,6 +320,7 @@ class CampaignRunner:
         cache_dir: Optional[PathLike] = None,
         use_cache: bool = True,
         checkpoint: bool = True,
+        fused: bool = False,
     ):
         if mode not in ("extract", "audit", "diagnose"):
             raise ValueError(f"unknown campaign mode {mode!r}")
@@ -323,6 +329,9 @@ class CampaignRunner:
         self.jobs = jobs
         self.workers = max(1, workers)
         self.term_limit = term_limit
+        #: Fused multi-cone extraction per netlist (one sweep instead
+        #: of per-bit shards; ``jobs`` then only matters as a no-op).
+        self.fused = fused
         if use_cache:
             from repro.service.cache import default_cache_dir
 
@@ -343,6 +352,7 @@ class CampaignRunner:
             "term_limit": self.term_limit,
             "cache_dir": self.cache_dir,
             "checkpoint": self.checkpoint,
+            "fused": self.fused,
         }
 
     def run(
