@@ -1,0 +1,113 @@
+"""CI guard over a ``--trace`` JSONL file.
+
+Asserts that a traced run actually produced the spans the
+instrumented layers are supposed to emit — a refactor that silently
+drops the ``compile`` span or stops the fused sweep from emitting its
+per-round events should fail CI, not go unnoticed until someone
+reads a trace.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_trace.py trace.jsonl \
+        --spans compile sweep sweep.round substitute cancel decode \
+        --counters cache.put
+
+``--spans`` lists span names that must each appear at least once;
+``--counters`` lists counters that must be positive in the trace's
+final ``metrics`` event.  Any span with ``status="error"`` fails the
+guard unless ``--allow-errors`` is passed.  Exit code 0 = trace ok.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.telemetry import load_trace  # noqa: E402
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="JSONL trace written by --trace")
+    parser.add_argument(
+        "--spans",
+        nargs="+",
+        default=[],
+        metavar="NAME",
+        help="span names that must each appear at least once",
+    )
+    parser.add_argument(
+        "--counters",
+        nargs="+",
+        default=[],
+        metavar="NAME",
+        help="counters that must be positive in the final metrics event",
+    )
+    parser.add_argument(
+        "--allow-errors",
+        action="store_true",
+        help="do not fail on spans with status=error",
+    )
+    args = parser.parse_args(argv)
+
+    events = load_trace(args.trace)
+    if not events:
+        print(f"FAIL: no trace events in {args.trace}")
+        return 1
+    spans = collections.Counter()
+    errors = []
+    # A shared trace file accumulates one exit snapshot per traced
+    # process (counters are per-process); keep the last per pid and
+    # sum them for the whole-trace view.
+    metrics_by_pid = {}
+    for event in events:
+        kind = event.get("type")
+        if kind == "span":
+            spans[event.get("name", "?")] += 1
+            if event.get("status") == "error":
+                errors.append(event)
+        elif kind == "metrics":
+            metrics_by_pid[event.get("pid")] = event
+
+    failures = []
+    for name in args.spans:
+        if not spans[name]:
+            failures.append(f"required span {name!r} never appeared")
+    counters = collections.Counter()
+    for event in metrics_by_pid.values():
+        counters.update(event.get("counters", {}))
+    for name in args.counters:
+        if counters.get(name, 0) <= 0:
+            failures.append(
+                f"counter {name!r} is {counters.get(name, 0)} in the "
+                f"final metrics event"
+            )
+    if args.counters and not metrics_by_pid:
+        failures.append("trace has no metrics event")
+    if errors and not args.allow_errors:
+        failures.append(
+            f"{len(errors)} span(s) ended with status=error, e.g. "
+            f"{errors[0].get('name')!r}: {errors[0].get('error')!r}"
+        )
+
+    census = ", ".join(
+        f"{name}:{count}" for name, count in sorted(spans.items())
+    )
+    print(f"{args.trace}: {sum(spans.values())} spans [{census}]")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("trace ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,6 +61,13 @@ from repro.netlist import (
     write_verilog,
 )
 from repro.aig import Aig, balance_and_trees, balance_xor_trees
+from repro.telemetry import (
+    JsonlSink,
+    MemorySink,
+    Telemetry,
+    get_telemetry,
+    use as use_telemetry,
+)
 from repro.engine import available_engines, get_engine, register_engine
 from repro.rewrite import (
     backward_rewrite,
@@ -80,7 +87,7 @@ from repro.extract import (
     format_extraction_report,
     verify_multiplier,
 )
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: Service-layer conveniences re-exported lazily (PEP 562) so that a
 #: bare ``import repro`` stays as light as it was before the service
@@ -141,6 +148,11 @@ __all__ = [
     "backward_rewrite",
     "backward_rewrite_multi",
     "extract_expressions",
+    "Telemetry",
+    "JsonlSink",
+    "MemorySink",
+    "get_telemetry",
+    "use_telemetry",
     "ExtractionRun",
     "RewriteStats",
     "ResultCache",

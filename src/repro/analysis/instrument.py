@@ -4,14 +4,22 @@ The paper reports wall-clock runtime and peak resident memory per
 extraction.  RSS is meaningless to compare across interpreters, so the
 harnesses report the ``tracemalloc`` peak (Python-heap bytes actually
 allocated) along with wall/CPU time.
+
+:func:`measure` is a thin veneer over a telemetry span
+(:mod:`repro.telemetry`), which owns the tracemalloc discipline: the
+tracer starts only when nobody else is tracing and always stops in the
+span's exit path, so a nested measurement no longer resets the outer
+session's peak and an exception cannot leak the hook.  A *nested*
+measurement consequently reports the surrounding session's peak — a
+conservative upper bound rather than a silently-zeroed outer reading.
 """
 
 from __future__ import annotations
 
-import time
-import tracemalloc
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Optional
+
+from repro.telemetry import Telemetry, resolve
 
 
 @dataclass
@@ -42,8 +50,14 @@ class Measurement:
 def measure(
     func: Callable[[], Any],
     track_memory: bool = True,
+    telemetry: Optional[Telemetry] = None,
+    label: str = "measure",
 ) -> Measurement:
     """Run ``func`` once, recording wall time, CPU time and heap peak.
+
+    The call runs inside a ``label`` span of the active telemetry
+    registry (or the one passed explicitly), so benchmark timings land
+    in the same trace as the engine phases they contain.
 
     >>> measurement = measure(lambda: sum(range(1000)))
     >>> measurement.value
@@ -51,17 +65,11 @@ def measure(
     >>> measurement.wall_s >= 0
     True
     """
-    peak: Optional[int] = None
-    if track_memory:
-        tracemalloc.start()
-    wall_start = time.perf_counter()
-    cpu_start = time.process_time()
-    try:
+    with resolve(telemetry).span(label, memory=track_memory) as span:
         value = func()
-    finally:
-        wall = time.perf_counter() - wall_start
-        cpu = time.process_time() - cpu_start
-        if track_memory:
-            _, peak = tracemalloc.get_traced_memory()
-            tracemalloc.stop()
-    return Measurement(value=value, wall_s=wall, cpu_s=cpu, peak_bytes=peak)
+    return Measurement(
+        value=value,
+        wall_s=span.wall_s,
+        cpu_s=span.cpu_s,
+        peak_bytes=span.peak_bytes,
+    )

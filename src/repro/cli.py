@@ -30,7 +30,16 @@ Commands mirror the paper's tool flow:
     and ``REPRO_CACHE_MAX_BYTES``) or empty (``clear``) the
     content-addressed result cache (``REPRO_CACHE_DIR``, default
     ``~/.cache/repro``) — which also holds the engines' compiled
-    programs (``stats`` reports them as the ``compiled`` kind).
+    programs (``stats`` reports them as the ``compiled`` kind);
+``trace``
+    render a JSONL trace file (written by ``--trace``) as a span tree
+    with per-phase wall/CPU times and the final counters/gauges.
+
+The workload commands (``extract``/``audit``/``diagnose``/``batch``/
+``serve``) accept ``--trace out.jsonl``: every telemetry span
+(compile, sweep rounds, cancellation, cache traffic, HTTP requests)
+is streamed to the file as it closes — see :mod:`repro.telemetry`
+and the README's Observability section.
 
 The ``--engine`` choices come from the backend registry
 (:mod:`repro.engine`): ``reference`` (the oracle), ``bitpack``
@@ -109,6 +118,19 @@ def _add_fused_argument(parser: argparse.ArgumentParser) -> None:
             "cancellation over every bit; fastest with --engine "
             "vector, other engines fall back to their per-bit loop; "
             "results are bit-identical either way)"
+        ),
+    )
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.JSONL",
+        default=None,
+        help=(
+            "stream telemetry spans/counters to this JSONL file "
+            "(hierarchical compile/sweep/cancel/cache/request spans "
+            "with wall+CPU times; render it with 'repro trace')"
         ),
     )
 
@@ -328,6 +350,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_trace, render_trace
+
+    events = load_trace(args.trace_file)
+    if not events:
+        print(f"no trace events in {args.trace_file}", file=sys.stderr)
+        return 1
+    try:
+        print(render_trace(events))
+    except BrokenPipeError:  # e.g. piped into head; not an error
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
 def _cmd_reduction(args: argparse.Namespace) -> int:
     moduli = [bitpoly_parse(text) for text in args.p]
     print(figure1_report(moduli))
@@ -385,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument("--format", choices=sorted(_READERS), default=None)
     _add_engine_argument(extract)
     _add_fused_argument(extract)
+    _add_trace_argument(extract)
     extract.set_defaults(func=_cmd_extract)
 
     audit = sub.add_parser(
@@ -396,6 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--format", choices=sorted(_READERS), default=None)
     _add_engine_argument(audit)
     _add_fused_argument(audit)
+    _add_trace_argument(audit)
     audit.set_defaults(func=_cmd_audit)
 
     synth = sub.add_parser("synth", help="optimize/map a netlist")
@@ -425,6 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
     diag.add_argument("--format", choices=sorted(_READERS), default=None)
     _add_engine_argument(diag)
     _add_fused_argument(diag)
+    _add_trace_argument(diag)
     diag.set_defaults(func=_cmd_diagnose)
 
     inject = sub.add_parser(
@@ -495,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_argument(batch)
     _add_fused_argument(batch)
+    _add_trace_argument(batch)
     batch.set_defaults(func=_cmd_batch)
 
     serve = sub.add_parser(
@@ -512,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--worker-threads", type=int, default=2, help="job worker threads"
     )
     _add_engine_argument(serve)
+    _add_trace_argument(serve)
     serve.set_defaults(func=_cmd_serve)
 
     cache = sub.add_parser(
@@ -541,13 +584,38 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     cache.set_defaults(func=_cmd_cache)
+
+    trace = sub.add_parser(
+        "trace", help="render a --trace JSONL file as a span tree"
+    )
+    trace.add_argument(
+        "trace_file", help="JSONL trace written by a --trace run"
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return args.func(args)
+    from repro import telemetry as _telemetry
+
+    # --trace taps the process-global registry, so every span the run
+    # produces (engine phases, cache traffic, campaign workers via
+    # fork, HTTP requests under serve) streams to the file as it
+    # closes; the final metrics snapshot is appended even on error.
+    telemetry = _telemetry.get_telemetry()
+    sink = _telemetry.JsonlSink(trace_path)
+    telemetry.add_sink(sink)
+    try:
+        return args.func(args)
+    finally:
+        telemetry.flush_metrics()
+        telemetry.remove_sink(sink)
+        sink.close()
 
 
 if __name__ == "__main__":

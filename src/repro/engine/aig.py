@@ -35,14 +35,13 @@ backend-specific, as the engine contract allows.
 
 from __future__ import annotations
 
-import time
 from array import array
 from heapq import heappop, heappush
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.aig import Aig, enumerate_cuts, cut_truth_table, truth_table_to_anf
 from repro.aig.cuts import iter_cuts
-from repro.engine.base import CompilingEngine
+from repro.engine.base import CompilingEngine, cone_span
 from repro.engine.bitpack import PackedExpression, _flat_product
 from repro.engine.interning import SignalInterner
 from repro.gf2.polynomial import Gf2Poly
@@ -438,8 +437,25 @@ class AigEngine(CompilingEngine):
         term_limit: Optional[int] = None,
         compile_cache: Optional[Any] = None,
     ) -> Tuple[PackedExpression, RewriteStats]:
+        with cone_span(self, output) as span:
+            expression, stats = self._rewrite_cone_impl(
+                netlist, output, trace, term_limit, compile_cache
+            )
+            span.annotate(
+                iterations=stats.iterations, peak_terms=stats.peak_terms
+            )
+            stats.runtime_s = span.elapsed()
+            return expression, stats
+
+    def _rewrite_cone_impl(
+        self,
+        netlist: Netlist,
+        output: str,
+        trace: bool,
+        term_limit: Optional[int],
+        compile_cache: Optional[Any],
+    ) -> Tuple[PackedExpression, RewriteStats]:
         stats = RewriteStats(output=output)
-        started = time.perf_counter()
 
         compiled = self._compiled_for(netlist, compile_cache)
         literal = compiled.net_literal.get(output)
@@ -461,7 +477,6 @@ class AigEngine(CompilingEngine):
             stats.peak_terms = max(1, len(masks))
             if term_limit is not None and stats.peak_terms > term_limit:
                 raise TermLimitExceeded(output, stats.peak_terms, term_limit)
-            stats.runtime_s = time.perf_counter() - started
             return PackedExpression(masks, interner), stats
 
         # Cone-local interning: the shared leaf region plus one slot per
@@ -582,5 +597,4 @@ class AigEngine(CompilingEngine):
         stats.eliminated_monomials = eliminated_total
         stats.peak_terms = peak_terms
         stats.final_terms = len(current)
-        stats.runtime_s = time.perf_counter() - started
         return PackedExpression(current, interner), stats

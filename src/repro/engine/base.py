@@ -43,11 +43,13 @@ backend without touching the others.
 from __future__ import annotations
 
 import abc
+import contextlib
 import hashlib
 import pickle
 from typing import Any, ClassVar, Iterable, Optional, Tuple
 from weakref import WeakKeyDictionary
 
+from repro import telemetry as _telemetry
 from repro.gf2.monomial import Monomial
 from repro.gf2.polynomial import Gf2Poly
 from repro.netlist.netlist import Netlist
@@ -56,6 +58,25 @@ from repro.rewrite.backward import RewriteStats
 
 class EngineError(ValueError):
     """Unknown engine name or invalid engine registration."""
+
+
+def cone_span(engine: "Engine", output: str):
+    """The ``"cone"`` telemetry span of one ``rewrite_cone`` call.
+
+    Engines delegate special cases to a parent class's ``rewrite_cone``
+    (the vector engine's flat path reuses the aig path verbatim); when
+    the caller is already inside this cone's span, the open span is
+    reused instead of double-counting the same work as a nested twin.
+    """
+    telemetry = _telemetry.current()
+    active = telemetry.active_span()
+    if (
+        active is not None
+        and active.name == "cone"
+        and active.attrs.get("output") == output
+    ):
+        return contextlib.nullcontext(active)
+    return telemetry.span("cone", engine=engine.name, output=output)
 
 
 class ConeExpression(abc.ABC):
@@ -264,11 +285,17 @@ class CompilingEngine(Engine):
                 self._store(netlist, compiled, compile_cache)
             return compiled
         compiled = None
-        if compile_cache is not None:
-            compiled = self._load_compiled(netlist, compile_cache)
-        fresh = compiled is None
-        if fresh:
-            compiled = self._compile(netlist)
+        # The span covers the cache load *and* the compile: a warm
+        # load is the compile phase of that run, just a cheap one.
+        with _telemetry.current().span(
+            "compile", engine=self.name, gates=len(netlist)
+        ) as span:
+            if compile_cache is not None:
+                compiled = self._load_compiled(netlist, compile_cache)
+            fresh = compiled is None
+            if fresh:
+                compiled = self._compile(netlist)
+            span.annotate(cached=not fresh)
         self._compiled[netlist] = compiled
         if compile_cache is not None:
             if fresh:

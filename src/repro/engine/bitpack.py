@@ -56,11 +56,10 @@ own intermediate representation rather than the reference engine's.
 
 from __future__ import annotations
 
-import time
 from heapq import heappop, heappush
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.engine.base import CompilingEngine, ConeExpression
+from repro.engine.base import CompilingEngine, ConeExpression, cone_span
 from repro.engine.interning import SignalInterner
 from repro.gf2.monomial import Monomial
 from repro.gf2.polynomial import Gf2Poly
@@ -303,8 +302,25 @@ class BitpackEngine(CompilingEngine):
         term_limit: Optional[int] = None,
         compile_cache: Optional[Any] = None,
     ) -> Tuple[PackedExpression, RewriteStats]:
+        with cone_span(self, output) as span:
+            expression, stats = self._rewrite_cone_impl(
+                netlist, output, trace, term_limit, compile_cache
+            )
+            span.annotate(
+                iterations=stats.iterations, peak_terms=stats.peak_terms
+            )
+            stats.runtime_s = span.elapsed()
+            return expression, stats
+
+    def _rewrite_cone_impl(
+        self,
+        netlist: Netlist,
+        output: str,
+        trace: bool,
+        term_limit: Optional[int],
+        compile_cache: Optional[Any],
+    ) -> Tuple[PackedExpression, RewriteStats]:
         stats = RewriteStats(output=output)
-        started = time.perf_counter()
 
         compiled = self._compiled_for(netlist, compile_cache)
         models = compiled.models
@@ -326,7 +342,6 @@ class BitpackEngine(CompilingEngine):
                 raise TermLimitExceeded(
                     output, stats.peak_terms, term_limit
                 )
-            stats.runtime_s = time.perf_counter() - started
             return PackedExpression(masks, interner), stats
 
         # Cone-local interning tables, pre-seeded with the global
@@ -475,5 +490,4 @@ class BitpackEngine(CompilingEngine):
         stats.eliminated_monomials = eliminated_total
         stats.peak_terms = peak_terms
         stats.final_terms = len(current)
-        stats.runtime_s = time.perf_counter() - started
         return PackedExpression(current, interner), stats

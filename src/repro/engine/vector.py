@@ -67,8 +67,9 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from weakref import WeakKeyDictionary
 
+from repro import telemetry as _telemetry
 from repro.engine.aig import AigEngine, _missing_output_error
-from repro.engine.base import EngineError
+from repro.engine.base import EngineError, cone_span
 from repro.engine.bitpack import PackedExpression
 from repro.engine.interning import SignalInterner
 from repro.gf2.polynomial import Gf2Poly
@@ -314,8 +315,25 @@ class VectorEngine(AigEngine):
                 "the vector engine needs numpy, which is not installed; "
                 "use engine='aig' or 'bitpack' instead"
             )
+        with cone_span(self, output) as span:
+            expression, stats = self._rewrite_cone_matrix(
+                netlist, output, trace, term_limit, compile_cache
+            )
+            span.annotate(
+                iterations=stats.iterations, peak_terms=stats.peak_terms
+            )
+            stats.runtime_s = span.elapsed()
+            return expression, stats
+
+    def _rewrite_cone_matrix(
+        self,
+        netlist: Netlist,
+        output: str,
+        trace: bool,
+        term_limit: Optional[int],
+        compile_cache: Optional[Any],
+    ) -> Tuple[PackedExpression, RewriteStats]:
         stats = RewriteStats(output=output)
-        started = time.perf_counter()
 
         compiled = self._compiled_for(netlist, compile_cache)
         literal = compiled.net_literal.get(output)
@@ -469,7 +487,6 @@ class VectorEngine(AigEngine):
         stats.eliminated_monomials = eliminated_total
         stats.peak_terms = peak_terms
         stats.final_terms = len(masks)
-        stats.runtime_s = time.perf_counter() - started
         return PackedExpression(masks, interner), stats
 
     # -- fused multi-output sweep ---------------------------------------
@@ -487,7 +504,10 @@ class VectorEngine(AigEngine):
         the rest share one output-tagged bit-matrix (see the module
         docstring).  Expressions are bit-identical to the per-bit
         sweep; per-cone statistics are round-based and each cone's
-        ``runtime_s`` is its amortized share of the shared sweep.
+        ``runtime_s`` is its attributed slice of the shared sweep:
+        round time proportional to the rows the cone claimed, plus an
+        equal share of the out-of-round overhead — the per-bit series
+        sums to the sweep's wall clock.
         """
         if _np is None:
             raise EngineError(
@@ -515,9 +535,12 @@ class VectorEngine(AigEngine):
             else:
                 roots.append((output, node, literal & 1))
         if roots:
-            results.update(
-                self._rewrite_fused(netlist, compiled, roots, term_limit)
-            )
+            with _telemetry.current().span(
+                "sweep", engine=self.name, roots=len(roots)
+            ):
+                results.update(
+                    self._rewrite_fused(netlist, compiled, roots, term_limit)
+                )
         return {output: results[output] for output in chosen}
 
     def _rewrite_fused(
@@ -631,6 +654,14 @@ class VectorEngine(AigEngine):
         one = _np.uint64(1)
         leaf_count = len(compiled.leaf_names)
         survivors = 0  # leaf bits left standing when the sweep ends
+        telemetry = _telemetry.current()
+        round_index = 0
+        # Per-cone wall-clock attribution: each round's time is split
+        # over cones in proportion to the rows they had claimed, so the
+        # per-bit ``runtime_s`` series is informative (not a flat
+        # average) and still sums to the sweep's wall clock.
+        tag_seconds = [0.0] * n_roots
+        accounted = 0.0
         while matrix.shape[0]:
             # One OR-reduce answers "does any pending variable survive
             # anywhere" — the common exit — and doubles as the residue
@@ -642,6 +673,14 @@ class VectorEngine(AigEngine):
             if not live_mask >> leaf_count:
                 survivors = live_mask
                 break  # only leaf bits remain anywhere
+
+            # Explicit begin/end keeps the round body unindented; on a
+            # term-limit abort the enclosing sweep span pops the open
+            # round from the thread's span stack.
+            round_span = telemetry.span(
+                "sweep.round", round=round_index, rows=int(matrix.shape[0])
+            )
+            round_span.__enter__()
 
             # Claim, per row, the highest pending variable it holds
             # (ascending AIG id is topological order, so this is the
@@ -750,17 +789,28 @@ class VectorEngine(AigEngine):
                 )
                 end = max(end - 1, start + 1)
                 rep_part = rep[start:end]
-                left = _np.repeat(claimed[start:end], rep_part, axis=0)
-                part_cum = _np.concatenate(([0], _np.cumsum(rep_part)))
-                within = (
-                    _np.arange(part_cum[-1], dtype=_np.int64)
-                    - _np.repeat(part_cum[:-1], rep_part)
-                )
-                right = models[
-                    _np.repeat(model_offset[group_of[start:end]], rep_part)
-                    + within
-                ]
-                current = _combine(current, left | right)
+                with telemetry.span(
+                    "substitute", round=round_index, rows=int(end - start)
+                ):
+                    left = _np.repeat(claimed[start:end], rep_part, axis=0)
+                    part_cum = _np.concatenate(([0], _np.cumsum(rep_part)))
+                    within = (
+                        _np.arange(part_cum[-1], dtype=_np.int64)
+                        - _np.repeat(part_cum[:-1], rep_part)
+                    )
+                    right = models[
+                        _np.repeat(
+                            model_offset[group_of[start:end]], rep_part
+                        )
+                        + within
+                    ]
+                    products = left | right
+                with telemetry.span(
+                    "cancel",
+                    round=round_index,
+                    rows=int(products.shape[0]),
+                ):
+                    current = _combine(current, products)
                 counts = counts_of(current)
                 _np.maximum(peaks, counts, out=peaks)
                 if term_limit is not None:
@@ -775,31 +825,57 @@ class VectorEngine(AigEngine):
             for tag in range(n_roots):
                 eliminated[tag] += int(gone[tag])
 
+            round_span.annotate(
+                claimed=int(claimed.shape[0]),
+                produced=int(produced.sum()),
+                terms=int(matrix.shape[0]),
+            )
+            round_span.__exit__(None, None, None)
+            round_wall = round_span.wall_s
+            accounted += round_wall
+            claims = _np.bincount(claim_tags, minlength=n_roots)
+            total_claims = int(claims.sum())
+            if total_claims:
+                shares = claims * (round_wall / total_claims)
+                for tag in range(n_roots):
+                    tag_seconds[tag] += float(shares[tag])
+            round_index += 1
+
         # The tag is the sort's primary key, so the cancelled matrix
         # is already grouped by cone: per-cone results are zero-copy
         # slices between searchsorted bounds.  ``survivors`` (the
         # final OR image) makes the residue check O(1) in the common
         # all-declared case; only a genuine leftover walks per cone.
-        bounds = _np.searchsorted(
-            matrix[:, -1],
-            _np.arange(n_roots + 1, dtype=_np.uint64),
-        )
-        if survivors & compiled.undeclared_bits:
-            for tag, (output, _node, _complemented) in enumerate(roots):
-                self._check_residue(
-                    compiled,
-                    netlist,
-                    output,
-                    _rows_to_masks(
-                        matrix[bounds[tag] : bounds[tag + 1], :-1]
-                    ),
-                )
+        with telemetry.span(
+            "decode", cones=n_roots, rows=int(matrix.shape[0])
+        ):
+            bounds = _np.searchsorted(
+                matrix[:, -1],
+                _np.arange(n_roots + 1, dtype=_np.uint64),
+            )
+            if survivors & compiled.undeclared_bits:
+                for tag, (output, _node, _complemented) in enumerate(roots):
+                    self._check_residue(
+                        compiled,
+                        netlist,
+                        output,
+                        _rows_to_masks(
+                            matrix[bounds[tag] : bounds[tag + 1], :-1]
+                        ),
+                    )
 
-        # Decode boundary, per cone: the interner is shared (read-only
-        # from here on) and each cone's rows decode lazily — a caller
-        # that never reads an expression never pays its conversion.
-        interner = SignalInterner.adopt(sig_index, sig_names)
-        share = (time.perf_counter() - started) / n_roots
+            # Decode boundary, per cone: the interner is shared
+            # (read-only from here on) and each cone's rows decode
+            # lazily — a caller that never reads an expression never
+            # pays its conversion.
+            interner = SignalInterner.adopt(sig_index, sig_names)
+
+        # Round time was attributed by claimed rows above; the
+        # out-of-round overhead (setup, claim scans, decode) is shared
+        # equally, so the per-bit series still sums to the sweep wall.
+        residual = max(
+            0.0, time.perf_counter() - started - accounted
+        ) / n_roots
         results: Dict[str, Tuple[PackedExpression, RewriteStats]] = {}
         for tag, (output, _node, _complemented) in enumerate(roots):
             rows = matrix[bounds[tag] : bounds[tag + 1], :-1]
@@ -809,8 +885,6 @@ class VectorEngine(AigEngine):
             stats.eliminated_monomials = eliminated[tag]
             stats.peak_terms = int(peaks[tag])
             stats.final_terms = int(rows.shape[0])
-            # Wall clock is genuinely shared: report each cone's
-            # amortized share so per-bit series sum to the sweep.
-            stats.runtime_s = share
+            stats.runtime_s = tag_seconds[tag] + residual
             results[output] = (_MatrixExpression(rows, interner), stats)
         return results

@@ -155,6 +155,8 @@ def extract_irreducible_polynomial(
     cache=None,
     compile_cache=None,
     fused: bool = False,
+    on_result=None,
+    telemetry=None,
 ) -> ExtractionResult:
     """Reverse engineer P(x) from a gate-level GF(2^m) multiplier.
 
@@ -181,6 +183,12 @@ def extract_irreducible_polynomial(
     every other backend, bit-identical results either way.  ``jobs``
     is ignored in fused mode.
 
+    ``on_result`` fires once per completed bit with ``(output, cone,
+    stats)`` — the progress feed of the HTTP API's job endpoints —
+    and ``telemetry`` selects the :class:`repro.telemetry.Telemetry`
+    registry the run's spans and counters land in (default: the
+    active one).  A cache hit short-circuits both.
+
     >>> from repro.gen.mastrovito import generate_mastrovito
     >>> result = extract_irreducible_polynomial(generate_mastrovito(0b10011))
     >>> result.polynomial_str
@@ -205,8 +213,10 @@ def extract_irreducible_polynomial(
         term_limit=term_limit,
         measure_memory=measure_memory,
         engine=engine,
+        on_result=on_result,
         compile_cache=compile_cache,
         fused=fused,
+        telemetry=telemetry,
     )
     result = result_from_run(run, m)
     # Stamp after the Algorithm-2 analysis phase so the total covers

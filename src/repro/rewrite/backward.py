@@ -22,10 +22,10 @@ step-by-step trace with the eliminated monomials.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import telemetry as _telemetry
 from repro.gf2.monomial import Monomial, monomial_str
 from repro.gf2.polynomial import Gf2Poly
 from repro.netlist.netlist import Netlist
@@ -89,6 +89,7 @@ def backward_rewrite(
     term_limit: Optional[int] = None,
     engine: str = "reference",
     compile_cache=None,
+    telemetry=None,
 ) -> Tuple[Gf2Poly, RewriteStats]:
     """Extract the canonical GF(2) expression of one output bit.
 
@@ -103,7 +104,10 @@ def backward_rewrite(
     ``get_compiled``/``put_compiled`` contract) lets compiling
     backends persist their one-time per-netlist compile across
     processes; the reference backend has nothing to compile and
-    ignores it.
+    ignores it.  ``telemetry`` selects the
+    :class:`repro.telemetry.Telemetry` registry the run's spans land
+    in (default: the active one); ``runtime_s`` is the cone span's
+    wall time.
 
     >>> from repro.gen.mastrovito import generate_mastrovito
     >>> net = generate_mastrovito(0b111)       # GF(2^2), x^2+x+1
@@ -113,78 +117,85 @@ def backward_rewrite(
     >>> poly == backward_rewrite(net, "z1", engine="bitpack")[0]
     True
     """
+    tel = _telemetry.resolve(telemetry)
     if engine not in (None, "reference"):
         from repro.engine import get_engine
 
-        return get_engine(engine).rewrite(
-            netlist,
-            output,
-            trace=trace,
-            term_limit=term_limit,
-            compile_cache=compile_cache,
-        )
-    stats = RewriteStats(output=output)
-    started = time.perf_counter()
+        with _telemetry.use(tel):
+            return get_engine(engine).rewrite(
+                netlist,
+                output,
+                trace=trace,
+                term_limit=term_limit,
+                compile_cache=compile_cache,
+            )
+    with tel.span("cone", engine="reference", output=output) as span:
+        stats = RewriteStats(output=output)
 
-    cone = netlist.cone_gates(output)
-    stats.cone_gates = len(cone)
-    primary_inputs = set(netlist.inputs)
+        cone = netlist.cone_gates(output)
+        stats.cone_gates = len(cone)
+        primary_inputs = set(netlist.inputs)
 
-    # F0 = z_i : a single one-variable monomial.
-    current: Set[Monomial] = {frozenset({output})}
-    stats.peak_terms = 1
+        # F0 = z_i : a single one-variable monomial.
+        current: Set[Monomial] = {frozenset({output})}
+        stats.peak_terms = 1
 
-    for gate in reversed(cone):
-        variable = gate.output
-        affected = [mono for mono in current if variable in mono]
-        if not affected:
-            # The gate drives no remaining variable; Algorithm 1 line 4
-            # skips gates whose output is absent from F_i.
-            continue
-        model = gate_model(gate)
-        eliminated = 0
-        for mono in affected:
-            current.discard(mono)
-        for mono in affected:
-            stripped = mono - {variable}
-            for replacement in model:
-                product = stripped | replacement
-                if product in current:
-                    current.discard(product)
-                    eliminated += 2  # both copies cancelled mod 2
-                else:
-                    current.add(product)
-        stats.iterations += 1
-        stats.eliminated_monomials += eliminated
-        if len(current) > stats.peak_terms:
-            stats.peak_terms = len(current)
-            if term_limit is not None and stats.peak_terms > term_limit:
-                raise TermLimitExceeded(output, stats.peak_terms, term_limit)
-        if trace:
-            stats.trace.append(
-                TraceStep(
-                    gate=str(gate),
-                    expression=str(Gf2Poly.from_monomials(current)),
-                    eliminated=f"{eliminated} monomials cancelled",
+        for gate in reversed(cone):
+            variable = gate.output
+            affected = [mono for mono in current if variable in mono]
+            if not affected:
+                # The gate drives no remaining variable; Algorithm 1
+                # line 4 skips gates whose output is absent from F_i.
+                continue
+            model = gate_model(gate)
+            eliminated = 0
+            for mono in affected:
+                current.discard(mono)
+            for mono in affected:
+                stripped = mono - {variable}
+                for replacement in model:
+                    product = stripped | replacement
+                    if product in current:
+                        current.discard(product)
+                        eliminated += 2  # both copies cancelled mod 2
+                    else:
+                        current.add(product)
+            stats.iterations += 1
+            stats.eliminated_monomials += eliminated
+            if len(current) > stats.peak_terms:
+                stats.peak_terms = len(current)
+                if term_limit is not None and stats.peak_terms > term_limit:
+                    raise TermLimitExceeded(
+                        output, stats.peak_terms, term_limit
+                    )
+            if trace:
+                stats.trace.append(
+                    TraceStep(
+                        gate=str(gate),
+                        expression=str(Gf2Poly.from_monomials(current)),
+                        eliminated=f"{eliminated} monomials cancelled",
+                    )
                 )
+
+        leftovers = {
+            name
+            for mono in current
+            for name in mono
+            if name not in primary_inputs
+        }
+        if leftovers:
+            raise BackwardRewriteError(
+                f"rewriting {output!r} left non-input variables "
+                f"{sorted(leftovers)[:5]} — netlist is not a complete "
+                "combinational cone"
             )
 
-    leftovers = {
-        name
-        for mono in current
-        for name in mono
-        if name not in primary_inputs
-    }
-    if leftovers:
-        raise BackwardRewriteError(
-            f"rewriting {output!r} left non-input variables "
-            f"{sorted(leftovers)[:5]} — netlist is not a complete "
-            "combinational cone"
+        stats.final_terms = len(current)
+        span.annotate(
+            iterations=stats.iterations, peak_terms=stats.peak_terms
         )
-
-    stats.final_terms = len(current)
-    stats.runtime_s = time.perf_counter() - started
-    return Gf2Poly.from_monomials(current), stats
+        stats.runtime_s = span.elapsed()
+        return Gf2Poly.from_monomials(current), stats
 
 
 def backward_rewrite_all(
@@ -209,6 +220,7 @@ def backward_rewrite_multi(
     term_limit: Optional[int] = None,
     engine: str = "reference",
     compile_cache=None,
+    telemetry=None,
 ) -> Dict[str, Tuple[Gf2Poly, RewriteStats]]:
     """Multi-root Algorithm 1: every requested cone in one engine call.
 
@@ -229,9 +241,10 @@ def backward_rewrite_multi(
     from repro.engine import get_engine
 
     chosen = list(outputs) if outputs is not None else list(netlist.outputs)
-    cones = get_engine(engine).rewrite_cones(
-        netlist, chosen, term_limit=term_limit, compile_cache=compile_cache
-    )
+    with _telemetry.use(_telemetry.resolve(telemetry)):
+        cones = get_engine(engine).rewrite_cones(
+            netlist, chosen, term_limit=term_limit, compile_cache=compile_cache
+        )
     return {
         output: (cone.decode(), stats)
         for output, (cone, stats) in cones.items()

@@ -19,7 +19,6 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-import tracemalloc
 from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field
 from typing import (
@@ -36,6 +35,7 @@ from typing import (
 if TYPE_CHECKING:  # runtime import would cycle through repro.engine
     from repro.engine.base import ConeExpression
 
+from repro import telemetry as _telemetry
 from repro.gf2.polynomial import Gf2Poly
 from repro.netlist.netlist import Netlist
 from repro.rewrite.backward import RewriteStats
@@ -164,6 +164,7 @@ def extract_expressions(
     on_result: Optional[ResultHook] = None,
     compile_cache=None,
     fused: bool = False,
+    telemetry: Optional["_telemetry.Telemetry"] = None,
 ) -> ExtractionRun:
     """Extract the canonical GF(2) expression of every output bit.
 
@@ -199,6 +200,13 @@ def extract_expressions(
     parallelism); results are bit-identical to a per-bit run, and the
     ``on_result`` hook still fires once per bit — after the sweep, in
     request order.
+
+    ``telemetry`` selects the :class:`repro.telemetry.Telemetry`
+    registry this run reports to (default: the active one).  The whole
+    run is one ``extract`` span; engine ``compile``/``cone``/``sweep``
+    spans nest under it, and ``measure_memory`` rides on the span's
+    tracemalloc handling — nested-measurement safe, stopped even when
+    a bit raises.
     """
     chosen = list(outputs) if outputs is not None else list(netlist.outputs)
     if fused:
@@ -209,84 +217,94 @@ def extract_expressions(
     backend = _resolve_engine(engine)
 
     tracking = measure_memory and jobs == 1
-    if tracking:
-        tracemalloc.start()
-    started_wall = time.perf_counter()
-    started_cpu = time.process_time()
-
-    if compile_cache is not None:
-        # Prepare inside the timed region (the compile is part of this
-        # run's cost, cached or not) and in the *coordinating* process,
-        # so forked workers inherit the program copy-on-write.
-        backend.prepare(netlist, compile_cache=compile_cache)
-
+    tel = _telemetry.resolve(telemetry)
     results: List[Tuple[str, "ConeExpression", RewriteStats]] = []
-    if fused:
-        cones_by_output = backend.rewrite_cones(
-            netlist,
-            chosen,
-            term_limit=term_limit,
-            compile_cache=compile_cache,
-        )
-        for output in chosen:
-            expression, stats = cones_by_output[output]
-            results.append((output, expression, stats))
-            if on_result is not None:
-                on_result(output, expression, stats)
-    elif jobs == 1:
-        netlist.topological_order()
-        for output in chosen:
-            expression, stats = backend.rewrite_cone(
-                netlist, output, term_limit=term_limit
-            )
-            results.append((output, expression, stats))
-            if on_result is not None:
-                on_result(output, expression, stats)
-    else:
-        # Workers re-resolve the backend from its registry name, so an
-        # injected instance that the registry does not resolve back to
-        # would be silently replaced — reject that instead.
-        from repro.engine import EngineError, get_engine
+    # The span is the timed region: engines deep below resolve the
+    # same registry through use(), and the tracemalloc peak rides on
+    # the span (nested-measurement safe, stopped even on a raise).
+    with _telemetry.use(tel), tel.span(
+        "extract",
+        memory=tracking,
+        netlist=netlist.name,
+        engine=backend.name,
+        bits=len(chosen),
+        jobs=jobs,
+        fused=fused,
+    ) as span:
+        started_cpu = time.process_time()
 
-        try:
-            registered = get_engine(backend.name)
-        except EngineError:
-            registered = None
-        if registered is not backend:
-            raise EngineError(
-                f"engine {backend!r} is not resolvable from the "
-                f"registry by name; register_engine() it (or pass the "
-                f"registered name) to use jobs > 1"
+        if compile_cache is not None:
+            # Prepare inside the timed region (the compile is part of
+            # this run's cost, cached or not) and in the *coordinating*
+            # process, so forked workers inherit the program
+            # copy-on-write.
+            backend.prepare(netlist, compile_cache=compile_cache)
+
+        if fused:
+            cones_by_output = backend.rewrite_cones(
+                netlist,
+                chosen,
+                term_limit=term_limit,
+                compile_cache=compile_cache,
             )
-        context = _pool_context()
-        with context.Pool(
-            processes=jobs,
-            initializer=_worker_init,
-            initargs=(netlist, term_limit, backend.name),
-        ) as pool:
-            # Unordered iteration so the checkpoint hook observes each
-            # completion as it happens; re-sorted to the requested
-            # output order below for deterministic run composition.
-            for item in pool.imap_unordered(_worker_rewrite, chosen):
-                results.append(item)
+            for output in chosen:
+                expression, stats = cones_by_output[output]
+                results.append((output, expression, stats))
                 if on_result is not None:
-                    on_result(*item)
-        position = {output: idx for idx, output in enumerate(chosen)}
-        results.sort(key=lambda item: position[item[0]])
+                    on_result(output, expression, stats)
+        elif jobs == 1:
+            netlist.topological_order()
+            for output in chosen:
+                expression, stats = backend.rewrite_cone(
+                    netlist, output, term_limit=term_limit
+                )
+                results.append((output, expression, stats))
+                if on_result is not None:
+                    on_result(output, expression, stats)
+        else:
+            # Workers re-resolve the backend from its registry name, so
+            # an injected instance that the registry does not resolve
+            # back to would be silently replaced — reject that instead.
+            from repro.engine import EngineError, get_engine
 
-    if compile_cache is not None:
-        # Persist whatever the program accreted during rewriting
-        # (lazily built cut models) so the next cold process inherits
-        # it.  Pool workers grow their own forked copies, which the
-        # coordinator cannot see — only sequential runs re-store.
-        backend.finalize(netlist, compile_cache=compile_cache)
+            try:
+                registered = get_engine(backend.name)
+            except EngineError:
+                registered = None
+            if registered is not backend:
+                raise EngineError(
+                    f"engine {backend!r} is not resolvable from the "
+                    f"registry by name; register_engine() it (or pass "
+                    f"the registered name) to use jobs > 1"
+                )
+            context = _pool_context()
+            with context.Pool(
+                processes=jobs,
+                initializer=_worker_init,
+                initargs=(netlist, term_limit, backend.name),
+            ) as pool:
+                # Unordered iteration so the checkpoint hook observes
+                # each completion as it happens; re-sorted to the
+                # requested output order below for deterministic run
+                # composition.
+                for item in pool.imap_unordered(_worker_rewrite, chosen):
+                    results.append(item)
+                    if on_result is not None:
+                        on_result(*item)
+            position = {output: idx for idx, output in enumerate(chosen)}
+            results.sort(key=lambda item: position[item[0]])
 
-    wall = time.perf_counter() - started_wall
-    cpu = time.process_time() - started_cpu
-    peak_memory = None
-    if tracking:
-        _, peak_memory = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
+        if compile_cache is not None:
+            # Persist whatever the program accreted during rewriting
+            # (lazily built cut models) so the next cold process
+            # inherits it.  Pool workers grow their own forked copies,
+            # which the coordinator cannot see — only sequential runs
+            # re-store.
+            backend.finalize(netlist, compile_cache=compile_cache)
+
+        wall = span.elapsed()
+        cpu = time.process_time() - started_cpu
+    peak_memory = span.peak_bytes if tracking else None
 
     # Decode boundary: the run's expressions read as Gf2Poly but are
     # decoded lazily from the backend-native cones, which Algorithm 2

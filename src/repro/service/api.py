@@ -8,6 +8,11 @@ Endpoints (all JSON)::
 
     GET  /v1/health                    liveness + engine/cache info
     GET  /v1/stats                     cache + job-table statistics
+    GET  /v1/metrics                   telemetry counters/gauges +
+                                       cache hit/miss/evict + job table
+                                       (also served as /metrics)
+    GET  /v1/jobs/<job_id>/progress    per-bit job progress
+                                       (also /jobs/<job_id>/progress)
     POST /v1/jobs                      submit a netlist
          body: {"netlist": "<text>", "format": "eqn"|"blif"|"v",
                 "mode": "extract"|"audit"|"diagnose",
@@ -42,6 +47,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro import telemetry as _telemetry
 from repro.engine import DEFAULT_ENGINE, available_engines
 from repro.netlist.blif_io import parse_blif
 from repro.netlist.eqn_io import parse_eqn
@@ -74,6 +80,9 @@ class Job:
     cache: str = "miss"
     error: Optional[str] = None
     result: Optional[Dict[str, Any]] = None
+    #: ``{"done_bits": n, "total_bits": m}`` while an extraction runs
+    #: (fed per completed bit by the pipeline's ``on_result`` hook).
+    progress: Optional[Dict[str, Any]] = None
 
     def view(self) -> Dict[str, Any]:
         data = asdict(self)
@@ -91,10 +100,14 @@ class ReproAPIServer:
         engine: str = DEFAULT_ENGINE,
         jobs: int = 1,
         worker_threads: int = 2,
+        telemetry: Optional[_telemetry.Telemetry] = None,
     ):
         self.cache = cache if cache is not None else ResultCache()
         self.engine = engine
         self.jobs = jobs
+        #: Registry every request span, job span, cache counter and
+        #: progress gauge lands in; ``GET /metrics`` snapshots it.
+        self.telemetry = _telemetry.resolve(telemetry)
         self._queue: "queue.Queue[Optional[Tuple[Job, Any]]]" = queue.Queue()
         self._table: Dict[str, Job] = {}
         self._lock = threading.Lock()
@@ -175,19 +188,43 @@ class ReproAPIServer:
             job, netlist = item
             job.status = "running"
             started = time.perf_counter()
-            try:
-                job.result = _run_pipeline(
-                    self.cache,
-                    netlist,
-                    job.mode,
-                    job.engine,
-                    self.jobs,
-                    fingerprint=job.fingerprint,
-                )
-                job.status = "done"
-            except Exception as error:  # noqa: BLE001 - report, don't die
-                job.status = "error"
-                job.error = f"{type(error).__name__}: {error}"
+            job.progress = {
+                "done_bits": 0,
+                "total_bits": len(netlist.outputs),
+            }
+            gauge = f"job.{job.job_id}.progress"
+            self.telemetry.gauge(gauge, 0.0)
+
+            def advance(output, cone, stats, job=job, gauge=gauge):
+                done = job.progress["done_bits"] + 1
+                job.progress["done_bits"] = done
+                total = job.progress["total_bits"] or 1
+                self.telemetry.gauge(gauge, done / total)
+
+            with _telemetry.use(self.telemetry), self.telemetry.span(
+                "job",
+                job_id=job.job_id,
+                mode=job.mode,
+                engine=job.engine,
+                fingerprint=job.fingerprint[:12],
+            ) as span:
+                try:
+                    job.result = _run_pipeline(
+                        self.cache,
+                        netlist,
+                        job.mode,
+                        job.engine,
+                        self.jobs,
+                        fingerprint=job.fingerprint,
+                        progress=advance,
+                        telemetry=self.telemetry,
+                    )
+                    job.status = "done"
+                except Exception as error:  # noqa: BLE001 - report it
+                    job.status = "error"
+                    job.error = f"{type(error).__name__}: {error}"
+                span.annotate(status=job.status)
+            self.telemetry.counter(f"jobs.{job.status}")
             job.wall_time_s = time.perf_counter() - started
 
     def _evict_finished_locked(self) -> None:
@@ -205,11 +242,58 @@ class ReproAPIServer:
         if excess > 0:
             for job_id in finished[:excess]:
                 del self._table[job_id]
+                # An evicted job's progress gauge would otherwise pin
+                # the metrics payload forever.
+                self.telemetry.clear_gauge(f"job.{job_id}.progress")
 
     def job_view(self, job_id: str) -> Optional[Dict[str, Any]]:
         with self._lock:
             job = self._table.get(job_id)
         return job.view() if job is not None else None
+
+    def progress_view(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """Per-bit completion of one job (``/jobs/<id>/progress``)."""
+        with self._lock:
+            job = self._table.get(job_id)
+        if job is None:
+            return None
+        progress = dict(job.progress) if job.progress is not None else {}
+        done = progress.get("done_bits", 0)
+        total = progress.get("total_bits")
+        if job.status == "done" and total:
+            done = total  # the last on_result may race the poll
+        if total:
+            fraction = done / total
+        else:  # cache hits never enter the worker loop
+            fraction = 1.0 if job.status == "done" else 0.0
+        return {
+            "job_id": job.job_id,
+            "status": job.status,
+            "done_bits": done,
+            "total_bits": total,
+            "fraction": fraction,
+        }
+
+    def metrics_view(self) -> Dict[str, Any]:
+        """The ``GET /metrics`` payload: telemetry registry snapshot
+        plus the cache's session counters and the job table census."""
+        cache_stats = self.cache.stats()
+        with self._lock:
+            by_status: Dict[str, int] = {}
+            for job in self._table.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+        payload = self.telemetry.metrics()
+        payload["cache"] = {
+            "hits": cache_stats.hits,
+            "misses": cache_stats.misses,
+            "evictions": cache_stats.evictions,
+            "compile_hits": cache_stats.compile_hits,
+            "compile_misses": cache_stats.compile_misses,
+            "entries": cache_stats.entries,
+            "disk_bytes": cache_stats.disk_bytes,
+        }
+        payload["jobs"] = by_status
+        return payload
 
     def stats_view(self) -> Dict[str, Any]:
         cache_stats = self.cache.stats()
@@ -283,8 +367,16 @@ def _run_pipeline(
     engine: str,
     jobs: int,
     fingerprint: Optional[str] = None,
+    progress=None,
+    telemetry: Optional[_telemetry.Telemetry] = None,
 ) -> Dict[str, Any]:
-    """Compute (and cache) the artifacts a mode needs; return summary."""
+    """Compute (and cache) the artifacts a mode needs; return summary.
+
+    ``progress`` is forwarded as the extraction's per-bit ``on_result``
+    hook (the job progress feed); diagnose mode reports no per-bit
+    progress.  ``telemetry`` selects the registry the extraction spans
+    land in.
+    """
     from repro.extract.diagnose import diagnose
     from repro.extract.extractor import extract_irreducible_polynomial
     from repro.extract.verify import verify_multiplier
@@ -303,7 +395,11 @@ def _run_pipeline(
         result = cache.get_extraction(fingerprint)
         if result is None:
             result = extract_irreducible_polynomial(
-                netlist, jobs=jobs, engine=engine
+                netlist,
+                jobs=jobs,
+                engine=engine,
+                on_result=progress,
+                telemetry=telemetry,
             )
             cache.put_extraction(fingerprint, result)
         if mode == "audit" and cache.get_verification(fingerprint) is None:
@@ -330,6 +426,7 @@ def _make_handler(server: "ReproAPIServer"):
         # -- helpers ----------------------------------------------------
 
         def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+            self._last_status = status
             body = json.dumps(payload).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
@@ -340,10 +437,24 @@ def _make_handler(server: "ReproAPIServer"):
         def _error(self, status: int, message: str) -> None:
             self._send_json(status, {"error": message})
 
+        def _traced(self, method: str, route) -> None:
+            """Run one request handler inside an ``http.request`` span
+            on the server's registry (annotated with the status the
+            handler actually sent)."""
+            url = urlparse(self.path)
+            with _telemetry.use(server.telemetry), server.telemetry.span(
+                "http.request", method=method, path=url.path
+            ) as span:
+                server.telemetry.counter("http.requests")
+                route(url)
+                span.annotate(status=getattr(self, "_last_status", None))
+
         # -- GET --------------------------------------------------------
 
         def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-            url = urlparse(self.path)
+            self._traced("GET", self._route_get)
+
+        def _route_get(self, url) -> None:
             parts = [part for part in url.path.split("/") if part]
             if parts == ["v1", "health"]:
                 self._send_json(
@@ -356,6 +467,23 @@ def _make_handler(server: "ReproAPIServer"):
                 )
             elif parts == ["v1", "stats"]:
                 self._send_json(200, server.stats_view())
+            elif parts in (["v1", "metrics"], ["metrics"]):
+                self._send_json(200, server.metrics_view())
+            elif (
+                len(parts) == 4
+                and parts[:2] == ["v1", "jobs"]
+                and parts[3] == "progress"
+            ) or (
+                len(parts) == 3
+                and parts[0] == "jobs"
+                and parts[2] == "progress"
+            ):
+                job_id = parts[2] if parts[0] == "v1" else parts[1]
+                view = server.progress_view(job_id)
+                if view is None:
+                    self._error(404, f"unknown job {job_id!r}")
+                else:
+                    self._send_json(200, view)
             elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
                 view = server.job_view(parts[2])
                 if view is None:
@@ -404,7 +532,9 @@ def _make_handler(server: "ReproAPIServer"):
         # -- POST -------------------------------------------------------
 
         def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-            url = urlparse(self.path)
+            self._traced("POST", self._route_post)
+
+        def _route_post(self, url) -> None:
             if [part for part in url.path.split("/") if part] != [
                 "v1", "jobs",
             ]:
@@ -472,6 +602,7 @@ def serve(
     engine: str = DEFAULT_ENGINE,
     jobs: int = 1,
     worker_threads: int = 2,
+    telemetry: Optional[_telemetry.Telemetry] = None,
 ) -> ReproAPIServer:
     """Build (but do not start) a configured server — the CLI entry.
 
@@ -486,4 +617,5 @@ def serve(
         engine=engine,
         jobs=jobs,
         worker_threads=worker_threads,
+        telemetry=telemetry,
     )

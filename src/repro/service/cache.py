@@ -34,7 +34,11 @@ argument) and an optional size-in-bytes budget
 (``REPRO_CACHE_MAX_BYTES`` / ``max_bytes``): every ``put`` past either
 budget evicts the oldest-mtime entries (:meth:`ResultCache.prune`,
 also exposed as ``repro cache prune``), and the session's
-hit/miss/evict counters appear in ``repro cache stats``.
+hit/miss/evict counters appear in ``repro cache stats``.  Every
+counter bump also mirrors into the active :mod:`repro.telemetry`
+registry (``cache.hit`` / ``cache.miss`` / ``cache.put`` /
+``cache.evict`` / ``cache.compile_hit`` / ``cache.compile_miss``),
+which is what the HTTP API's ``GET /metrics`` endpoint scrapes.
 
 Compiled programs
 -----------------
@@ -68,6 +72,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 from weakref import WeakKeyDictionary
 
+from repro import telemetry as _telemetry
 from repro.extract.diagnose import Diagnosis, Verdict
 from repro.extract.extractor import ExtractionResult
 from repro.extract.verify import VerificationReport
@@ -569,11 +574,14 @@ class ResultCache:
                 entry = json.load(handle)
         except (FileNotFoundError, json.JSONDecodeError):
             self.misses += 1
+            _telemetry.current().counter("cache.miss")
             return None
         if entry.get("schema") != CACHE_SCHEMA_VERSION:
             self.misses += 1
+            _telemetry.current().counter("cache.miss")
             return None
         self.hits += 1
+        _telemetry.current().counter("cache.hit")
         return _DECODERS[kind](entry["payload"])
 
     def put(self, kind: str, key: Union[str, Netlist], artifact: Any) -> Path:
@@ -590,6 +598,7 @@ class ResultCache:
         }
         replaced = self._size_before_write(path)
         atomic_write_text(path, json.dumps(entry, indent=1, sort_keys=True))
+        _telemetry.current().counter("cache.put")
         self._after_budgeted_write(path, replaced)
         return path
 
@@ -682,8 +691,10 @@ class ResultCache:
             payload = path.read_bytes()
         except OSError:
             self.compile_misses += 1
+            _telemetry.current().counter("cache.compile_miss")
             return None
         self.compile_hits += 1
+        _telemetry.current().counter("cache.compile_hit")
         return payload
 
     def note_compile_rejected(self) -> None:
@@ -696,6 +707,9 @@ class ResultCache:
         """
         self.compile_hits -= 1
         self.compile_misses += 1
+        telemetry = _telemetry.current()
+        telemetry.counter("cache.compile_hit", -1)
+        telemetry.counter("cache.compile_miss")
 
     def put_compiled(
         self,
@@ -826,6 +840,8 @@ class ResultCache:
             kept_count -= 1
             kept_bytes -= size
         self.evictions += removed
+        if removed:
+            _telemetry.current().counter("cache.evict", removed)
         self._entry_estimate = kept_count
         self._bytes_estimate = kept_bytes
         return removed

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro import telemetry as _telemetry
 from repro.engine.reference import ReferenceExpression
 from repro.gf2.polynomial import Gf2Poly
 from repro.ioutil import atomic_append_line, atomic_write_text
@@ -227,6 +228,7 @@ def checkpointed_extract(
     compile_cache=None,
     fused: bool = False,
     fused_chunk: int = FUSED_CHUNK_BITS,
+    telemetry=None,
 ) -> CheckpointedExtraction:
     """:func:`~repro.rewrite.parallel.extract_expressions` with resume.
 
@@ -253,6 +255,12 @@ def checkpointed_extract(
     The assembled run reports only the *fresh* wall/cpu time (resumed
     bits cost nothing now — that is the point), but per-bit stats are
     preserved across the kill, so Figure-4 series stay complete.
+
+    ``telemetry`` selects the registry progress lands in (default:
+    the active one): every completed bit updates the
+    ``job.<fingerprint>.done_bits`` gauge, and each fused sweep-chunk
+    runs inside a ``job.chunk`` span — the progress ticks ROADMAP
+    item 1's poll/SSE feed reads.
     """
     chosen = list(outputs) if outputs is not None else list(netlist.outputs)
     if fingerprint is None:
@@ -280,9 +288,16 @@ def checkpointed_extract(
         cones[output] = ReferenceExpression(poly)
         stats[output] = bit_stats
 
+    tel = _telemetry.resolve(telemetry)
+    done_gauge = f"job.{fingerprint[:12]}.done_bits"
+    tel.gauge(done_gauge, len(resumed))
+    tel.gauge(f"job.{fingerprint[:12]}.total_bits", len(chosen))
+
     if remaining:
         def persist(output, cone, bit_stats) -> None:
             checkpoint.record(output, cone.decode(), bit_stats)
+            tel.counter("job.bits_completed")
+            tel.gauge(done_gauge, len(checkpoint.bits))
 
         if fused:
             # Sweep-chunk scheduling: one fused pass per chunk of
@@ -291,17 +306,27 @@ def checkpointed_extract(
             wall = cpu = 0.0
             run_jobs = 1
             run_engine = engine
-            for start in range(0, len(remaining), chunk):
-                fresh = extract_expressions(
-                    netlist,
-                    outputs=remaining[start : start + chunk],
-                    jobs=jobs,
-                    term_limit=term_limit,
-                    engine=engine,
-                    on_result=persist,
-                    compile_cache=compile_cache,
-                    fused=True,
-                )
+            for index, start in enumerate(
+                range(0, len(remaining), chunk)
+            ):
+                batch = remaining[start : start + chunk]
+                with tel.span(
+                    "job.chunk",
+                    fingerprint=fingerprint[:12],
+                    chunk=index,
+                    bits=len(batch),
+                ):
+                    fresh = extract_expressions(
+                        netlist,
+                        outputs=batch,
+                        jobs=jobs,
+                        term_limit=term_limit,
+                        engine=engine,
+                        on_result=persist,
+                        compile_cache=compile_cache,
+                        fused=True,
+                        telemetry=tel,
+                    )
                 cones.update(fresh.cones)
                 stats.update(fresh.stats)
                 wall += fresh.wall_time_s
@@ -316,6 +341,7 @@ def checkpointed_extract(
                 engine=engine,
                 on_result=persist,
                 compile_cache=compile_cache,
+                telemetry=tel,
             )
             cones.update(fresh.cones)
             stats.update(fresh.stats)

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro import telemetry as _telemetry
 from repro.engine import DEFAULT_ENGINE
 from repro.ioutil import atomic_append_line, atomic_write_text
 from repro.netlist.blif_io import read_blif
@@ -128,6 +129,15 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
         ResultCache(task["cache_dir"]) if task["cache_dir"] is not None
         else None
     )
+    # Under a forked campaign pool the worker inherits the coordinator's
+    # active registry (and any JSONL sink handle, which appends
+    # atomically), so per-netlist spans from every worker land in the
+    # same trace; counters stay per-process.
+    telemetry = _telemetry.current()
+    span = telemetry.span(
+        "campaign.netlist", netlist=path.stem, mode=mode, engine=engine
+    )
+    span.__enter__()
     try:
         reader = NETLIST_READERS.get(path.suffix)
         if reader is None:
@@ -254,6 +264,10 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
     except Exception as error:  # noqa: BLE001 - campaign must survive
         record["status"] = "error"
         record["error"] = f"{type(error).__name__}: {error}"
+        telemetry.counter("campaign.errors")
+    span.annotate(status=record["status"], cache=record["cache"])
+    span.__exit__(None, None, None)
+    telemetry.counter("campaign.netlists")
     record["wall_time_s"] = time.perf_counter() - started
     return record
 
@@ -321,10 +335,14 @@ class CampaignRunner:
         use_cache: bool = True,
         checkpoint: bool = True,
         fused: bool = False,
+        telemetry: Optional["_telemetry.Telemetry"] = None,
     ):
         if mode not in ("extract", "audit", "diagnose"):
             raise ValueError(f"unknown campaign mode {mode!r}")
         self.mode = mode
+        #: Telemetry registry campaign spans/counters report to
+        #: (default: the active one at :meth:`run` time).
+        self.telemetry = telemetry
         self.engine = engine
         self.jobs = jobs
         self.workers = max(1, workers)
@@ -381,30 +399,43 @@ class CampaignRunner:
                 )
 
         tasks = [self._task(path) for path in paths]
-        if self.workers == 1 or len(tasks) == 1:
-            for task in tasks:
-                emit(_process_netlist(task))
-        else:
-            import multiprocessing
+        tel = _telemetry.resolve(self.telemetry)
+        with _telemetry.use(tel), tel.span(
+            "campaign",
+            mode=self.mode,
+            engine=self.engine,
+            netlists=len(paths),
+            workers=self.workers,
+        ):
+            if self.workers == 1 or len(tasks) == 1:
+                for task in tasks:
+                    emit(_process_netlist(task))
+            else:
+                import multiprocessing
 
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX
-                context = multiprocessing.get_context()
-            with context.Pool(processes=min(self.workers, len(tasks))) as pool:
-                for record in pool.imap_unordered(_process_netlist, tasks):
-                    emit(record)
-            # Deterministic report order regardless of completion order.
-            order = {str(path): idx for idx, path in enumerate(paths)}
-            records.sort(key=lambda record: order[record["path"]])
-            if report_file is not None:
-                atomic_write_text(
-                    report_file,
-                    "".join(
-                        json.dumps(record, sort_keys=True) + "\n"
-                        for record in records
-                    ),
-                )
+                try:
+                    context = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - non-POSIX
+                    context = multiprocessing.get_context()
+                with context.Pool(
+                    processes=min(self.workers, len(tasks))
+                ) as pool:
+                    for record in pool.imap_unordered(
+                        _process_netlist, tasks
+                    ):
+                        emit(record)
+                # Deterministic report order regardless of completion
+                # order.
+                order = {str(path): idx for idx, path in enumerate(paths)}
+                records.sort(key=lambda record: order[record["path"]])
+                if report_file is not None:
+                    atomic_write_text(
+                        report_file,
+                        "".join(
+                            json.dumps(record, sort_keys=True) + "\n"
+                            for record in records
+                        ),
+                    )
         return CampaignReport(
             records=records,
             report_path=report_file,
