@@ -32,14 +32,16 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_fused.py            # full
     PYTHONPATH=src python benchmarks/bench_fused.py --smoke    # CI (m=16)
     PYTHONPATH=src python benchmarks/bench_fused.py --smoke \
-        --check BENCH_fused.json                               # CI guard
+        --ledger BENCH_history.jsonl                           # CI ledger
 
 The full run writes ``BENCH_fused.json`` at the repository root.
-``--check`` is the CI perf-regression guard: it compares this run's
-m=16 fused-vs-per-bit ratio against the committed baseline's and
-fails when the fused sweep regressed more than 2x *relative to the
-per-bit sweep measured on the same machine* — normalizing by the
-per-bit time keeps the guard meaningful across hardware.
+``--ledger`` appends a schema-versioned row (git rev, host,
+calibration constant, report summary) to the append-only perf
+ledger — see ``benchmarks/ledger.py``.  Perf-regression *gating*
+moved to the trace level: CI runs the traced m=16 workload twice and
+judges it with ``repro trace diff BASE CURRENT --check``, which
+normalizes by the hardware-calibration span instead of by the
+per-bit sweep.
 
 The module doubles as a pytest file: the smoke test always runs (and
 skips without numpy), the full matrix is marked ``slow``.
@@ -296,39 +298,6 @@ def run_benchmark(sizes: List[int], repeats: int) -> dict:
     return report
 
 
-def check_regression(report: dict, baseline_path: pathlib.Path) -> bool:
-    """CI guard: fused m=16 steady-state must not regress >2x.
-
-    Ratios (fused / per-bit, same machine, same run) are compared so
-    the guard tracks the fused path's *relative* health instead of
-    raw machine speed.  Returns True when the guard passes.
-    """
-    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
-
-    def m16_ratio(source: dict) -> Optional[float]:
-        for row in source.get("rows", ()):
-            if row["m"] == 16 and row["variant"] == "nand-mapped":
-                sweep = row["sweep"]
-                return sweep["fused_min_s"] / max(
-                    sweep["perbit_min_s"], 1e-9
-                )
-        return None
-
-    measured = m16_ratio(report)
-    committed = m16_ratio(baseline)
-    if measured is None or committed is None:
-        print("regression guard: m=16 nand-mapped row missing; skipping")
-        return True
-    allowed = 2.0 * committed
-    passed = measured <= allowed
-    status = "PASS" if passed else "FAIL"
-    print(
-        f"regression guard [{status}]: fused/per-bit ratio {measured:.3f} "
-        f"(baseline {committed:.3f}, allowed <= {allowed:.3f})"
-    )
-    return passed
-
-
 # ----------------------------------------------------------------------
 # pytest entry points
 # ----------------------------------------------------------------------
@@ -365,13 +334,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("-o", "--output", default=None)
     parser.add_argument(
-        "--check",
+        "--ledger",
         default=None,
-        metavar="BASELINE",
+        metavar="LEDGER",
         help=(
-            "compare against a committed BENCH_fused.json and exit "
-            "non-zero when the fused m=16 steady-state regressed >2x "
-            "relative to the per-bit sweep"
+            "append a schema-versioned summary row (git rev, host, "
+            "calibration) to this BENCH_history.jsonl ledger"
         ),
     )
     args = parser.parse_args(argv)
@@ -396,9 +364,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dumps(report, indent=2) + "\n", encoding="utf-8"
         )
         print(f"wrote {output}")
-    if args.check is not None:
-        if not check_regression(report, pathlib.Path(args.check)):
-            return 1
+    if args.ledger is not None:
+        import ledger
+
+        row = ledger.append_row(
+            "bench_fused",
+            summary=ledger._summarize_report("bench_fused", report),
+            path=pathlib.Path(args.ledger),
+        )
+        print(
+            f"ledger: appended row (calibration "
+            f"{row['calibration_s']:.4f}s) -> {args.ledger}"
+        )
     return 0
 
 

@@ -62,6 +62,7 @@ from repro.netlist import (
 )
 from repro.aig import Aig, balance_and_trees, balance_xor_trees
 from repro.telemetry import (
+    Histogram,
     JsonlSink,
     MemorySink,
     Telemetry,
@@ -87,7 +88,7 @@ from repro.extract import (
     format_extraction_report,
     verify_multiplier,
 )
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: Service-layer conveniences re-exported lazily (PEP 562) so that a
 #: bare ``import repro`` stays as light as it was before the service
@@ -149,6 +150,7 @@ __all__ = [
     "backward_rewrite_multi",
     "extract_expressions",
     "Telemetry",
+    "Histogram",
     "JsonlSink",
     "MemorySink",
     "get_telemetry",

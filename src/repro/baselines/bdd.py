@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry as _telemetry
 from repro.netlist.gate import GateType
 from repro.netlist.netlist import Netlist
 
@@ -184,26 +185,46 @@ def build_output_bdds(
     netlist: Netlist,
     order: Optional[Sequence[str]] = None,
     node_limit: Optional[int] = None,
+    telemetry: Optional[_telemetry.Telemetry] = None,
 ) -> Tuple[BddManager, Dict[str, int]]:
     """Build the ROBDD of every primary output.
 
     ``order`` defaults to interleaved operand bits (``a0 b0 a1 b1 ...``)
     — the standard good order for multiplier-like circuits.
     ``node_limit`` raises ``MemoryError`` when the forest outgrows it
-    (the BDD analogue of the paper's memory-out condition).
+    (the BDD analogue of the paper's memory-out condition).  The
+    construction runs inside a ``baseline.bdd`` telemetry span whose
+    ``nodes`` attribute records the final forest size — the paper's
+    memory-wall claim, one trace row per run (a memory-out shows as
+    an errored span carrying the node count at the blowup point).
     """
     if order is None:
         order = _interleaved_order(netlist.inputs)
-    manager = BddManager(order)
-    values: Dict[str, int] = {net: manager.var(net) for net in netlist.inputs}
-    for gate in netlist.topological_order():
-        operands = [values[net] for net in gate.inputs]
-        values[gate.output] = _apply_gate(manager, gate.gtype, operands)
-        if node_limit is not None and manager.total_nodes > node_limit:
-            raise MemoryError(
-                f"BDD forest exceeded {node_limit} nodes at {gate.output!r}"
-            )
-    return manager, {net: values[net] for net in netlist.outputs}
+    registry = _telemetry.resolve(telemetry)
+    with _telemetry.use(registry), registry.span(
+        "baseline.bdd", gates=len(netlist), outputs=len(netlist.outputs)
+    ) as span:
+        manager = BddManager(order)
+        values: Dict[str, int] = {
+            net: manager.var(net) for net in netlist.inputs
+        }
+        try:
+            for gate in netlist.topological_order():
+                operands = [values[net] for net in gate.inputs]
+                values[gate.output] = _apply_gate(
+                    manager, gate.gtype, operands
+                )
+                if (
+                    node_limit is not None
+                    and manager.total_nodes > node_limit
+                ):
+                    raise MemoryError(
+                        f"BDD forest exceeded {node_limit} nodes at "
+                        f"{gate.output!r}"
+                    )
+        finally:
+            span.annotate(nodes=manager.total_nodes)
+        return manager, {net: values[net] for net in netlist.outputs}
 
 
 def _interleaved_order(inputs: Sequence[str]) -> List[str]:

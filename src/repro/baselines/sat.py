@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry as _telemetry
 from repro.netlist.gate import Gate, GateType
 from repro.netlist.netlist import Netlist
 
@@ -288,45 +289,64 @@ def equivalence_check_sat(
     golden: Netlist,
     candidate: Netlist,
     time_limit_s: Optional[float] = None,
+    telemetry: Optional[_telemetry.Telemetry] = None,
 ) -> Tuple[bool, SatResult]:
     """Miter-based equivalence check.
 
     Returns ``(equivalent, solver_result)``; UNSAT miter == equivalent.
     Both netlists must share input names and have matching outputs.
+    The whole check runs inside a ``baseline.sat`` telemetry span
+    (annotated with CNF size and solver statistics), so
+    rewriting-vs-SAT comparisons land in the same traces as the
+    engine's ``cone``/``sweep`` spans.
     """
     if set(golden.inputs) != set(candidate.inputs):
         raise ValueError("netlists have different primary inputs")
     if list(golden.outputs) != list(candidate.outputs):
         raise ValueError("netlists have different primary outputs")
 
-    renamed = _rename_internal(candidate, suffix="__cand")
-    clauses, varmap, next_var = tseitin_encode(golden)
-    more, varmap, next_var = tseitin_encode(
-        renamed, varmap=varmap, next_var=next_var
-    )
-    clauses.extend(more)
-
-    # XOR each output pair, OR the differences, assert 1.
-    diff_vars = []
-    for net in golden.outputs:
-        g_var = varmap[net]
-        c_var = varmap[f"{net}__cand"]
-        d = next_var
-        next_var += 1
-        diff_vars.append(d)
-        clauses.extend(
-            [
-                [-d, g_var, c_var],
-                [-d, -g_var, -c_var],
-                [d, -g_var, c_var],
-                [d, g_var, -c_var],
-            ]
+    registry = _telemetry.resolve(telemetry)
+    with _telemetry.use(registry), registry.span(
+        "baseline.sat",
+        gates=len(golden) + len(candidate),
+        outputs=len(golden.outputs),
+    ) as span:
+        renamed = _rename_internal(candidate, suffix="__cand")
+        clauses, varmap, next_var = tseitin_encode(golden)
+        more, varmap, next_var = tseitin_encode(
+            renamed, varmap=varmap, next_var=next_var
         )
-    clauses.append(diff_vars)  # at least one output differs
+        clauses.extend(more)
 
-    solver = DpllSolver(clauses, next_var - 1)
-    result = solver.solve(time_limit_s=time_limit_s)
-    return (not result.satisfiable), result
+        # XOR each output pair, OR the differences, assert 1.
+        diff_vars = []
+        for net in golden.outputs:
+            g_var = varmap[net]
+            c_var = varmap[f"{net}__cand"]
+            d = next_var
+            next_var += 1
+            diff_vars.append(d)
+            clauses.extend(
+                [
+                    [-d, g_var, c_var],
+                    [-d, -g_var, -c_var],
+                    [d, -g_var, c_var],
+                    [d, g_var, -c_var],
+                ]
+            )
+        clauses.append(diff_vars)  # at least one output differs
+
+        solver = DpllSolver(clauses, next_var - 1)
+        result = solver.solve(time_limit_s=time_limit_s)
+        span.annotate(
+            variables=next_var - 1,
+            clauses=len(clauses),
+            decisions=result.decisions,
+            propagations=result.propagations,
+            conflicts=result.conflicts,
+            equivalent=not result.satisfiable,
+        )
+        return (not result.satisfiable), result
 
 
 def _rename_internal(netlist: Netlist, suffix: str) -> Netlist:

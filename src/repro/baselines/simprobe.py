@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import telemetry as _telemetry
 from repro.fieldmath.bitpoly import bitpoly_str
 from repro.fieldmath.irreducible import is_irreducible
 from repro.gen.naming import value_assignment
@@ -59,59 +60,76 @@ class ProbeResult:
 
 
 def probe_polynomial(
-    netlist: Netlist, confirm_vectors: int = 4
+    netlist: Netlist,
+    confirm_vectors: int = 4,
+    telemetry: Optional[_telemetry.Telemetry] = None,
 ) -> ProbeResult:
     """Guess P(x) from simulation, assuming an honest multiplier.
 
     The primary vector is ``A = x, B = x^(m-1)``; each confirming
     vector checks ``x^(1+k) · x^(m-1-k) = x^m`` for other splits k,
-    which must all agree on the same reduced word.
+    which must all agree on the same reduced word.  The probe runs in
+    a ``baseline.simprobe`` telemetry span so its (tiny) cost lands in
+    the same latency distributions as the heavyweight flows.
 
     >>> from repro.gen.mastrovito import generate_mastrovito
     >>> probe_polynomial(generate_mastrovito(0b10011)).polynomial_str
     'x^4 + x + 1'
     """
-    started = time.perf_counter()
-    m = len(netlist.outputs)
-    if m < 2:
+    registry = _telemetry.resolve(telemetry)
+    with _telemetry.use(registry), registry.span(
+        "baseline.simprobe", gates=len(netlist), outputs=len(netlist.outputs)
+    ) as span:
+        started = time.perf_counter()
+        m = len(netlist.outputs)
+        if m < 2:
+            span.annotate(vectors=0, consistent=False)
+            return ProbeResult(
+                modulus=None,
+                consistent=False,
+                irreducible=False,
+                vectors_used=0,
+                runtime_s=time.perf_counter() - started,
+            )
+        a_nets = [f"a{i}" for i in range(m)]
+        b_nets = [f"b{i}" for i in range(m)]
+
+        def product_word(a_value: int, b_value: int) -> int:
+            assignment = dict(value_assignment(a_nets, a_value))
+            assignment.update(value_assignment(b_nets, b_value))
+            values = netlist.simulate(assignment)
+            return sum(values[f"z{i}"] << i for i in range(m))
+
+        # x^1 * x^(m-1) = x^m ≡ P'(x); the candidate P(x) = x^m + P'.
+        low_part = product_word(1 << 1, 1 << (m - 1))
+        candidate = (1 << m) | low_part
+        vectors = 1
+
+        consistent = True
+        for k in range(1, min(confirm_vectors, m - 1)):
+            vectors += 1
+            if product_word(1 << (1 + k), 1 << (m - 1 - k)) != low_part:
+                consistent = False
+                break
+
+        irreducible = is_irreducible(candidate)
+        span.annotate(
+            vectors=vectors, consistent=consistent, irreducible=irreducible
+        )
         return ProbeResult(
-            modulus=None,
-            consistent=False,
-            irreducible=False,
-            vectors_used=0,
+            modulus=candidate,
+            consistent=consistent,
+            irreducible=irreducible,
+            vectors_used=vectors,
             runtime_s=time.perf_counter() - started,
         )
-    a_nets = [f"a{i}" for i in range(m)]
-    b_nets = [f"b{i}" for i in range(m)]
-
-    def product_word(a_value: int, b_value: int) -> int:
-        assignment = dict(value_assignment(a_nets, a_value))
-        assignment.update(value_assignment(b_nets, b_value))
-        values = netlist.simulate(assignment)
-        return sum(values[f"z{i}"] << i for i in range(m))
-
-    # x^1 * x^(m-1) = x^m ≡ P'(x); the candidate P(x) = x^m + P'.
-    low_part = product_word(1 << 1, 1 << (m - 1))
-    candidate = (1 << m) | low_part
-    vectors = 1
-
-    consistent = True
-    for k in range(1, min(confirm_vectors, m - 1)):
-        vectors += 1
-        if product_word(1 << (1 + k), 1 << (m - 1 - k)) != low_part:
-            consistent = False
-            break
-
-    return ProbeResult(
-        modulus=candidate,
-        consistent=consistent,
-        irreducible=is_irreducible(candidate),
-        vectors_used=vectors,
-        runtime_s=time.perf_counter() - started,
-    )
 
 
-def probe_then_extract(netlist: Netlist, jobs: int = 1):
+def probe_then_extract(
+    netlist: Netlist,
+    jobs: int = 1,
+    telemetry: Optional[_telemetry.Telemetry] = None,
+):
     """The pragmatic pipeline: probe for a candidate, then *prove* it.
 
     Returns ``(probe, extraction)`` where the extraction is the
@@ -122,6 +140,8 @@ def probe_then_extract(netlist: Netlist, jobs: int = 1):
     """
     from repro.extract.extractor import extract_irreducible_polynomial
 
-    probe = probe_polynomial(netlist)
-    extraction = extract_irreducible_polynomial(netlist, jobs=jobs)
+    registry = _telemetry.resolve(telemetry)
+    with _telemetry.use(registry):
+        probe = probe_polynomial(netlist, telemetry=registry)
+        extraction = extract_irreducible_polynomial(netlist, jobs=jobs)
     return probe, extraction

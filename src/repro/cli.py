@@ -33,7 +33,12 @@ Commands mirror the paper's tool flow:
     programs (``stats`` reports them as the ``compiled`` kind);
 ``trace``
     render a JSONL trace file (written by ``--trace``) as a span tree
-    with per-phase wall/CPU times and the final counters/gauges.
+    with per-phase wall/CPU times and the merged counters/gauges/
+    histograms; ``--profile`` aggregates per span name (count,
+    total/self wall, percentiles, critical path), ``--json`` emits
+    the aggregate for scripting, and ``repro trace diff BASE CURRENT
+    [--check --policy P.json]`` compares two traces host-normalized
+    by their calibration spans — the CI perf-regression guard.
 
 The workload commands (``extract``/``audit``/``diagnose``/``batch``/
 ``serve``) accept ``--trace out.jsonl``: every telemetry span
@@ -350,20 +355,76 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.telemetry import load_trace, render_trace
-
-    events = load_trace(args.trace_file)
-    if not events:
-        print(f"no trace events in {args.trace_file}", file=sys.stderr)
-        return 1
+def _print_pipe_safe(text: str) -> None:
     try:
-        print(render_trace(events))
+        print(text)
     except BrokenPipeError:  # e.g. piped into head; not an error
         import os
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-    return 0
+
+
+def _load_policy(path: Optional[str]) -> Optional[dict]:
+    if path is None:
+        return None
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import load_trace, render_trace
+    from repro.telemetry import analyze
+
+    if args.args[0] == "diff":
+        if len(args.args) != 3:
+            raise SystemExit("usage: repro trace diff BASE CURRENT")
+        base_path, current_path = args.args[1], args.args[2]
+        base = load_trace(base_path)
+        current = load_trace(current_path)
+        if not base or not current:
+            empty = base_path if not base else current_path
+            print(f"no trace events in {empty}", file=sys.stderr)
+            return 1
+        report = analyze.diff_traces(
+            base, current, policy=_load_policy(args.policy)
+        )
+        if args.as_json:
+            _print_pipe_safe(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            _print_pipe_safe(analyze.format_diff(report))
+        return 0 if report["ok"] or not args.check else 1
+
+    if len(args.args) != 1:
+        raise SystemExit("usage: repro trace FILE | repro trace diff A B")
+    events = load_trace(args.args[0])
+    if not events:
+        print(f"no trace events in {args.args[0]}", file=sys.stderr)
+        return 1
+    failures = []
+    if args.check:
+        failures = analyze.check_trace(
+            events, policy=_load_policy(args.policy)
+        )
+    if args.profile or args.as_json:
+        profile = analyze.profile_trace(events)
+        path = analyze.critical_path(events)
+        if args.as_json:
+            payload = {"profile": profile, "critical_path": path}
+            if args.check:
+                payload["failures"] = failures
+                payload["ok"] = not failures
+            _print_pipe_safe(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            _print_pipe_safe(analyze.format_profile(profile, path))
+    else:
+        _print_pipe_safe(render_trace(events))
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_reduction(args: argparse.Namespace) -> int:
@@ -586,10 +647,55 @@ def build_parser() -> argparse.ArgumentParser:
     cache.set_defaults(func=_cmd_cache)
 
     trace = sub.add_parser(
-        "trace", help="render a --trace JSONL file as a span tree"
+        "trace",
+        help=(
+            "render, profile, or diff --trace JSONL files "
+            "(trace FILE | trace diff BASE CURRENT)"
+        ),
     )
     trace.add_argument(
-        "trace_file", help="JSONL trace written by a --trace run"
+        "args",
+        nargs="+",
+        metavar="FILE | diff BASE CURRENT",
+        help=(
+            "one trace file to render/profile, or 'diff' plus a "
+            "baseline and a current trace to compare"
+        ),
+    )
+    trace.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "aggregate per span name (count, total/self wall, CPU, "
+            "percentiles) and print the critical path instead of the "
+            "span tree"
+        ),
+    )
+    trace.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the profile/diff as JSON for scripting",
+    )
+    trace.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "enforce the policy: on a single trace, require spans/"
+            "counters and fail on span errors; on a diff, also exit "
+            "non-zero when a span regressed beyond the allowed ratio "
+            "(host-normalized via the calibrate span)"
+        ),
+    )
+    trace.add_argument(
+        "--policy",
+        default=None,
+        metavar="POLICY.JSON",
+        help=(
+            "JSON policy file overriding the defaults (max_ratio, "
+            "min_wall_s, per_span, require_spans, require_counters, "
+            "allow_errors)"
+        ),
     )
     trace.set_defaults(func=_cmd_trace)
     return parser
@@ -610,6 +716,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     telemetry = _telemetry.get_telemetry()
     sink = _telemetry.JsonlSink(trace_path)
     telemetry.add_sink(sink)
+    # Stamp the trace with a hardware-calibration span so `repro
+    # trace diff` can normalize baseline-vs-current across hosts.
+    from repro.telemetry.analyze import run_calibration
+
+    run_calibration(telemetry)
     try:
         return args.func(args)
     finally:

@@ -8,9 +8,14 @@ Endpoints (all JSON)::
 
     GET  /v1/health                    liveness + engine/cache info
     GET  /v1/stats                     cache + job-table statistics
-    GET  /v1/metrics                   telemetry counters/gauges +
-                                       cache hit/miss/evict + job table
-                                       (also served as /metrics)
+    GET  /v1/metrics                   telemetry counters/gauges/
+                                       histograms + cache hit/miss/
+                                       evict + job table (also served
+                                       as /metrics; add
+                                       ?format=prometheus — or send
+                                       Accept: text/plain — for the
+                                       Prometheus text exposition a
+                                       scraper expects)
     GET  /v1/jobs/<job_id>/progress    per-bit job progress
                                        (also /jobs/<job_id>/progress)
     POST /v1/jobs                      submit a netlist
@@ -434,6 +439,17 @@ def _make_handler(server: "ReproAPIServer"):
             self.end_headers()
             self.wfile.write(body)
 
+        def _send_text(
+            self, status: int, body: str, content_type: str
+        ) -> None:
+            self._last_status = status
+            encoded = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(encoded)))
+            self.end_headers()
+            self.wfile.write(encoded)
+
         def _error(self, status: int, message: str) -> None:
             self._send_json(status, {"error": message})
 
@@ -468,7 +484,22 @@ def _make_handler(server: "ReproAPIServer"):
             elif parts == ["v1", "stats"]:
                 self._send_json(200, server.stats_view())
             elif parts in (["v1", "metrics"], ["metrics"]):
-                self._send_json(200, server.metrics_view())
+                from repro.telemetry import prometheus
+
+                query = parse_qs(url.query)
+                if prometheus.wants_prometheus(
+                    query.get("format", [None])[0],
+                    self.headers.get("Accept"),
+                ):
+                    self._send_text(
+                        200,
+                        prometheus.render_prometheus(
+                            server.telemetry.metrics()
+                        ),
+                        prometheus.CONTENT_TYPE,
+                    )
+                else:
+                    self._send_json(200, server.metrics_view())
             elif (
                 len(parts) == 4
                 and parts[:2] == ["v1", "jobs"]

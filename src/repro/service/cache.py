@@ -567,22 +567,34 @@ class ResultCache:
     # -- generic get/put ------------------------------------------------
 
     def get(self, kind: str, key: Union[str, Netlist]) -> Optional[Any]:
-        """Load and decode an artifact; None (and a miss) if absent."""
-        path = self.path_for(kind, key)
+        """Load and decode an artifact; None (and a miss) if absent.
+
+        Every lookup — hit or miss — lands in the ``cache.lookup``
+        latency histogram: the distribution (not the average) is what
+        tells a shared-cache deployment when the store's disk or
+        fingerprint path degrades.
+        """
+        started = time.perf_counter()
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
-            self.misses += 1
-            _telemetry.current().counter("cache.miss")
-            return None
-        if entry.get("schema") != CACHE_SCHEMA_VERSION:
-            self.misses += 1
-            _telemetry.current().counter("cache.miss")
-            return None
-        self.hits += 1
-        _telemetry.current().counter("cache.hit")
-        return _DECODERS[kind](entry["payload"])
+            path = self.path_for(kind, key)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+            except (FileNotFoundError, json.JSONDecodeError):
+                self.misses += 1
+                _telemetry.current().counter("cache.miss")
+                return None
+            if entry.get("schema") != CACHE_SCHEMA_VERSION:
+                self.misses += 1
+                _telemetry.current().counter("cache.miss")
+                return None
+            self.hits += 1
+            _telemetry.current().counter("cache.hit")
+            return _DECODERS[kind](entry["payload"])
+        finally:
+            _telemetry.current().observe(
+                "cache.lookup", time.perf_counter() - started
+            )
 
     def put(self, kind: str, key: Union[str, Netlist], artifact: Any) -> Path:
         """Encode and atomically store an artifact; returns its path."""
@@ -686,16 +698,22 @@ class ResultCache:
         exact-netlist validation belong to the engine layer
         (:class:`repro.engine.base.CompilingEngine`).
         """
-        path = self.compiled_path_for(key, engine, schema)
+        started = time.perf_counter()
         try:
-            payload = path.read_bytes()
-        except OSError:
-            self.compile_misses += 1
-            _telemetry.current().counter("cache.compile_miss")
-            return None
-        self.compile_hits += 1
-        _telemetry.current().counter("cache.compile_hit")
-        return payload
+            path = self.compiled_path_for(key, engine, schema)
+            try:
+                payload = path.read_bytes()
+            except OSError:
+                self.compile_misses += 1
+                _telemetry.current().counter("cache.compile_miss")
+                return None
+            self.compile_hits += 1
+            _telemetry.current().counter("cache.compile_hit")
+            return payload
+        finally:
+            _telemetry.current().observe(
+                "cache.lookup", time.perf_counter() - started
+            )
 
     def note_compile_rejected(self) -> None:
         """Reclassify the last compiled read as a miss.

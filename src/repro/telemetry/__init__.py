@@ -11,9 +11,13 @@ the one place all of them report to:
   (``perf_counter``), per-thread CPU time (``thread_time``) and — when
   asked — the ``tracemalloc`` peak.  Nesting is tracked per thread, so
   concurrent server jobs build separate subtrees.
-* **Counters / gauges** — named process-wide metrics behind one lock
-  (``cache.hit``, ``job.<id>.progress``); the HTTP ``/metrics``
-  endpoint and the CLI's final metrics event read the same registry.
+* **Counters / gauges / histograms** — named process-wide metrics
+  behind one lock (``cache.hit``, ``job.<id>.progress``); every span
+  exit also feeds a ``span.<name>`` log-bucket latency histogram
+  (:mod:`repro.telemetry.histogram`), so request, cone, sweep-round
+  and cache-lookup latencies are distributions with p50/p90/p99, not
+  averages.  The HTTP ``/metrics`` endpoint serves the same registry
+  as JSON or Prometheus text (:mod:`repro.telemetry.prometheus`).
 * **Sinks** — span/metrics events fan out to pluggable sinks: a JSONL
   trace file (``--trace out.jsonl``), an in-memory list for tests, and
   the ``repro trace`` renderer that re-reads the JSONL.  With no sink
@@ -34,8 +38,17 @@ Span ids are unique per process; forked pool workers append to the
 same O_APPEND file handle (one ``write()`` per line, same reasoning as
 :func:`repro.ioutil.atomic_append_line`), and the renderer keys spans
 by ``(pid, span_id)`` so multi-process traces stay well-formed.
-Counters are per-process: a worker's increments are visible in its own
-events, not in the coordinator's registry.
+Counters and histograms are per-process: each process flushes its own
+exit ``metrics`` event (an :mod:`atexit` hook arms the moment a sink
+attaches, so short-lived forked workers flush too), and trace
+consumers (:func:`render_trace`, :mod:`repro.telemetry.analyze`)
+merge the last event per pid into the fleet view.
+
+``REPRO_TELEMETRY_DELAY`` (``"name=seconds,name=seconds"``) is a
+fault-injection hook: named spans sleep that long before closing, so
+CI can manufacture a latency regression and prove the ``repro trace
+diff --check`` guard catches it.  It perturbs wall clocks only —
+never results — and is parsed once at import.
 
 The active :class:`Telemetry` resolves through a :mod:`contextvars`
 variable: drivers accept ``telemetry=`` and wrap their work in
@@ -45,6 +58,7 @@ instance up via :func:`current` without widening every signature.
 
 from __future__ import annotations
 
+import atexit
 import contextlib
 import contextvars
 import itertools
@@ -53,11 +67,33 @@ import os
 import threading
 import time
 import tracemalloc
+import weakref
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
+from repro.telemetry.histogram import Histogram, merge_states
+
 #: Bump on any change to the emitted event layout.
-TRACE_SCHEMA = 1
+#: 2: ``metrics`` events carry a ``histograms`` map (log-bucket
+#: latency distributions, one state dict per name).
+TRACE_SCHEMA = 2
+
+
+def _parse_delays(raw: Optional[str]) -> Dict[str, float]:
+    """Parse ``REPRO_TELEMETRY_DELAY`` (``"sweep=0.5,decode=0.1"``)."""
+    delays: Dict[str, float] = {}
+    for item in (raw or "").split(","):
+        name, _, seconds = item.partition("=")
+        if name.strip() and seconds.strip():
+            try:
+                delays[name.strip()] = float(seconds)
+            except ValueError:
+                continue
+    return delays
+
+
+#: Fault-injection hook: span name -> extra seconds of wall time.
+_SPAN_DELAYS = _parse_delays(os.environ.get("REPRO_TELEMETRY_DELAY"))
 
 
 class Span:
@@ -131,6 +167,10 @@ class Span:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        if _SPAN_DELAYS:
+            delay = _SPAN_DELAYS.get(self.name)
+            if delay:
+                time.sleep(delay)
         self.wall_s = time.perf_counter() - self._wall0
         self.cpu_s = time.thread_time() - self._cpu0
         if self._memory and tracemalloc.is_tracing():
@@ -149,6 +189,9 @@ class Span:
             while stack.pop() is not self:
                 pass
         self._done = True
+        # Every span exit is one histogram sample: latency becomes a
+        # distribution (p50/p90/p99) without any caller opting in.
+        self._telemetry.observe(f"span.{self.name}", self.wall_s)
         self._telemetry._emit_span(self)
         return False
 
@@ -221,6 +264,7 @@ class Telemetry:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
         self._sinks: List[Any] = []
         self._ids = itertools.count(1)
         self._local = threading.local()
@@ -280,6 +324,14 @@ class Telemetry:
         with self._lock:
             self._gauges[name] = value
 
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample in the named log-bucket histogram."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.observe(value)
+
     def clear_gauge(self, name: str) -> None:
         """Drop a gauge (e.g. when its job is evicted)."""
         with self._lock:
@@ -293,6 +345,19 @@ class Telemetry:
         with self._lock:
             return dict(self._gauges)
 
+    def histogram(self, name: str) -> Optional[Histogram]:
+        """The live histogram object for ``name`` (None if never fed)."""
+        with self._lock:
+            return self._histograms.get(name)
+
+    def histograms(self) -> Dict[str, Dict[str, Any]]:
+        """Serialized state of every histogram (JSON-ready)."""
+        with self._lock:
+            return {
+                name: histogram.state()
+                for name, histogram in self._histograms.items()
+            }
+
     def metrics(self) -> Dict[str, Any]:
         """Snapshot of the registry (the ``/metrics`` payload core)."""
         with self._lock:
@@ -300,13 +365,18 @@ class Telemetry:
                 "schema": TRACE_SCHEMA,
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
+                "histograms": {
+                    name: histogram.state()
+                    for name, histogram in self._histograms.items()
+                },
             }
 
     def reset(self) -> None:
-        """Zero counters and gauges (tests; sinks stay attached)."""
+        """Zero counters/gauges/histograms (tests; sinks stay)."""
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
+            self._histograms.clear()
 
     # -- sinks ----------------------------------------------------------
 
@@ -317,6 +387,7 @@ class Telemetry:
     def add_sink(self, sink: Any) -> Any:
         with self._lock:
             self._sinks.append(sink)
+        _arm_exit_flush(self)
         return sink
 
     def remove_sink(self, sink: Any) -> None:
@@ -338,6 +409,40 @@ class Telemetry:
         event["unix"] = time.time()
         event["pid"] = os.getpid()
         self.emit(event)
+
+
+# -- interpreter-exit flushing ------------------------------------------
+
+#: Registries that have (or had) sinks attached; flushed at exit so a
+#: short-lived forked worker's counters/histograms reach the shared
+#: trace file instead of dying with the process.
+_FLUSH_ON_EXIT: "weakref.WeakSet[Telemetry]" = weakref.WeakSet()
+_EXIT_ARMED = False
+
+
+def _flush_at_exit() -> None:
+    for registry in list(_FLUSH_ON_EXIT):
+        try:
+            registry.flush_metrics()
+            for sink in registry.sinks:
+                sink.close()
+        except Exception:  # pragma: no cover - never break shutdown
+            pass
+
+
+def _arm_exit_flush(registry: "Telemetry") -> None:
+    """Register ``registry`` for the one process-wide exit flush.
+
+    The :mod:`atexit` entry is armed once per process; fork children
+    inherit it (and the registry set), so pool workers that exit
+    without an explicit flush still emit their final metrics event —
+    the torn-tail case :func:`load_trace` used to paper over.
+    """
+    global _EXIT_ARMED
+    _FLUSH_ON_EXIT.add(registry)
+    if not _EXIT_ARMED:
+        _EXIT_ARMED = True
+        atexit.register(_flush_at_exit)
 
 
 # -- active-instance plumbing -------------------------------------------
@@ -453,7 +558,16 @@ def render_trace(events: List[Dict[str, Any]]) -> str:
         resolved = key if parent is not None and key in by_key else None
         children.setdefault(resolved, []).append(event)
     for siblings in children.values():
-        siblings.sort(key=lambda e: (e.get("start_unix", 0.0), e.get("span_id", 0)))
+        # (start_unix, pid, span_id): pid breaks cross-process ties at
+        # the root level so multi-process traces render identically no
+        # matter which worker's lines landed in the file first.
+        siblings.sort(
+            key=lambda e: (
+                e.get("start_unix", 0.0),
+                e.get("pid") or 0,
+                e.get("span_id", 0),
+            )
+        )
 
     errors = sum(1 for e in spans if e.get("status") == "error")
     pids = {e.get("pid") for e in spans}
@@ -473,9 +587,7 @@ def render_trace(events: List[Dict[str, Any]]) -> str:
         walk(root, 0)
 
     if metrics:
-        final = metrics[-1]
-        counters = final.get("counters") or {}
-        gauges = final.get("gauges") or {}
+        counters, gauges, histograms = merge_metrics_events(metrics)
         if counters:
             lines.append("counters:")
             for name in sorted(counters):
@@ -484,4 +596,46 @@ def render_trace(events: List[Dict[str, Any]]) -> str:
             lines.append("gauges:")
             for name in sorted(gauges):
                 lines.append(f"  {name} = {gauges[name]}")
+        if histograms:
+            lines.append("histograms:")
+            for name in sorted(histograms):
+                histogram = histograms[name]
+                quantiles = " ".join(
+                    f"{label}={_format_seconds(histogram.quantile(q))}"
+                    for label, q in (
+                        ("p50", 0.50), ("p90", 0.90), ("p99", 0.99),
+                    )
+                    if histogram.quantile(q) is not None
+                )
+                lines.append(
+                    f"  {name}: n={histogram.count} "
+                    f"sum={_format_seconds(histogram.total)} {quantiles}"
+                )
     return "\n".join(lines)
+
+
+def merge_metrics_events(
+    events: List[Dict[str, Any]],
+) -> Tuple[Dict[str, int], Dict[str, float], Dict[str, Histogram]]:
+    """Fold ``metrics`` events into one fleet view.
+
+    Counters and histograms are per-process cumulative snapshots, so
+    the *last* event per pid is the process total and pids sum/merge;
+    gauges are last-write-wins in event order.
+    """
+    last_by_pid: Dict[Any, Dict[str, Any]] = {}
+    gauges: Dict[str, float] = {}
+    for event in events:
+        if event.get("type") != "metrics":
+            continue
+        last_by_pid[event.get("pid")] = event
+        gauges.update(event.get("gauges") or {})
+    counters: Dict[str, int] = {}
+    histograms: Dict[str, Histogram] = {}
+    for event in last_by_pid.values():
+        for name, value in (event.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, state in (event.get("histograms") or {}).items():
+            merged = histograms.setdefault(name, Histogram())
+            merged.merge(Histogram.from_state(state))
+    return counters, gauges, histograms

@@ -1,0 +1,185 @@
+"""Mergeable log-bucket latency histograms.
+
+The paper's evaluation is a latency story (backward rewriting vs the
+SAT/BDD/Gröbner baselines), and averages hide exactly the tail the
+serving tier cares about.  This module is the distribution type every
+latency in the system lands in: span exits feed ``span.<name>``
+histograms automatically, the cache times its lookups, and the HTTP
+``/metrics`` endpoint serves the buckets — in Prometheus text format
+when asked (:mod:`repro.telemetry.prometheus`).
+
+Design constraints, in order:
+
+* **Mergeable across processes.**  Forked campaign/bench workers each
+  accumulate their own histogram and flush it in their exit ``metrics``
+  event; the analyzer sums them.  Fixed geometric bucket boundaries
+  make merge a per-index counter add — no rebinning, no loss beyond
+  the bucket resolution both sides already had.
+* **Unbounded range, bounded memory.**  Bucket ``i`` covers
+  ``(BASE * GROWTH^(i-1), BASE * GROWTH^i]`` with ``BASE`` = 1µs and
+  ``GROWTH`` = 2^(1/4) (~19% per bucket, ~55 buckets per 1µs→1s
+  decade span); only non-empty buckets are stored.
+* **Quantiles without samples.**  ``quantile()`` interpolates inside
+  the covering bucket, clamped to the observed min/max, so p50/p90/p99
+  carry at most one bucket width (±19%) of error — plenty for a
+  regression guard, at O(non-empty buckets) memory.
+
+The JSON state (:meth:`Histogram.state`) is what travels in trace
+``metrics`` events and the ledger; :meth:`Histogram.from_state` /
+:meth:`Histogram.merge` reassemble the fleet view.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Lower edge of bucket 1 (values at or below land in bucket 0).
+BASE = 1e-6
+#: Geometric growth per bucket: 2^(1/4) keeps quantile error under
+#: ~19% while a 1µs..100s span still fits in ~110 buckets.
+GROWTH = 2.0 ** 0.25
+
+_LOG_GROWTH = math.log(GROWTH)
+
+
+def bucket_index(value: float) -> int:
+    """The bucket covering ``value``: 0 for values ≤ BASE, else the
+    smallest ``i`` with ``value <= BASE * GROWTH^i``."""
+    if value <= BASE:
+        return 0
+    index = math.ceil(math.log(value / BASE) / _LOG_GROWTH)
+    # Guard the edge where float log error lands us one bucket low.
+    if BASE * GROWTH ** index < value:
+        index += 1
+    return max(index, 1)
+
+
+def bucket_upper(index: int) -> float:
+    """Inclusive upper bound of bucket ``index``."""
+    return BASE * GROWTH ** index if index > 0 else BASE
+
+
+class Histogram:
+    """One mergeable log-bucket distribution (seconds, typically)."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        #: bucket index -> observation count (non-empty buckets only).
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    # -- quantiles -------------------------------------------------------
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile (0..1), interpolated within its bucket
+        and clamped to the observed extrema; ``None`` when empty."""
+        if not self.count:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        assert self.min is not None and self.max is not None
+        rank = q * self.count
+        cumulative = 0.0
+        for index in sorted(self.buckets):
+            in_bucket = self.buckets[index]
+            if cumulative + in_bucket >= rank:
+                low = 0.0 if index == 0 else bucket_upper(index - 1)
+                high = bucket_upper(index)
+                fraction = (rank - cumulative) / in_bucket
+                value = low + fraction * (high - low)
+                return min(max(value, self.min), self.max)
+            cumulative += in_bucket
+        return self.max
+
+    # -- merge / serialization -------------------------------------------
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram in place (fleet view)."""
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(
+                self.min, other.min
+            )
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(
+                self.max, other.max
+            )
+        for index, in_bucket in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + in_bucket
+        return self
+
+    def state(self) -> Dict[str, Any]:
+        """JSON-serializable state: what metrics events carry.
+
+        Bucket keys become strings (JSON object keys); the summary
+        quantiles are included so consumers that never rebin (the
+        renderer, the JSON ``/metrics`` view) need no bucket math.
+        """
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "buckets": {
+                str(index): self.buckets[index]
+                for index in sorted(self.buckets)
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "Histogram":
+        """Rebuild from :meth:`state` output (tolerates missing keys)."""
+        histogram = cls()
+        histogram.count = int(state.get("count", 0))
+        histogram.total = float(state.get("sum", 0.0))
+        minimum = state.get("min")
+        maximum = state.get("max")
+        histogram.min = None if minimum is None else float(minimum)
+        histogram.max = None if maximum is None else float(maximum)
+        for key, in_bucket in (state.get("buckets") or {}).items():
+            histogram.buckets[int(key)] = int(in_bucket)
+        return histogram
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` per non-empty bucket,
+        ascending — the Prometheus ``le`` series sans the +Inf row."""
+        rows: List[Tuple[float, int]] = []
+        running = 0
+        for index in sorted(self.buckets):
+            running += self.buckets[index]
+            rows.append((bucket_upper(index), running))
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram(count={self.count}, sum={self.total:.6f}, "
+            f"p50={self.quantile(0.5)}, p99={self.quantile(0.99)})"
+        )
+
+
+def merge_states(states: Iterable[Dict[str, Any]]) -> Histogram:
+    """Merge serialized histogram states into one fleet histogram."""
+    merged = Histogram()
+    for state in states:
+        merged.merge(Histogram.from_state(state))
+    return merged

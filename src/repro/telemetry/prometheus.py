@@ -1,0 +1,135 @@
+"""Prometheus text exposition of a :class:`~repro.telemetry.Telemetry`.
+
+The coming distributed tier (ROADMAP item 1) is a fleet of workers;
+the one thing every off-the-shelf scraper understands is the
+Prometheus text format (version 0.0.4).  This module renders the
+registry snapshot — counters, gauges, and the log-bucket histograms —
+as that format, so ``GET /metrics`` content-negotiates between the
+existing JSON payload and a scrapeable text body without the service
+growing a client library.
+
+Mapping rules:
+
+* Metric names are sanitized to ``[a-zA-Z0-9_]`` and prefixed
+  ``repro_``: counter ``cache.hit`` becomes ``repro_cache_hit_total``
+  (Prometheus counters end in ``_total``), gauge
+  ``job.job-1.progress`` becomes ``repro_job_progress{job="job-1"}``
+  (the job id moves into a label so the gauge family stays one
+  series set), histogram ``span.http.request`` becomes the standard
+  triplet ``repro_span_http_request_seconds{_bucket,_sum,_count}``
+  with cumulative ``le`` bucket labels.
+* Only non-empty buckets are emitted (plus the mandatory ``+Inf``);
+  cumulative counts make that a valid sparse exposition.
+* Values render with ``repr``-precision floats — Prometheus parses
+  scientific notation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.histogram import Histogram
+
+#: Content type a scraper expects for text exposition.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+_JOB_GAUGE = re.compile(r"^job\.(?P<job>.+)\.(?P<field>[a-z_]+)$")
+
+
+def _sanitize(name: str) -> str:
+    clean = _INVALID.sub("_", name)
+    if not clean or clean[0].isdigit():
+        clean = "_" + clean
+    return f"repro_{clean}"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _format_le(bound: float) -> str:
+    # Short, stable bucket labels: 1.19e-06 not 1.1892071150027212e-06.
+    return f"{bound:.6g}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def render_prometheus(metrics: Dict[str, Any]) -> str:
+    """Render a :meth:`Telemetry.metrics` snapshot as exposition text.
+
+    Accepts the plain snapshot dict so callers can render merged
+    fleet views (``merge_metrics_events``) the same way.
+    """
+    lines: List[str] = []
+
+    for name in sorted(metrics.get("counters") or {}):
+        value = metrics["counters"][name]
+        metric = _sanitize(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    gauge_families: Dict[str, List[str]] = {}
+    for name in sorted(metrics.get("gauges") or {}):
+        value = metrics["gauges"][name]
+        match = _JOB_GAUGE.match(name)
+        if match:
+            metric = _sanitize(f"job.{match.group('field')}")
+            sample = (
+                f'{metric}{{job="{_escape_label(match.group("job"))}"}} '
+                f"{_format_value(value)}"
+            )
+        else:
+            metric = _sanitize(name)
+            sample = f"{metric} {_format_value(value)}"
+        gauge_families.setdefault(metric, []).append(sample)
+    for metric in sorted(gauge_families):
+        lines.append(f"# TYPE {metric} gauge")
+        lines.extend(gauge_families[metric])
+
+    histograms = metrics.get("histograms") or {}
+    for name in sorted(histograms):
+        state = histograms[name]
+        histogram = (
+            state
+            if isinstance(state, Histogram)
+            else Histogram.from_state(state)
+        )
+        # Span histograms record seconds; carry the unit in the name
+        # per Prometheus convention.
+        metric = _sanitize(name) + "_seconds"
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, cumulative in histogram.cumulative_buckets():
+            lines.append(
+                f'{metric}_bucket{{le="{_format_le(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {histogram.count}')
+        lines.append(f"{metric}_sum {_format_value(histogram.total)}")
+        lines.append(f"{metric}_count {histogram.count}")
+
+    return "\n".join(lines) + "\n"
+
+
+def wants_prometheus(
+    query_format: Optional[str], accept_header: Optional[str]
+) -> bool:
+    """Content negotiation for ``GET /metrics``.
+
+    ``?format=prometheus`` (or ``text``) wins outright;
+    ``?format=json`` forces JSON; otherwise an ``Accept`` header
+    naming ``text/plain`` or OpenMetrics opts in.  Default stays JSON
+    so every existing client keeps working.
+    """
+    if query_format:
+        return query_format in ("prometheus", "text")
+    accept = (accept_header or "").lower()
+    return "text/plain" in accept or "openmetrics" in accept

@@ -1,0 +1,424 @@
+"""Histograms, cross-process metric merging, Prometheus exposition.
+
+Covers the PR 7 distribution layer: the log-bucket
+:class:`repro.telemetry.histogram.Histogram` (observe/quantile/merge
+laws, including hypothesis property tests), the automatic
+``span.<name>`` feed on span exit, the metrics-event merge across
+processes, and the ``GET /metrics`` Prometheus content negotiation
+end to end.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.gen.mastrovito import generate_mastrovito
+from repro.telemetry import prometheus
+from repro.telemetry.histogram import (
+    BASE,
+    GROWTH,
+    Histogram,
+    bucket_index,
+    bucket_upper,
+    merge_states,
+)
+
+# ----------------------------------------------------------------------
+# Bucket math
+# ----------------------------------------------------------------------
+
+
+def test_bucket_index_covers_value():
+    for value in (1e-9, BASE, 2e-6, 1e-3, 0.5, 1.0, 17.3, 1e4):
+        index = bucket_index(value)
+        assert value <= bucket_upper(index)
+        if index > 0:
+            assert value > bucket_upper(index - 1)
+
+
+def test_bucket_boundaries_are_geometric():
+    assert bucket_upper(0) == BASE
+    assert bucket_upper(5) == pytest.approx(BASE * GROWTH ** 5)
+
+
+@given(st.floats(min_value=1e-12, max_value=1e6, allow_nan=False))
+def test_bucket_index_property(value):
+    index = bucket_index(value)
+    assert index >= 0
+    assert value <= bucket_upper(index)
+
+
+# ----------------------------------------------------------------------
+# Histogram observe / quantile / merge
+# ----------------------------------------------------------------------
+
+
+def test_histogram_empty():
+    histogram = Histogram()
+    assert histogram.count == 0
+    assert histogram.quantile(0.5) is None
+    state = histogram.state()
+    assert state["count"] == 0 and state["buckets"] == {}
+
+
+def test_histogram_quantile_bounds_and_order():
+    histogram = Histogram()
+    for value in (0.001, 0.002, 0.004, 0.008, 0.1):
+        histogram.observe(value)
+    p50 = histogram.quantile(0.50)
+    p90 = histogram.quantile(0.90)
+    p99 = histogram.quantile(0.99)
+    assert histogram.min <= p50 <= p90 <= p99 <= histogram.max
+    with pytest.raises(ValueError):
+        histogram.quantile(1.5)
+
+
+def test_histogram_single_observation_is_exactish():
+    histogram = Histogram()
+    histogram.observe(0.0425)
+    # Clamping to min/max makes a one-sample histogram exact.
+    assert histogram.quantile(0.5) == pytest.approx(0.0425)
+    assert histogram.quantile(0.99) == pytest.approx(0.0425)
+
+
+def test_histogram_state_round_trip():
+    histogram = Histogram()
+    for value in (1e-7, 3e-4, 0.02, 1.5):
+        histogram.observe(value)
+    clone = Histogram.from_state(
+        json.loads(json.dumps(histogram.state()))
+    )
+    assert clone.count == histogram.count
+    assert clone.total == pytest.approx(histogram.total)
+    assert clone.buckets == histogram.buckets
+    assert clone.quantile(0.9) == pytest.approx(histogram.quantile(0.9))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=1e-9, max_value=100.0, allow_nan=False),
+        max_size=40,
+    ),
+    st.lists(
+        st.floats(min_value=1e-9, max_value=100.0, allow_nan=False),
+        max_size=40,
+    ),
+)
+def test_histogram_merge_equals_observing_all(left, right):
+    """merge(A, B) must be indistinguishable from observing A+B."""
+    a = Histogram()
+    for value in left:
+        a.observe(value)
+    b = Histogram()
+    for value in right:
+        b.observe(value)
+    merged = Histogram().merge(a).merge(b)
+
+    combined = Histogram()
+    for value in left + right:
+        combined.observe(value)
+
+    assert merged.count == combined.count
+    assert merged.total == pytest.approx(combined.total)
+    assert merged.buckets == combined.buckets
+    assert merged.min == combined.min and merged.max == combined.max
+    if combined.count:
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert merged.quantile(q) == pytest.approx(
+                combined.quantile(q)
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=1e-9, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    ),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_histogram_quantile_error_bound(values, q):
+    """Any quantile lies within one bucket width of a true sample."""
+    histogram = Histogram()
+    for value in values:
+        histogram.observe(value)
+    estimate = histogram.quantile(q)
+    assert min(values) <= estimate <= max(values)
+    # Log-bucket resolution: the estimate is within one GROWTH factor
+    # of some actual observation (or below BASE, the floor bucket).
+    assert any(
+        value / GROWTH <= estimate <= value * GROWTH or value <= BASE
+        for value in values
+    )
+
+
+def test_merge_states_helper():
+    a, b = Histogram(), Histogram()
+    a.observe(0.01)
+    b.observe(0.02)
+    merged = merge_states([a.state(), b.state()])
+    assert merged.count == 2
+    assert merged.total == pytest.approx(0.03)
+
+
+def test_cumulative_buckets_monotonic():
+    histogram = Histogram()
+    for value in (1e-6, 1e-5, 1e-4, 1e-3, 1e-3):
+        histogram.observe(value)
+    rows = histogram.cumulative_buckets()
+    bounds = [bound for bound, _ in rows]
+    counts = [count for _, count in rows]
+    assert bounds == sorted(bounds)
+    assert counts == sorted(counts)
+    assert counts[-1] == histogram.count
+
+
+# ----------------------------------------------------------------------
+# Registry integration: observe(), span auto-feed, metrics merge
+# ----------------------------------------------------------------------
+
+
+def test_telemetry_observe_and_snapshot():
+    registry = telemetry.Telemetry()
+    registry.observe("cache.lookup", 0.004)
+    registry.observe("cache.lookup", 0.008)
+    snapshot = registry.metrics()
+    state = snapshot["histograms"]["cache.lookup"]
+    assert state["count"] == 2
+    assert state["sum"] == pytest.approx(0.012)
+    registry.reset()
+    assert registry.metrics()["histograms"] == {}
+
+
+def test_span_exit_feeds_duration_histogram():
+    registry = telemetry.Telemetry()  # no sinks on purpose
+    with registry.span("work"):
+        pass
+    with registry.span("work"):
+        time.sleep(0.002)
+    histogram = registry.histogram("span.work")
+    assert histogram is not None and histogram.count == 2
+    assert histogram.max >= 0.002
+
+
+def test_metrics_events_merge_across_processes():
+    """Per-pid cumulative snapshots sum/merge into the fleet view."""
+    events = [
+        {
+            "type": "metrics",
+            "pid": 1,
+            "counters": {"cone": 2},
+            "gauges": {"progress": 0.5},
+            "histograms": {"span.cone": _hist_state([0.01, 0.02])},
+        },
+        # Later snapshot from the same pid supersedes the first.
+        {
+            "type": "metrics",
+            "pid": 1,
+            "counters": {"cone": 5},
+            "gauges": {"progress": 1.0},
+            "histograms": {"span.cone": _hist_state([0.01, 0.02, 0.04])},
+        },
+        {
+            "type": "metrics",
+            "pid": 2,
+            "counters": {"cone": 3},
+            "gauges": {},
+            "histograms": {"span.cone": _hist_state([0.08])},
+        },
+    ]
+    counters, gauges, histograms = telemetry.merge_metrics_events(events)
+    assert counters == {"cone": 8}
+    assert gauges == {"progress": 1.0}
+    assert histograms["span.cone"].count == 4
+    assert histograms["span.cone"].max == pytest.approx(0.08)
+
+
+def _hist_state(values):
+    histogram = Histogram()
+    for value in values:
+        histogram.observe(value)
+    return histogram.state()
+
+
+def test_jsonl_metrics_round_trip(tmp_path):
+    """Histograms survive flush -> JSONL -> load -> merge."""
+    path = tmp_path / "trace.jsonl"
+    registry = telemetry.Telemetry()
+    sink = registry.add_sink(telemetry.JsonlSink(path))
+    registry.counter("cone", 3)
+    registry.observe("cache.lookup", 0.004)
+    with registry.span("work"):
+        pass
+    registry.flush_metrics()
+    sink.close()
+
+    events = telemetry.load_trace(path)
+    counters, _, histograms = telemetry.merge_metrics_events(
+        [e for e in events if e.get("type") == "metrics"]
+    )
+    assert counters["cone"] == 3
+    assert histograms["cache.lookup"].count == 1
+    assert histograms["span.work"].count == 1
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+
+
+def test_render_prometheus_golden():
+    registry = telemetry.Telemetry()
+    registry.counter("cache.hit", 4)
+    registry.gauge("job.job-1.progress", 0.25)
+    registry.gauge("queue.depth", 2)
+    histogram_values = (0.5e-6, 2e-6)
+    for value in histogram_values:
+        registry.observe("cache.lookup", value)
+    text = prometheus.render_prometheus(registry.metrics())
+
+    assert "# TYPE repro_cache_hit_total counter" in text
+    assert "repro_cache_hit_total 4" in text
+    assert "# TYPE repro_job_progress gauge" in text
+    assert 'repro_job_progress{job="job-1"} 0.25' in text
+    assert "repro_queue_depth 2" in text
+    assert "# TYPE repro_cache_lookup_seconds histogram" in text
+    # 0.5µs lands in the le=1µs floor bucket; 2µs lands above it.
+    assert 'repro_cache_lookup_seconds_bucket{le="1e-06"} 1' in text
+    assert 'repro_cache_lookup_seconds_bucket{le="+Inf"} 2' in text
+    assert "repro_cache_lookup_seconds_count 2" in text
+    assert text.endswith("\n")
+    # le series must be cumulative and non-decreasing.
+    bucket_counts = [
+        int(line.rsplit(" ", 1)[1])
+        for line in text.splitlines()
+        if line.startswith("repro_cache_lookup_seconds_bucket")
+    ]
+    assert bucket_counts == sorted(bucket_counts)
+
+
+def test_render_prometheus_sanitizes_names():
+    registry = telemetry.Telemetry()
+    registry.counter("span.http-request total", 1)
+    text = prometheus.render_prometheus(registry.metrics())
+    assert "repro_span_http_request_total_total 1" in text
+
+
+def test_wants_prometheus_negotiation():
+    assert prometheus.wants_prometheus("prometheus", None)
+    assert prometheus.wants_prometheus("text", "application/json")
+    assert not prometheus.wants_prometheus("json", "text/plain")
+    assert not prometheus.wants_prometheus(None, None)
+    assert not prometheus.wants_prometheus(None, "application/json")
+    assert prometheus.wants_prometheus(None, "text/plain;q=0.9")
+    assert prometheus.wants_prometheus(
+        None, "application/openmetrics-text"
+    )
+
+
+# ----------------------------------------------------------------------
+# /metrics end to end
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def api(tmp_path):
+    from repro.service.api import serve
+
+    registry = telemetry.Telemetry()
+    server = serve(
+        host="127.0.0.1",
+        port=0,
+        cache_dir=str(tmp_path / "cache"),
+        engine="bitpack",
+        telemetry=registry,
+    )
+    server.start()
+    host, port = server.address
+    yield server, f"http://{host}:{port}", registry
+    server.shutdown()
+
+
+def _submit_and_wait(base):
+    from repro.netlist.eqn_io import format_eqn
+
+    text = format_eqn(generate_mastrovito(0b10011))
+    request = urllib.request.Request(
+        f"{base}/v1/jobs",
+        data=json.dumps(
+            {"netlist": text, "format": "eqn", "mode": "extract"}
+        ).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        job = json.load(response)
+    for _ in range(400):
+        with urllib.request.urlopen(
+            f"{base}/v1/jobs/{job['job_id']}"
+        ) as response:
+            view = json.load(response)
+        if view["status"] in ("done", "error"):
+            return view
+        time.sleep(0.01)
+    raise AssertionError("job never finished")
+
+
+def test_metrics_prometheus_format_end_to_end(api):
+    server, base, registry = api
+    view = _submit_and_wait(base)
+    assert view["status"] == "done"
+
+    with urllib.request.urlopen(
+        f"{base}/v1/metrics?format=prometheus"
+    ) as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"] == prometheus.CONTENT_TYPE
+        text = response.read().decode("utf-8")
+
+    # At least three latency histograms with le-labelled buckets: the
+    # HTTP request span, the job span, and the cache lookup timer all
+    # fired during the submission above.
+    families = {
+        line.split()[2]
+        for line in text.splitlines()
+        if line.startswith("# TYPE") and line.endswith("histogram")
+    }
+    assert len(families) >= 3
+    for family in (
+        "repro_span_http_request_seconds",
+        "repro_span_job_seconds",
+        "repro_cache_lookup_seconds",
+    ):
+        assert family in families
+        assert f'{family}_bucket{{le="' in text
+        assert f'{family}_bucket{{le="+Inf"}}' in text
+    assert "repro_http_requests_total" in text
+
+    # The Accept header negotiates the same body type.
+    request = urllib.request.Request(
+        f"{base}/metrics", headers={"Accept": "text/plain"}
+    )
+    with urllib.request.urlopen(request) as response:
+        assert response.headers["Content-Type"] == prometheus.CONTENT_TYPE
+
+    # The JSON payload keeps working — both default and forced.
+    with urllib.request.urlopen(f"{base}/v1/metrics") as response:
+        assert "application/json" in response.headers["Content-Type"]
+        payload = json.load(response)
+    assert payload["schema"] == telemetry.TRACE_SCHEMA
+    assert "span.http.request" in payload["histograms"]
+    request = urllib.request.Request(
+        f"{base}/v1/metrics?format=json",
+        headers={"Accept": "text/plain"},
+    )
+    with urllib.request.urlopen(request) as response:
+        assert "application/json" in response.headers["Content-Type"]
