@@ -49,8 +49,17 @@ and the README's Observability section.
 The ``--engine`` choices come from the backend registry
 (:mod:`repro.engine`): ``reference`` (the oracle), ``bitpack``
 (interned bitmask monomials), ``aig`` (cut-based rewriting over the
-strashed AIG) and — when numpy is installed — ``vector`` (numpy
-bitslice rewriting over uint64 mask matrices).
+strashed AIG), ``vector`` (numpy bitslice rewriting over uint64 mask
+matrices) and ``cuda`` (the same fused sweep through cupy on a GPU).
+Every registered engine parses; selecting one whose dependency is
+missing fails with the registry's recorded reason (e.g. "cupy is not
+installed"), not a bare "unknown engine".
+
+``--max-ram BYTES`` (workload commands, with K/M/G/T suffixes) caps
+the fused sweep's live bit-matrix: past the budget the ``vector``
+engine spills to on-disk tag-range shards and streams the sweep out
+of core — bit-identical results, bounded resident set.  See the
+README's "Past the memory wall" section.
 """
 
 from __future__ import annotations
@@ -60,7 +69,8 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis.xor_count import figure1_report
-from repro.engine import DEFAULT_ENGINE, available_engines
+from repro.engine import DEFAULT_ENGINE, registered_engines
+from repro.engine.spill import parse_byte_size
 from repro.extract.extractor import extract_irreducible_polynomial
 from repro.extract.report import format_extraction_report
 from repro.extract.verify import verify_multiplier
@@ -102,13 +112,42 @@ _READERS = {"eqn": read_eqn, "blif": read_blif, "v": read_verilog}
 
 
 def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    # Choices come from *registered* engines, not just the currently
+    # usable ones: "--engine cuda" on a box without cupy should parse
+    # and then fail with the registry's recorded reason ("cupy is not
+    # installed ..."), which is actionable — a choices error is not.
     parser.add_argument(
         "--engine",
-        choices=sorted(available_engines()),
+        choices=sorted(registered_engines()),
         default=DEFAULT_ENGINE,
         help=(
             "rewriting backend: %(choices)s (default: %(default)s; "
-            "'vector' appears only when numpy is installed)"
+            "'vector' needs numpy, 'cuda' needs cupy + a CUDA device — "
+            "selecting an unavailable engine reports why)"
+        ),
+    )
+
+
+def _byte_size(text: str) -> int:
+    """argparse type for --max-ram: '512M', '2G', plain bytes, ..."""
+    try:
+        return parse_byte_size(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+def _add_max_ram_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-ram",
+        metavar="BYTES",
+        type=_byte_size,
+        default=None,
+        help=(
+            "byte budget for the fused sweep's live bit-matrix "
+            "(suffixes K/M/G/T; e.g. 512M).  Past the budget the "
+            "vector engine spills to on-disk shards and streams the "
+            "sweep out of core — results stay bit-identical.  "
+            "Default: REPRO_SWEEP_MAX_BYTES, else unlimited"
         ),
     )
 
@@ -181,6 +220,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         term_limit=args.term_limit,
         engine=args.engine,
         fused=args.fused,
+        max_bytes=args.max_ram,
     )
     print(f"P(x) = {result.polynomial_str}")
     if not result.irreducible:
@@ -199,6 +239,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         measure_memory=args.jobs == 1,
         engine=args.engine,
         fused=args.fused,
+        max_bytes=args.max_ram,
     )
     verification = verify_multiplier(netlist, result, engine=args.engine)
     print(
@@ -237,6 +278,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         find_counterexample=not args.no_counterexample,
         engine=args.engine,
         fused=args.fused,
+        max_bytes=args.max_ram,
     )
     print(diagnosis.render())
     return 0 if diagnosis.is_clean else 1
@@ -280,6 +322,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             use_cache=not args.no_cache,
             checkpoint=not args.no_checkpoint,
             fused=args.fused,
+            max_bytes=args.max_ram,
         )
     except CampaignError as error:
         raise SystemExit(str(error))
@@ -484,6 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument("--format", choices=sorted(_READERS), default=None)
     _add_engine_argument(extract)
     _add_fused_argument(extract)
+    _add_max_ram_argument(extract)
     _add_trace_argument(extract)
     extract.set_defaults(func=_cmd_extract)
 
@@ -496,6 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--format", choices=sorted(_READERS), default=None)
     _add_engine_argument(audit)
     _add_fused_argument(audit)
+    _add_max_ram_argument(audit)
     _add_trace_argument(audit)
     audit.set_defaults(func=_cmd_audit)
 
@@ -526,6 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
     diag.add_argument("--format", choices=sorted(_READERS), default=None)
     _add_engine_argument(diag)
     _add_fused_argument(diag)
+    _add_max_ram_argument(diag)
     _add_trace_argument(diag)
     diag.set_defaults(func=_cmd_diagnose)
 
@@ -597,6 +643,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_argument(batch)
     _add_fused_argument(batch)
+    _add_max_ram_argument(batch)
     _add_trace_argument(batch)
     batch.set_defaults(func=_cmd_batch)
 
@@ -704,6 +751,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Registered-but-unavailable engines (e.g. cuda without cupy)
+    # parse fine; fail here with the probe's recorded reason instead
+    # of a traceback deep inside the run.
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        from repro.engine import engine_availability
+
+        reason = engine_availability().get(engine)
+        if reason is not None:
+            raise SystemExit(
+                f"engine {engine!r} is unavailable: {reason}"
+            )
     trace_path = getattr(args, "trace", None)
     if not trace_path:
         return args.func(args)

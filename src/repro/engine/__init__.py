@@ -80,6 +80,19 @@ Backends
     (``benchmarks/bench_fused.py`` / ``BENCH_fused.json``).  Every
     other backend serves ``rewrite_cones`` through its per-bit loop,
     so ``fused=True`` degrades cleanly without numpy.
+    The fused sweep is additionally **memory-budgeted**: under
+    ``REPRO_SWEEP_MAX_BYTES`` / ``max_bytes=`` / ``--max-ram`` the
+    live matrix spills to on-disk tag-range shards and rounds stream
+    out of core (``benchmarks/bench_outofcore.py`` /
+    ``BENCH_outofcore.json``);
+``cuda``
+    the fused vector sweep dispatched through cupy on a GPU
+    (:mod:`repro.engine.cuda`): same compiled program, same kernels,
+    device→host transfer only at the decode boundary.  Registered
+    unconditionally but availability-probed — without cupy (or a
+    visible CUDA device) the engine is absent from
+    :func:`available_engines` and resolving it fails with the
+    recorded reason.
 
 Compiling backends (bitpack, aig, vector) additionally persist their
 one-time per-netlist compile through the ``compile_cache=`` hook
@@ -111,23 +124,32 @@ from repro.engine.base import (
 from repro.engine.bitpack import BitpackEngine, PackedExpression
 from repro.engine.interning import SignalInterner
 from repro.engine.reference import ReferenceEngine, ReferenceExpression
+from repro.engine.cuda import CudaEngine
 from repro.engine.registry import (
     DEFAULT_ENGINE,
     available_engines,
+    engine_availability,
     engine_name,
     get_engine,
     register_engine,
+    registered_engines,
 )
 from repro.engine.vector import VectorEngine
 
 register_engine(ReferenceEngine.name, ReferenceEngine)
 register_engine(BitpackEngine.name, BitpackEngine)
 register_engine(AigEngine.name, AigEngine)
-if VectorEngine.available():
-    # numpy is optional: the backend self-reports availability and the
-    # registry (and thus ``--engine`` choices, the differential suite,
-    # the benchmarks) skips it cleanly when numpy is missing.
-    register_engine(VectorEngine.name, VectorEngine)
+# numpy/cupy are optional: these backends register unconditionally
+# with an availability probe, so ``available_engines()`` (and thus the
+# differential suite and the benchmarks) skips them cleanly when the
+# dependency is missing, while resolving them by name still fails
+# with the probe's recorded reason instead of "unknown engine".
+register_engine(
+    VectorEngine.name, VectorEngine, probe=VectorEngine.availability
+)
+register_engine(
+    CudaEngine.name, CudaEngine, probe=CudaEngine.availability
+)
 
 __all__ = [
     "CompilingEngine",
@@ -142,9 +164,12 @@ __all__ = [
     "ReferenceEngine",
     "ReferenceExpression",
     "VectorEngine",
+    "CudaEngine",
     "DEFAULT_ENGINE",
     "available_engines",
+    "engine_availability",
     "engine_name",
     "get_engine",
     "register_engine",
+    "registered_engines",
 ]

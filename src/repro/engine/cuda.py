@@ -1,0 +1,63 @@
+"""GPU backward rewriting — the fused sweep dispatched through cupy.
+
+The fused sweep in :mod:`repro.engine.vector` is a handful of array
+kernels — broadcast-OR substitution, radix lexsort, run-parity
+cancellation — written against the surface numpy and cupy share and
+reached through an :class:`repro.engine.xp.ArrayBackend`.  This
+engine is therefore *thin*: it subclasses :class:`VectorEngine`,
+keeps the compiled program (and so shares compiled-program cache
+entries with the ``aig`` and ``vector`` engines — ``compile_key``
+is inherited), and swaps the sweep's backend for cupy.  The whole
+substitution loop runs on the device; rows come back to the host
+exactly once, at the decode boundary.
+
+Two deliberate host fallbacks:
+
+* **per-bit mode** (``rewrite_cone``) stays on the host numpy path —
+  single-cone matrices are small and per-cone kernel launches would
+  be all overhead; fused mode is where the device pays;
+* **byte budgets** (``max_bytes=`` / ``REPRO_SWEEP_MAX_BYTES``)
+  route the sweep to the host spill path: spilling is host-only by
+  construction (memmaps, byte-string merge keys), and when *device*
+  memory is the binding constraint the documented answer is to cap
+  the budget and let the out-of-core tier take over.
+
+Availability is gated in the registry exactly like vector's numpy
+gate, but with a recorded *reason* — ``repro extract --engine cuda``
+on a host without cupy (or without a visible CUDA device) fails with
+that reason, not with "unknown engine".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine import xp as _xp
+from repro.engine.base import EngineError
+from repro.engine.vector import VectorEngine
+
+
+class CudaEngine(VectorEngine):
+    """The fused vector sweep with cupy as the array backend."""
+
+    name = "cuda"
+
+    @classmethod
+    def availability(cls) -> Optional[str]:
+        """Why the engine is unusable (``None`` when cupy + a device
+        are present); the registry surfaces this verbatim."""
+        return _xp.cuda_unavailable_reason()
+
+    def _sweep_backend(self, budget: Optional[int]) -> "_xp.ArrayBackend":
+        if budget is not None:
+            # Spill fallback: a byte budget means the matrix may leave
+            # RAM, and the spill tier is host-only.  Device memory
+            # pressure is handled by capping the budget, not by
+            # spilling device buffers.
+            return _xp.numpy_backend()
+        reason = _xp.cuda_unavailable_reason()
+        if reason is not None:
+            raise EngineError(
+                f"engine 'cuda' is unavailable: {reason}"
+            )
+        return _xp.cupy_backend()

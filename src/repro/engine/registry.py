@@ -1,4 +1,4 @@
-"""Backend registry: name → engine factory.
+"""Backend registry: name → engine factory, with availability probes.
 
 The rest of the system selects a backend by name (``engine="bitpack"``
 in the library API, ``--engine bitpack`` on the CLI); the registry maps
@@ -6,11 +6,22 @@ those names to lazily-constructed singleton :class:`Engine` instances.
 Third-party backends register themselves with :func:`register_engine`
 — the only requirement is the :class:`~repro.engine.base.Engine`
 interface and exception contract.
+
+Backends with optional dependencies (``vector`` needs numpy, ``cuda``
+needs cupy plus a visible CUDA device) register unconditionally with a
+**probe** — a callable returning ``None`` when the backend is usable
+or a human-readable reason when it is not.  :func:`available_engines`
+lists only the usable ones (so differential suites and benchmarks
+iterate exactly what runs here), :func:`registered_engines` lists
+everything, and :func:`engine_availability` maps every registered name
+to its reason.  Asking for a registered-but-unusable engine fails with
+the *reason* ("cupy is not installed …"), not with "unknown engine" —
+the difference between an actionable error and a confusing one.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.engine.base import Engine, EngineError
 
@@ -19,17 +30,22 @@ DEFAULT_ENGINE = "reference"
 
 _FACTORIES: Dict[str, Callable[[], Engine]] = {}
 _INSTANCES: Dict[str, Engine] = {}
+_PROBES: Dict[str, Callable[[], Optional[str]]] = {}
 
 
 def register_engine(
     name: str,
     factory: Callable[[], Engine],
     overwrite: bool = False,
+    probe: Optional[Callable[[], Optional[str]]] = None,
 ) -> None:
     """Register a backend factory under ``name``.
 
     ``overwrite=False`` protects the built-in backends from accidental
-    shadowing; pass ``True`` to deliberately replace one.
+    shadowing; pass ``True`` to deliberately replace one.  ``probe``
+    (optional) reports why the backend is unusable — ``None`` for
+    usable — and is consulted on every listing/resolution, so a
+    dependency installed mid-process is picked up.
     """
     if not name:
         raise EngineError("engine name must be non-empty")
@@ -37,11 +53,45 @@ def register_engine(
         raise EngineError(f"engine {name!r} is already registered")
     _FACTORIES[name] = factory
     _INSTANCES.pop(name, None)
+    if probe is not None:
+        _PROBES[name] = probe
+    else:
+        _PROBES.pop(name, None)
+
+
+def _unavailable_reason(name: str) -> Optional[str]:
+    probe = _PROBES.get(name)
+    if probe is None:
+        return None
+    return probe()
 
 
 def available_engines() -> Tuple[str, ...]:
-    """Registered backend names, sorted."""
+    """*Usable* backend names, sorted (probes passing)."""
+    return tuple(
+        sorted(
+            name
+            for name in _FACTORIES
+            if _unavailable_reason(name) is None
+        )
+    )
+
+
+def registered_engines() -> Tuple[str, ...]:
+    """Every registered backend name, sorted, usable or not."""
     return tuple(sorted(_FACTORIES))
+
+
+def engine_availability() -> Dict[str, Optional[str]]:
+    """Every registered name → why it is unusable (``None`` = usable).
+
+    The diagnostics surface: the CLI and the HTTP API render this so
+    an operator can see *why* ``cuda`` is missing from the usable set.
+    """
+    return {
+        name: _unavailable_reason(name)
+        for name in sorted(_FACTORIES)
+    }
 
 
 def get_engine(engine: Union[str, Engine, None]) -> Engine:
@@ -49,7 +99,8 @@ def get_engine(engine: Union[str, Engine, None]) -> Engine:
 
     ``None`` resolves to :data:`DEFAULT_ENGINE`.  Instances pass
     through untouched, so callers can inject ad-hoc backends without
-    registering them.
+    registering them.  A registered name whose probe fails raises the
+    probe's reason — actionable, unlike "unknown engine".
     """
     if engine is None:
         engine = DEFAULT_ENGINE
@@ -62,6 +113,11 @@ def get_engine(engine: Union[str, Engine, None]) -> Engine:
             f"unknown engine {engine!r}; "
             f"available: {', '.join(available_engines())}"
         ) from None
+    reason = _unavailable_reason(engine)
+    if reason is not None:
+        raise EngineError(
+            f"engine {engine!r} is unavailable: {reason}"
+        )
     instance = _INSTANCES.get(engine)
     if instance is None:
         instance = factory()

@@ -122,6 +122,7 @@ def diagnose(
     cache=None,
     compile_cache=None,
     fused: bool = False,
+    max_bytes=None,
 ) -> Diagnosis:
     """Triage a netlist: verified multiplier, buggy, or out of scope.
 
@@ -167,6 +168,7 @@ def diagnose(
             cache=cache,
             compile_cache=compile_cache,
             fused=fused,
+            max_bytes=max_bytes,
         )
     except ExtractionError as error:
         return finish(

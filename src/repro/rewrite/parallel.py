@@ -165,6 +165,7 @@ def extract_expressions(
     compile_cache=None,
     fused: bool = False,
     telemetry: Optional["_telemetry.Telemetry"] = None,
+    max_bytes: Optional[int] = None,
 ) -> ExtractionRun:
     """Extract the canonical GF(2) expression of every output bit.
 
@@ -207,6 +208,11 @@ def extract_expressions(
     spans nest under it, and ``measure_memory`` rides on the span's
     tracemalloc handling — nested-measurement safe, stopped even when
     a bit raises.
+
+    ``max_bytes`` caps the fused sweep's live bit-matrix (the
+    out-of-core tier of the ``vector`` engine; ``--max-ram`` on the
+    CLI, ``REPRO_SWEEP_MAX_BYTES`` in the environment).  Per-bit runs
+    and backends without a fused matrix ignore it.
     """
     chosen = list(outputs) if outputs is not None else list(netlist.outputs)
     if fused:
@@ -241,11 +247,18 @@ def extract_expressions(
             backend.prepare(netlist, compile_cache=compile_cache)
 
         if fused:
+            # Forward the budget only when one was given: ad-hoc
+            # backends written against the pre-budget rewrite_cones
+            # signature keep working.
+            extra = (
+                {"max_bytes": max_bytes} if max_bytes is not None else {}
+            )
             cones_by_output = backend.rewrite_cones(
                 netlist,
                 chosen,
                 term_limit=term_limit,
                 compile_cache=compile_cache,
+                **extra,
             )
             for output in chosen:
                 expression, stats = cones_by_output[output]

@@ -53,7 +53,11 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro import telemetry as _telemetry
-from repro.engine import DEFAULT_ENGINE, available_engines
+from repro.engine import (
+    DEFAULT_ENGINE,
+    available_engines,
+    engine_availability,
+)
 from repro.netlist.blif_io import parse_blif
 from repro.netlist.eqn_io import parse_eqn
 from repro.netlist.verilog_io import parse_verilog
@@ -309,6 +313,14 @@ class ReproAPIServer:
         return {
             "engine": self.engine,
             "engines_available": sorted(available_engines()),
+            # Registered-but-unusable backends with the probe's reason
+            # (e.g. {"cuda": "cupy is not installed ..."}); usable ones
+            # map to None.
+            "engines_unavailable": {
+                name: reason
+                for name, reason in sorted(engine_availability().items())
+                if reason is not None
+            },
             "cache": {
                 "root": cache_stats.root,
                 "entries": cache_stats.entries,
@@ -610,7 +622,17 @@ def _make_handler(server: "ReproAPIServer"):
                 return
             engine = body.get("engine", server.engine)
             if engine not in available_engines():
-                self._error(400, f"unknown engine {engine!r}")
+                # Distinguish "no such backend" from "registered but
+                # its dependency is missing" — the latter names the
+                # fix (e.g. install cupy or pick another engine).
+                reason = engine_availability().get(engine)
+                if reason is not None:
+                    self._error(
+                        400,
+                        f"engine {engine!r} is unavailable: {reason}",
+                    )
+                else:
+                    self._error(400, f"unknown engine {engine!r}")
                 return
             try:
                 netlist = _PARSERS[fmt](text)

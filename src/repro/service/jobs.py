@@ -229,6 +229,7 @@ def checkpointed_extract(
     fused: bool = False,
     fused_chunk: int = FUSED_CHUNK_BITS,
     telemetry=None,
+    max_bytes=None,
 ) -> CheckpointedExtraction:
     """:func:`~repro.rewrite.parallel.extract_expressions` with resume.
 
@@ -251,6 +252,11 @@ def checkpointed_extract(
     runs as one fused pass and checkpoints its completions together —
     a kill loses at most one chunk, and the checkpoint format is
     unchanged, so fused and per-bit runs resume each other freely.
+    ``max_bytes`` caps each sweep-chunk's live matrix (the vector
+    engine's out-of-core tier): spill state lives and dies inside one
+    sweep call, so a killed out-of-core run resumes exactly like an
+    in-core one — the next sweep reaps any spill directory the dead
+    process left behind.
 
     The assembled run reports only the *fresh* wall/cpu time (resumed
     bits cost nothing now — that is the point), but per-bit stats are
@@ -326,6 +332,7 @@ def checkpointed_extract(
                         compile_cache=compile_cache,
                         fused=True,
                         telemetry=tel,
+                        max_bytes=max_bytes,
                     )
                 cones.update(fresh.cones)
                 stats.update(fresh.stats)
@@ -342,6 +349,7 @@ def checkpointed_extract(
                 on_result=persist,
                 compile_cache=compile_cache,
                 telemetry=tel,
+                max_bytes=max_bytes,
             )
             cones.update(fresh.cones)
             stats.update(fresh.stats)

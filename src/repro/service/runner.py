@@ -108,6 +108,7 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
     engine = task["engine"]
     jobs = task["jobs"]
     fused = bool(task.get("fused"))
+    max_bytes = task.get("max_bytes")
     import multiprocessing
 
     if jobs != 1 and multiprocessing.current_process().daemon:
@@ -189,6 +190,7 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
                     cache=cache,
                     compile_cache=cache,
                     fused=fused,
+                    max_bytes=max_bytes,
                 )
                 if cache is not None:
                     cache.put_diagnosis(fingerprint, diagnosis)
@@ -221,6 +223,7 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
                         keep_checkpoint=True,
                         compile_cache=cache,
                         fused=fused,
+                        max_bytes=max_bytes,
                     )
                     run = sharded.run
                     record["resumed_bits"] = len(sharded.resumed_bits)
@@ -235,6 +238,7 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
                         term_limit=task["term_limit"],
                         compile_cache=cache,
                         fused=fused,
+                        max_bytes=max_bytes,
                     )
                 result = result_from_run(run, m, total_time_s=run.wall_time_s)
                 if cache is not None:
@@ -336,6 +340,7 @@ class CampaignRunner:
         checkpoint: bool = True,
         fused: bool = False,
         telemetry: Optional["_telemetry.Telemetry"] = None,
+        max_bytes: Optional[int] = None,
     ):
         if mode not in ("extract", "audit", "diagnose"):
             raise ValueError(f"unknown campaign mode {mode!r}")
@@ -350,6 +355,9 @@ class CampaignRunner:
         #: Fused multi-cone extraction per netlist (one sweep instead
         #: of per-bit shards; ``jobs`` then only matters as a no-op).
         self.fused = fused
+        #: Byte budget of each fused sweep's live matrix (the vector
+        #: engine's out-of-core tier); ``None`` = unbounded.
+        self.max_bytes = max_bytes
         if use_cache:
             from repro.service.cache import default_cache_dir
 
@@ -371,6 +379,7 @@ class CampaignRunner:
             "cache_dir": self.cache_dir,
             "checkpoint": self.checkpoint,
             "fused": self.fused,
+            "max_bytes": self.max_bytes,
         }
 
     def run(

@@ -1,0 +1,334 @@
+"""The ``cuda`` engine and the availability-probed registry.
+
+cupy is not assumed: most tests drive the device path through a *fake*
+device backend — numpy wrapped in an :class:`ArrayBackend` flagged
+``is_device=True`` with byte-string sort keys disabled — which
+exercises every portability seam the real cupy backend relies on
+(log-tree OR folds instead of ``bitwise_or.reduce``, full lexsort
+cancellation instead of S-dtype merge keys, the to-host decode
+boundary, device-bytes gauges).  When cupy genuinely is importable the
+differential tests also run against the real device.
+
+The registry half pins the diagnostics contract: ``cuda`` is always
+*registered*, listed as unavailable with a concrete reason when its
+dependency is missing, and resolving it then fails with that reason —
+never with "unknown engine".
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.engine import (
+    CudaEngine,
+    EngineError,
+    VectorEngine,
+    available_engines,
+    engine_availability,
+    get_engine,
+    registered_engines,
+)
+from repro.engine import xp as xp_module
+from repro.extract.extractor import extract_irreducible_polynomial
+from repro.gen.digit_serial import generate_digit_serial
+from repro.gen.interleaved import generate_interleaved
+from repro.gen.karatsuba import generate_karatsuba
+from repro.gen.mastrovito import generate_mastrovito
+from repro.gen.montgomery import generate_montgomery
+from repro.gen.schoolbook import generate_schoolbook
+from repro.synth.pipeline import synthesize
+from repro.telemetry import MemorySink, Telemetry, use
+
+numpy = pytest.importorskip("numpy")
+
+GENERATORS = {
+    "mastrovito": generate_mastrovito,
+    "schoolbook": generate_schoolbook,
+    "montgomery": generate_montgomery,
+    "karatsuba": generate_karatsuba,
+    "interleaved": generate_interleaved,
+    "digit-serial": generate_digit_serial,
+}
+
+CUDA_USABLE = xp_module.cuda_unavailable_reason() is None
+
+
+def fake_device_backend(device_bytes=None):
+    """numpy masquerading as a device: every cupy portability rule
+    (no byte-string keys, explicit to-host transfers) enforced."""
+    return xp_module.ArrayBackend(
+        name="fake-device",
+        xp=numpy,
+        is_device=True,
+        supports_byte_keys=False,
+        to_host=numpy.asarray,
+        device_bytes=(lambda: device_bytes) if device_bytes else None,
+    )
+
+
+def fake_cuda_engine(device_bytes=None):
+    engine = CudaEngine()
+    backend = fake_device_backend(device_bytes)
+    engine._sweep_backend = lambda budget: backend
+    return engine
+
+
+class TestRegistryDiagnostics:
+    def test_cuda_is_always_registered(self):
+        assert "cuda" in registered_engines()
+        assert "cuda" in engine_availability()
+
+    def test_availability_reason_is_actionable(self):
+        reason = engine_availability()["cuda"]
+        if CUDA_USABLE:
+            assert reason is None
+            assert "cuda" in available_engines()
+        else:
+            assert "cupy" in reason or "CUDA" in reason
+            assert "cuda" not in available_engines()
+
+    def test_resolving_unavailable_cuda_names_the_reason(self):
+        if CUDA_USABLE:
+            pytest.skip("cupy + device present; resolution succeeds")
+        with pytest.raises(EngineError) as caught:
+            get_engine("cuda")
+        message = str(caught.value)
+        assert "'cuda' is unavailable" in message
+        assert "unknown engine" not in message
+
+    def test_unknown_name_still_says_unknown(self):
+        with pytest.raises(EngineError, match="unknown engine"):
+            get_engine("tpu")
+
+    def test_vector_probe_matches_numpy_presence(self):
+        assert engine_availability()["vector"] is None
+        assert "vector" in available_engines()
+
+    def test_cli_engine_cuda_fails_with_reason(self, tmp_path, capsys):
+        if CUDA_USABLE:
+            pytest.skip("cupy + device present; the CLI would succeed")
+        from repro.cli import main
+        from repro.netlist.eqn_io import write_eqn
+
+        path = tmp_path / "m4.eqn"
+        write_eqn(generate_mastrovito(0b10011), path)
+        with pytest.raises(SystemExit) as caught:
+            main(["extract", str(path), "--engine", "cuda", "--fused"])
+        assert "cupy" in str(caught.value) or "CUDA" in str(caught.value)
+
+
+class TestFakeDeviceDifferential:
+    """The device code path (xp shim, no byte keys, to-host decode)
+    against the reference oracle."""
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_nand_mapped_zoo(self, name):
+        netlist = synthesize(
+            GENERATORS[name](0b100101), use_xor_cells=False
+        )
+        reference = extract_irreducible_polynomial(
+            netlist, engine="reference"
+        )
+        device = extract_irreducible_polynomial(
+            netlist, engine=fake_cuda_engine(), fused=True
+        )
+        assert device.modulus == reference.modulus
+        assert device.member_bits == reference.member_bits
+        for bit in range(reference.m):
+            assert device.expression_of(bit) == reference.expression_of(
+                bit
+            )
+
+    def test_forced_matrix_loop_matches(self, monkeypatch):
+        import repro.engine.aig as aig_module
+
+        monkeypatch.setattr(aig_module, "_FLAT_BOUND", 2)
+        netlist = synthesize(
+            generate_mastrovito(0b100101), use_xor_cells=False
+        )
+        reference = extract_irreducible_polynomial(
+            netlist, engine="reference"
+        )
+        device = extract_irreducible_polynomial(
+            netlist, engine=fake_cuda_engine(), fused=True
+        )
+        assert device.modulus == reference.modulus
+        for bit in range(reference.m):
+            assert device.expression_of(bit) == reference.expression_of(
+                bit
+            )
+
+    def test_device_bytes_gauge_reported(self, monkeypatch):
+        import repro.engine.aig as aig_module
+
+        monkeypatch.setattr(aig_module, "_FLAT_BOUND", 2)
+        netlist = synthesize(
+            generate_mastrovito(0b100101), use_xor_cells=False
+        )
+        telemetry = Telemetry()
+        telemetry.add_sink(MemorySink())
+        with use(telemetry):
+            extract_irreducible_polynomial(
+                netlist, engine=fake_cuda_engine(device_bytes=12345),
+                fused=True,
+            )
+        assert telemetry.gauges().get("sweep.device_bytes") == 12345
+
+    def test_sweep_span_names_the_backend(self, monkeypatch):
+        import repro.engine.aig as aig_module
+
+        monkeypatch.setattr(aig_module, "_FLAT_BOUND", 2)
+        netlist = synthesize(
+            generate_mastrovito(0b10011), use_xor_cells=False
+        )
+        telemetry = Telemetry()
+        sink = telemetry.add_sink(MemorySink())
+        with use(telemetry):
+            extract_irreducible_polynomial(
+                netlist, engine=fake_cuda_engine(), fused=True
+            )
+        sweeps = [
+            e
+            for e in sink.events
+            if e.get("type") == "span" and e.get("name") == "sweep"
+        ]
+        assert sweeps
+        assert sweeps[0]["attrs"]["backend"] == "fake-device"
+
+
+class TestBudgetFallback:
+    def test_budget_forces_the_host_spill_backend(self):
+        """A byte budget on the cuda engine routes the sweep through
+        the documented fallback: host numpy + the spill tier."""
+        backend = CudaEngine()._sweep_backend(1 << 20)
+        assert backend.name == "numpy"
+        assert not backend.is_device
+
+    def test_device_backend_rejects_budgets(self):
+        """The vector base guards the invariant the fallback exists
+        for: memmap spill shards are host-only."""
+        engine = VectorEngine()
+        engine._sweep_backend = lambda budget: fake_device_backend()
+        netlist = generate_mastrovito(0b10011)
+        with pytest.raises(EngineError, match="spill"):
+            engine.rewrite_cones(
+                netlist, list(netlist.outputs), max_bytes=1024
+            )
+
+    def test_budgeted_cuda_run_is_identical(self, monkeypatch):
+        """End-to-end: engine='cuda'-shaped budgeted runs produce the
+        reference answer through the host fallback even when the
+        device itself is unusable."""
+        import repro.engine.aig as aig_module
+
+        monkeypatch.setattr(aig_module, "_FLAT_BOUND", 2)
+        netlist = synthesize(
+            generate_mastrovito(0b100101), use_xor_cells=False
+        )
+        reference = extract_irreducible_polynomial(
+            netlist, engine="reference"
+        )
+        budgeted = extract_irreducible_polynomial(
+            netlist, engine=CudaEngine(), fused=True, max_bytes=1024
+        )
+        assert budgeted.modulus == reference.modulus
+        for bit in range(reference.m):
+            assert budgeted.expression_of(bit) == reference.expression_of(
+                bit
+            )
+
+
+@pytest.mark.skipif(not CUDA_USABLE, reason="cupy + CUDA device needed")
+class TestRealCuda:
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_real_device_differential(self, name):
+        netlist = synthesize(
+            GENERATORS[name](0b100101), use_xor_cells=False
+        )
+        reference = extract_irreducible_polynomial(
+            netlist, engine="reference"
+        )
+        device = extract_irreducible_polynomial(
+            netlist, engine="cuda", fused=True
+        )
+        assert device.modulus == reference.modulus
+        for bit in range(reference.m):
+            assert device.expression_of(bit) == reference.expression_of(
+                bit
+            )
+
+
+class TestWithoutCupy:
+    def test_cuda_degrades_to_recorded_reason_without_cupy(self):
+        """A cupy-less interpreter keeps the cuda engine registered,
+        reported unavailable with a reason, and unresolvable with that
+        same reason — while the vector engine stays fully usable.
+        Mirrors the no-numpy degradation test in
+        ``test_engine_fused.py``."""
+        script = textwrap.dedent(
+            """
+            import sys
+
+            class _Block:
+                def find_spec(self, name, path=None, target=None):
+                    if name == "cupy" or name.startswith("cupy."):
+                        raise ImportError("cupy blocked for test")
+                    return None
+
+            sys.meta_path.insert(0, _Block())
+            for cached in [m for m in sys.modules if m.startswith("cupy")]:
+                del sys.modules[cached]
+
+            from repro.engine import (
+                available_engines,
+                engine_availability,
+                get_engine,
+                registered_engines,
+            )
+            from repro.engine.base import EngineError
+
+            assert "cuda" in registered_engines()
+            assert "cuda" not in available_engines()
+            reason = engine_availability()["cuda"]
+            assert reason and "cupy" in reason
+
+            try:
+                get_engine("cuda")
+            except EngineError as error:
+                assert "cupy" in str(error), error
+                assert "unknown engine" not in str(error)
+            else:
+                raise AssertionError("get_engine('cuda') succeeded")
+
+            # the host engines are untouched by the missing GPU stack
+            from repro.extract.extractor import (
+                extract_irreducible_polynomial,
+            )
+            from repro.gen.mastrovito import generate_mastrovito
+            result = extract_irreducible_polynomial(
+                generate_mastrovito(0b10011), engine="vector", fused=True
+            )
+            assert result.polynomial_str == "x^4 + x + 1"
+            print("OK")
+            """
+        )
+        src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "OK" in completed.stdout
