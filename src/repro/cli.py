@@ -166,6 +166,20 @@ def _add_fused_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fallback_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fallback",
+        action="store_true",
+        help=(
+            "degrade gracefully instead of failing: when the selected "
+            "engine is unavailable (or dies at runtime) walk the "
+            "fallback ladder cuda -> vector -> aig -> bitpack -> "
+            "reference to the first usable backend (results are "
+            "bit-identical; the substitution is reported)"
+        ),
+    )
+
+
 def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
@@ -323,6 +337,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             checkpoint=not args.no_checkpoint,
             fused=args.fused,
             max_bytes=args.max_ram,
+            retries=args.retries,
+            deadline_s=args.deadline,
+            max_rss_bytes=args.max_rss,
+            fallback=args.fallback,
         )
     except CampaignError as error:
         raise SystemExit(str(error))
@@ -342,6 +360,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         engine=args.engine,
         jobs=args.jobs,
         worker_threads=args.worker_threads,
+        max_queue=args.max_queue,
+        retries=args.retries,
+        fallback=args.fallback,
     )
     host, port = server.address
     print(f"repro service listening on http://{host}:{port}/v1/health")
@@ -525,6 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument("--jobs", type=int, default=1)
     extract.add_argument("--term-limit", type=int, default=None)
     extract.add_argument("--format", choices=sorted(_READERS), default=None)
+    _add_fallback_argument(extract)
     _add_engine_argument(extract)
     _add_fused_argument(extract)
     _add_max_ram_argument(extract)
@@ -538,6 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--jobs", type=int, default=1)
     audit.add_argument("--term-limit", type=int, default=None)
     audit.add_argument("--format", choices=sorted(_READERS), default=None)
+    _add_fallback_argument(audit)
     _add_engine_argument(audit)
     _add_fused_argument(audit)
     _add_max_ram_argument(audit)
@@ -569,6 +592,7 @@ def build_parser() -> argparse.ArgumentParser:
     diag.add_argument("--term-limit", type=int, default=None)
     diag.add_argument("--no-counterexample", action="store_true")
     diag.add_argument("--format", choices=sorted(_READERS), default=None)
+    _add_fallback_argument(diag)
     _add_engine_argument(diag)
     _add_fused_argument(diag)
     _add_max_ram_argument(diag)
@@ -641,6 +665,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable mid-extraction checkpoints",
     )
+    batch.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-netlist attempt budget for transient failures "
+            "(crashed workers, IO errors); exhausted budgets land in "
+            "the report as quarantined/worker_died records instead of "
+            "aborting the campaign (default: 3 attempts)"
+        ),
+    )
+    batch.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget per netlist; a netlist past it is "
+            "quarantined (recorded, campaign continues)"
+        ),
+    )
+    batch.add_argument(
+        "--max-rss",
+        metavar="BYTES",
+        type=_byte_size,
+        default=None,
+        help=(
+            "RSS budget per worker (suffixes K/M/G/T); a netlist "
+            "whose extraction exceeds it is quarantined"
+        ),
+    )
+    _add_fallback_argument(batch)
     _add_engine_argument(batch)
     _add_fused_argument(batch)
     _add_max_ram_argument(batch)
@@ -661,6 +718,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--worker-threads", type=int, default=2, help="job worker threads"
     )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "bound on queued jobs; past it submissions get 429 + "
+            "Retry-After (default: %(default)s)"
+        ),
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-job attempt budget for transient failures; an "
+            "exhausted budget quarantines the job with a structured "
+            "reason (default: 3 attempts)"
+        ),
+    )
+    _add_fallback_argument(serve)
     _add_engine_argument(serve)
     _add_trace_argument(serve)
     serve.set_defaults(func=_cmd_serve)
@@ -760,9 +839,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         reason = engine_availability().get(engine)
         if reason is not None:
-            raise SystemExit(
-                f"engine {engine!r} is unavailable: {reason}"
-            )
+            if not getattr(args, "fallback", False):
+                raise SystemExit(
+                    f"engine {engine!r} is unavailable: {reason}"
+                )
+            if args.func not in (_cmd_batch, _cmd_serve):
+                # batch/serve resolve per-task/per-submission so the
+                # substitution lands on every record; single-shot
+                # commands degrade here, once, with a note.
+                from repro.engine import EngineError
+                from repro.service.resilience import select_engine
+
+                try:
+                    args.engine, substituted = select_engine(
+                        engine, fallback=True
+                    )
+                except EngineError as error:
+                    raise SystemExit(str(error))
+                print(
+                    f"warning: {substituted}; using engine "
+                    f"{args.engine!r}",
+                    file=sys.stderr,
+                )
     trace_path = getattr(args, "trace", None)
     if not trace_path:
         return args.func(args)

@@ -127,9 +127,11 @@ from repro.engine.reference import ReferenceEngine, ReferenceExpression
 from repro.engine.cuda import CudaEngine
 from repro.engine.registry import (
     DEFAULT_ENGINE,
+    FALLBACK_LADDER,
     available_engines,
     engine_availability,
     engine_name,
+    fallback_chain,
     get_engine,
     register_engine,
     registered_engines,
@@ -166,9 +168,11 @@ __all__ = [
     "VectorEngine",
     "CudaEngine",
     "DEFAULT_ENGINE",
+    "FALLBACK_LADDER",
     "available_engines",
     "engine_availability",
     "engine_name",
+    "fallback_chain",
     "get_engine",
     "register_engine",
     "registered_engines",

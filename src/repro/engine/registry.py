@@ -28,6 +28,38 @@ from repro.engine.base import Engine, EngineError
 #: The backend used when callers do not ask for one explicitly.
 DEFAULT_ENGINE = "reference"
 
+#: Graceful-degradation ladder, most capable first.  When fallback is
+#: enabled, an unavailable or runtime-failing backend degrades to the
+#: next rung that is *usable* (per :func:`engine_availability`); every
+#: rung produces bit-identical results, so degradation trades only
+#: speed, never answers.
+FALLBACK_LADDER: Tuple[str, ...] = (
+    "cuda",
+    "vector",
+    "aig",
+    "bitpack",
+    "reference",
+)
+
+
+def fallback_chain(engine: str) -> Tuple[str, ...]:
+    """The degradation ladder starting at ``engine``.
+
+    An engine on the ladder degrades to the rungs *below* it; an
+    unknown/custom engine degrades to the whole built-in ladder (most
+    capable first).  The chain always starts with ``engine`` itself
+    and never repeats a name.
+
+    >>> fallback_chain("vector")
+    ('vector', 'aig', 'bitpack', 'reference')
+    >>> fallback_chain("reference")
+    ('reference',)
+    """
+    if engine in FALLBACK_LADDER:
+        index = FALLBACK_LADDER.index(engine)
+        return FALLBACK_LADDER[index:]
+    return (engine,) + FALLBACK_LADDER
+
 _FACTORIES: Dict[str, Callable[[], Engine]] = {}
 _INSTANCES: Dict[str, Engine] = {}
 _PROBES: Dict[str, Callable[[], Optional[str]]] = {}

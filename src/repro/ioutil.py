@@ -88,15 +88,26 @@ def atomic_write_bytes(path: PathLike, payload: bytes) -> None:
         raise
 
 
-def atomic_append_line(path: PathLike, line: str, encoding: str = "utf-8") -> None:
+def atomic_append_line(
+    path: PathLike,
+    line: str,
+    encoding: str = "utf-8",
+    fsync: bool = False,
+) -> None:
     """Append one newline-terminated record to ``path`` in a single write.
 
     A single ``write()`` of a short line is atomic enough for JSONL
     reports (O_APPEND semantics); callers that need full-file
-    atomicity use :func:`atomic_write_text` instead.
+    atomicity use :func:`atomic_write_text` instead.  ``fsync=True``
+    additionally forces the appended record to stable storage before
+    returning — the durability knob checkpoint writers expose for
+    power-loss (not just SIGKILL) safety, at the cost of one disk
+    flush per record.
     """
     if not line.endswith("\n"):
         line += "\n"
     with open(path, "a", encoding=encoding) as handle:
         handle.write(line)
         handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())

@@ -21,10 +21,17 @@ Endpoints (all JSON)::
     POST /v1/jobs                      submit a netlist
          body: {"netlist": "<text>", "format": "eqn"|"blif"|"v",
                 "mode": "extract"|"audit"|"diagnose",
-                "engine": "<name>"?}
+                "engine": "<name>"?, "fallback": true?}
          -> 202 {"job_id": ..., "fingerprint": ..., "status": ...}
             (status is "done" immediately on a cache hit)
+         -> 429 + Retry-After when the bounded job queue is full
+            (backpressure instead of unbounded memory growth)
     GET  /v1/jobs/<job_id>             poll a job (summary result)
+    DELETE /v1/jobs/<job_id>           cancel a job (also /jobs/<id>):
+                                       queued jobs cancel immediately;
+                                       running jobs cancel at the next
+                                       per-bit progress tick (202);
+                                       finished jobs are 409
     GET  /v1/results/<fingerprint>?kind=extraction|verification|diagnosis
                                        fetch a cached artifact
                                        (&full=1 for the raw entry)
@@ -47,7 +54,7 @@ import json
 import queue
 import threading
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
@@ -55,6 +62,7 @@ from urllib.parse import parse_qs, urlparse
 from repro import telemetry as _telemetry
 from repro.engine import (
     DEFAULT_ENGINE,
+    EngineError,
     available_engines,
     engine_availability,
 )
@@ -62,6 +70,13 @@ from repro.netlist.blif_io import parse_blif
 from repro.netlist.eqn_io import parse_eqn
 from repro.netlist.verilog_io import parse_verilog
 from repro.service.cache import KINDS, ResultCache
+from repro.service.resilience import (
+    Quarantined,
+    RetryPolicy,
+    engine_ladder,
+    run_supervised,
+    select_engine,
+)
 
 _PARSERS = {"eqn": parse_eqn, "blif": parse_blif, "v": parse_verilog}
 _MODES = ("extract", "audit", "diagnose")
@@ -74,6 +89,25 @@ MAX_NETLIST_BYTES = 8 * 1024 * 1024
 #: addressable forever through the cache (/v1/results/<fingerprint>).
 MAX_FINISHED_JOBS = 1024
 
+#: Default bound on queued (accepted, not yet running) jobs; beyond it
+#: submissions get 429 + Retry-After instead of unbounded growth.
+MAX_QUEUE_DEPTH = 64
+
+#: Job states that no longer occupy a worker.
+TERMINAL_STATUSES = ("done", "error", "cancelled", "quarantined")
+
+
+class ServiceSaturated(RuntimeError):
+    """The bounded job queue is full; retry after ``retry_after_s``."""
+
+    def __init__(self, retry_after_s: int):
+        super().__init__(f"job queue full; retry after {retry_after_s}s")
+        self.retry_after_s = retry_after_s
+
+
+class _JobCancelled(RuntimeError):
+    """Raised inside the pipeline when a job's cancel flag is seen."""
+
 
 @dataclass
 class Job:
@@ -83,7 +117,9 @@ class Job:
     mode: str
     engine: str
     fingerprint: str
-    status: str = "queued"  # queued -> running -> done | error
+    #: queued -> running -> done | error | cancelled | quarantined
+    #: (running -> cancelling -> cancelled for mid-flight cancels)
+    status: str = "queued"
     submitted_unix: float = field(default_factory=time.time)
     wall_time_s: Optional[float] = None
     cache: str = "miss"
@@ -92,10 +128,46 @@ class Job:
     #: ``{"done_bits": n, "total_bits": m}`` while an extraction runs
     #: (fed per completed bit by the pipeline's ``on_result`` hook).
     progress: Optional[Dict[str, Any]] = None
+    #: Resolved backend + why it differs from the requested one (only
+    #: set when fallback degraded the request), and how many attempts
+    #: the supervision layer spent.
+    engine_used: Optional[str] = None
+    fallback_reason: Optional[str] = None
+    attempts: Optional[int] = None
+    #: Structured quarantine reason (status == "quarantined").
+    reason: Optional[Dict[str, Any]] = None
+    #: Whether engine-ladder fallback applies to this job.
+    fallback: bool = False
+    #: Cooperative cancellation flag, observed at progress ticks and
+    #: attempt boundaries (not JSON-serializable; excluded from views).
+    cancel_event: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+
+    _VIEW_FIELDS = (
+        "job_id",
+        "mode",
+        "engine",
+        "fingerprint",
+        "status",
+        "submitted_unix",
+        "wall_time_s",
+        "cache",
+        "error",
+        "result",
+        "progress",
+        "engine_used",
+        "fallback_reason",
+        "attempts",
+        "reason",
+    )
 
     def view(self) -> Dict[str, Any]:
-        data = asdict(self)
-        return {key: value for key, value in data.items() if value is not None}
+        return {
+            key: getattr(self, key)
+            for key in self._VIEW_FIELDS
+            if getattr(self, key) is not None
+        }
 
 
 class ReproAPIServer:
@@ -110,14 +182,25 @@ class ReproAPIServer:
         jobs: int = 1,
         worker_threads: int = 2,
         telemetry: Optional[_telemetry.Telemetry] = None,
+        max_queue: int = MAX_QUEUE_DEPTH,
+        retry_policy: Optional[RetryPolicy] = None,
+        fallback: bool = False,
     ):
         self.cache = cache if cache is not None else ResultCache()
         self.engine = engine
         self.jobs = jobs
+        #: Per-job supervision policy (attempt budget + backoff) and
+        #: whether the engine ladder applies by default (a submission
+        #: may override with ``"fallback": true/false``).
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.fallback = fallback
         #: Registry every request span, job span, cache counter and
         #: progress gauge lands in; ``GET /metrics`` snapshots it.
         self.telemetry = _telemetry.resolve(telemetry)
-        self._queue: "queue.Queue[Optional[Tuple[Job, Any]]]" = queue.Queue()
+        self._worker_count = max(1, worker_threads)
+        self._queue: "queue.Queue[Optional[Tuple[Job, Any]]]" = queue.Queue(
+            maxsize=max(1, max_queue)
+        )
         self._table: Dict[str, Job] = {}
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
@@ -154,16 +237,59 @@ class ReproAPIServer:
             worker.start()
         self.httpd.serve_forever()
 
-    def shutdown(self) -> None:
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting requests; finish or cancel queued work.
+
+        ``drain=True`` (the default) lets the worker threads finish
+        every queued and in-flight job — in-flight checkpointed chunks
+        complete and land durably — before returning.  ``drain=False``
+        cancels everything still queued (in-flight jobs see their
+        cancel flag at the next progress tick) and returns as soon as
+        the workers exit.
+        """
         self.httpd.shutdown()
         self.httpd.server_close()
+        if not drain:
+            with self._lock:
+                queued = [
+                    job
+                    for job in self._table.values()
+                    if job.status == "queued"
+                ]
+                running = [
+                    job
+                    for job in self._table.values()
+                    if job.status == "running"
+                ]
+            for job in queued:
+                job.status = "cancelled"
+            for job in running:
+                job.cancel_event.set()
         for _ in self._workers:
+            # The queue is bounded; a blocking put parks behind queued
+            # jobs, which the workers are actively draining.
             self._queue.put(None)
+        for worker in self._workers:
+            if worker.ident is not None:
+                worker.join()
 
     # -- job handling ---------------------------------------------------
 
-    def submit(self, netlist, mode: str, engine: str) -> Job:
-        """Register a job; cache hits complete synchronously."""
+    def submit(
+        self,
+        netlist,
+        mode: str,
+        engine: str,
+        engine_used: Optional[str] = None,
+        fallback_reason: Optional[str] = None,
+        fallback: Optional[bool] = None,
+    ) -> Job:
+        """Register a job; cache hits complete synchronously.
+
+        Raises :class:`ServiceSaturated` (mapped to ``429`` by the
+        HTTP layer) when the bounded queue is full — backpressure the
+        client can act on, instead of accepting unbounded work.
+        """
         fingerprint = self.cache.fingerprint(netlist)
         with self._lock:
             job = Job(
@@ -171,13 +297,56 @@ class ReproAPIServer:
                 mode=mode,
                 engine=engine,
                 fingerprint=fingerprint,
+                engine_used=engine_used,
+                fallback_reason=fallback_reason,
+                fallback=self.fallback if fallback is None else fallback,
             )
             self._table[job.job_id] = job
             self._evict_finished_locked()
         if self._serve_from_cache(job, fingerprint):
             return job
-        self._queue.put((job, netlist))
+        try:
+            self._queue.put_nowait((job, netlist))
+        except queue.Full:
+            with self._lock:
+                self._table.pop(job.job_id, None)
+            self.telemetry.counter("jobs.rejected")
+            raise ServiceSaturated(self.retry_after_s()) from None
         return job
+
+    def retry_after_s(self) -> int:
+        """Backpressure hint: rough time to drain the current queue."""
+        depth = self._queue.qsize()
+        return max(1, depth // self._worker_count)
+
+    def cancel(self, job_id: str) -> Tuple[Optional[str], Optional[Job]]:
+        """Cancel a job: ``(disposition, job)``.
+
+        ``("ok", job)`` — cancelled (queued jobs immediately; already-
+        cancelled is idempotent); ``("accepted", job)`` — a running
+        job's cancel flag is set, observed at the next progress tick;
+        ``("conflict", job)`` — already finished; ``(None, None)`` —
+        unknown job.
+        """
+        with self._lock:
+            job = self._table.get(job_id)
+            if job is None:
+                return None, None
+            if job.status in ("done", "error", "quarantined"):
+                return "conflict", job
+            if job.status == "cancelled":
+                return "ok", job
+            if job.status == "queued":
+                # The queue entry stays; the worker loop skips
+                # already-cancelled jobs on dequeue.
+                job.status = "cancelled"
+                self.telemetry.counter("jobs.cancelled")
+                return "ok", job
+        # running / cancelling: cooperative, observed at progress ticks
+        job.cancel_event.set()
+        if job.status == "running":
+            job.status = "cancelling"
+        return "accepted", job
 
     def _serve_from_cache(self, job: Job, fingerprint: str) -> bool:
         summary = _cached_summary(self.cache, job.mode, fingerprint)
@@ -195,6 +364,8 @@ class ReproAPIServer:
             if item is None:
                 return
             job, netlist = item
+            if job.status == "cancelled":
+                continue  # cancelled while queued; nothing to run
             job.status = "running"
             started = time.perf_counter()
             job.progress = {
@@ -205,11 +376,30 @@ class ReproAPIServer:
             self.telemetry.gauge(gauge, 0.0)
 
             def advance(output, cone, stats, job=job, gauge=gauge):
+                if job.cancel_event.is_set():
+                    raise _JobCancelled(job.job_id)
                 done = job.progress["done_bits"] + 1
                 job.progress["done_bits"] = done
                 total = job.progress["total_bits"] or 1
                 self.telemetry.gauge(gauge, done / total)
 
+            def attempt(engine, job=job, netlist=netlist, advance=advance):
+                if job.cancel_event.is_set():
+                    raise _JobCancelled(job.job_id)
+                return _run_pipeline(
+                    self.cache,
+                    netlist,
+                    job.mode,
+                    engine,
+                    self.jobs,
+                    fingerprint=job.fingerprint,
+                    progress=advance,
+                    telemetry=self.telemetry,
+                )
+
+            ladder = engine_ladder(
+                job.engine_used or job.engine, fallback=job.fallback
+            )
             with _telemetry.use(self.telemetry), self.telemetry.span(
                 "job",
                 job_id=job.job_id,
@@ -218,17 +408,28 @@ class ReproAPIServer:
                 fingerprint=job.fingerprint[:12],
             ) as span:
                 try:
-                    job.result = _run_pipeline(
-                        self.cache,
-                        netlist,
-                        job.mode,
-                        job.engine,
-                        self.jobs,
-                        fingerprint=job.fingerprint,
-                        progress=advance,
+                    outcome = run_supervised(
+                        attempt,
+                        engines=ladder,
+                        policy=self.retry_policy,
                         telemetry=self.telemetry,
+                        label=job.job_id,
                     )
+                    job.result = outcome.value
+                    job.engine_used = outcome.engine_used
+                    if outcome.fallback_reason is not None:
+                        job.fallback_reason = (
+                            job.fallback_reason or outcome.fallback_reason
+                        )
+                    if outcome.attempts > 1:
+                        job.attempts = outcome.attempts
                     job.status = "done"
+                except _JobCancelled:
+                    job.status = "cancelled"
+                except Quarantined as poison:
+                    job.status = "quarantined"
+                    job.reason = poison.reason
+                    job.error = poison.reason.get("error")
                 except Exception as error:  # noqa: BLE001 - report it
                     job.status = "error"
                     job.error = f"{type(error).__name__}: {error}"
@@ -245,7 +446,7 @@ class ReproAPIServer:
         finished = [
             job_id
             for job_id, job in self._table.items()
-            if job.status in ("done", "error")
+            if job.status in TERMINAL_STATUSES
         ]
         excess = len(finished) - MAX_FINISHED_JOBS
         if excess > 0:
@@ -442,12 +643,19 @@ def _make_handler(server: "ReproAPIServer"):
 
         # -- helpers ----------------------------------------------------
 
-        def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        def _send_json(
+            self,
+            status: int,
+            payload: Dict[str, Any],
+            headers: Optional[Dict[str, str]] = None,
+        ) -> None:
             self._last_status = status
             body = json.dumps(payload).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
@@ -621,19 +829,32 @@ def _make_handler(server: "ReproAPIServer"):
                 self._error(400, f"unknown mode {mode!r}; one of {_MODES}")
                 return
             engine = body.get("engine", server.engine)
+            fallback = bool(body.get("fallback", server.fallback))
+            engine_used = None
+            fallback_reason = None
             if engine not in available_engines():
-                # Distinguish "no such backend" from "registered but
-                # its dependency is missing" — the latter names the
-                # fix (e.g. install cupy or pick another engine).
-                reason = engine_availability().get(engine)
-                if reason is not None:
-                    self._error(
-                        400,
-                        f"engine {engine!r} is unavailable: {reason}",
-                    )
+                if fallback:
+                    try:
+                        engine_used, fallback_reason = select_engine(
+                            engine, fallback=True
+                        )
+                    except EngineError as error:
+                        self._error(400, str(error))
+                        return
                 else:
-                    self._error(400, f"unknown engine {engine!r}")
-                return
+                    # Distinguish "no such backend" from "registered
+                    # but its dependency is missing" — the latter
+                    # names the fix (e.g. install cupy or pick
+                    # another engine).
+                    reason = engine_availability().get(engine)
+                    if reason is not None:
+                        self._error(
+                            400,
+                            f"engine {engine!r} is unavailable: {reason}",
+                        )
+                    else:
+                        self._error(400, f"unknown engine {engine!r}")
+                    return
             try:
                 netlist = _PARSERS[fmt](text)
             except Exception as error:  # noqa: BLE001 - surface parse errors
@@ -642,8 +863,57 @@ def _make_handler(server: "ReproAPIServer"):
                     f"{type(error).__name__}: {error}"
                 )
                 return
-            job = server.submit(netlist, mode=mode, engine=engine)
+            try:
+                job = server.submit(
+                    netlist,
+                    mode=mode,
+                    engine=engine,
+                    engine_used=engine_used,
+                    fallback_reason=fallback_reason,
+                    fallback=fallback,
+                )
+            except ServiceSaturated as busy:
+                server.telemetry.counter("http.rejected")
+                self._send_json(
+                    429,
+                    {
+                        "error": str(busy),
+                        "retry_after_s": busy.retry_after_s,
+                    },
+                    headers={"Retry-After": str(busy.retry_after_s)},
+                )
+                return
             self._send_json(202 if job.status != "done" else 200, job.view())
+
+        # -- DELETE -----------------------------------------------------
+
+        def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+            self._traced("DELETE", self._route_delete)
+
+        def _route_delete(self, url) -> None:
+            parts = [part for part in url.path.split("/") if part]
+            if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                job_id = parts[2]
+            elif len(parts) == 2 and parts[0] == "jobs":
+                job_id = parts[1]
+            else:
+                self._error(404, f"unknown endpoint {url.path!r}")
+                return
+            disposition, job = server.cancel(job_id)
+            if disposition is None:
+                self._error(404, f"unknown job {job_id!r}")
+            elif disposition == "conflict":
+                self._send_json(
+                    409,
+                    {
+                        "error": f"job {job_id} already {job.status}",
+                        "job": job.view(),
+                    },
+                )
+            elif disposition == "accepted":
+                self._send_json(202, job.view())
+            else:
+                self._send_json(200, job.view())
 
     return Handler
 
@@ -656,13 +926,22 @@ def serve(
     jobs: int = 1,
     worker_threads: int = 2,
     telemetry: Optional[_telemetry.Telemetry] = None,
+    max_queue: int = MAX_QUEUE_DEPTH,
+    retries: Optional[int] = None,
+    fallback: bool = False,
 ) -> ReproAPIServer:
     """Build (but do not start) a configured server — the CLI entry.
 
-    Call :meth:`ReproAPIServer.serve_forever` to block, or
+    ``retries`` caps the supervision layer's attempt budget per job
+    (``None`` keeps the :class:`RetryPolicy` default); ``fallback``
+    turns on the engine ladder for submissions that do not say
+    otherwise.  Call :meth:`ReproAPIServer.serve_forever` to block, or
     :meth:`ReproAPIServer.start` to run in background threads (tests).
     """
     cache = ResultCache(cache_dir) if cache_dir is not None else ResultCache()
+    policy = None if retries is None else RetryPolicy(
+        max_attempts=max(1, retries)
+    )
     return ReproAPIServer(
         host=host,
         port=port,
@@ -671,4 +950,7 @@ def serve(
         jobs=jobs,
         worker_threads=worker_threads,
         telemetry=telemetry,
+        max_queue=max_queue,
+        retry_policy=policy,
+        fallback=fallback,
     )

@@ -72,6 +72,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 from weakref import WeakKeyDictionary
 
+from repro import chaos as _chaos
 from repro import telemetry as _telemetry
 from repro.extract.diagnose import Diagnosis, Verdict
 from repro.extract.extractor import ExtractionResult
@@ -357,6 +358,8 @@ class CacheStats:
     max_bytes: Optional[int] = None
     compile_hits: int = 0
     compile_misses: int = 0
+    corrupt: int = 0
+    quarantined: int = 0
 
     @property
     def total_entries(self) -> int:
@@ -383,7 +386,9 @@ class CacheStats:
             f"session hits={self.hits} misses={self.misses} "
             f"evictions={self.evictions} ({self.hit_rate:.0%} hit rate), "
             f"compiled hits={self.compile_hits} "
-            f"misses={self.compile_misses}"
+            f"misses={self.compile_misses}, "
+            f"corrupt={self.corrupt} "
+            f"({self.quarantined} quarantined on disk)"
         )
 
 
@@ -420,6 +425,7 @@ class ResultCache:
         self.evictions = 0
         self.compile_hits = 0
         self.compile_misses = 0
+        self.corrupt = 0
         if max_entries is None:
             max_entries = self._int_env(CACHE_MAX_ENTRIES_ENV)
         if max_bytes is None:
@@ -577,10 +583,19 @@ class ResultCache:
         started = time.perf_counter()
         try:
             path = self.path_for(kind, key)
+            # Chaos site: a transient read failure here is retryable
+            # by the supervision layer, unlike the corrupt-entry path
+            # below, which is a deterministic fact about the disk.
+            _chaos.get_chaos().io_error(where=f"cache.get {kind}")
             try:
                 with open(path, "r", encoding="utf-8") as handle:
                     entry = json.load(handle)
-            except (FileNotFoundError, json.JSONDecodeError):
+            except FileNotFoundError:
+                self.misses += 1
+                _telemetry.current().counter("cache.miss")
+                return None
+            except json.JSONDecodeError:
+                self._quarantine_corrupt(kind, path)
                 self.misses += 1
                 _telemetry.current().counter("cache.miss")
                 return None
@@ -609,7 +624,13 @@ class ResultCache:
             "payload": _ENCODERS[kind](artifact),
         }
         replaced = self._size_before_write(path)
-        atomic_write_text(path, json.dumps(entry, indent=1, sort_keys=True))
+        chaos = _chaos.get_chaos()
+        chaos.io_error(where=f"cache.put {kind}")
+        payload = json.dumps(entry, indent=1, sort_keys=True).encode("utf-8")
+        # Chaos site: deterministically mangled payloads exercise the
+        # corrupt-entry quarantine on the next read of this key.
+        payload = chaos.corrupt(payload, key=f"{kind}:{fingerprint}")
+        atomic_write_bytes(path, payload)
         _telemetry.current().counter("cache.put")
         self._after_budgeted_write(path, replaced)
         return path
@@ -655,6 +676,32 @@ class ResultCache:
             and (self._bytes_estimate or 0) > self.max_bytes
         ):
             self.prune()
+
+    def quarantine_dir(self) -> Path:
+        """Where corrupted entries are moved for post-mortem."""
+        return self.version_dir / "quarantine"
+
+    def _quarantine_corrupt(self, kind: str, path: Path) -> None:
+        """Move an undecodable entry out of the artifact tree.
+
+        A corrupted entry left in place is a *permanent* miss for its
+        key — every future ``get`` re-reads the garbage, fails to
+        decode, and the recomputed artifact never overwrites it unless
+        the caller happens to ``put``.  Moving it to ``quarantine/``
+        turns the next lookup into a clean miss (so the recompute
+        lands normally) while keeping the bytes for diagnosis.
+        """
+        target = self.quarantine_dir() / f"{kind}.{path.name}"
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            try:  # can't move it — dropping it still unwedges the key
+                path.unlink()
+            except OSError:  # pragma: no cover - raced/unwritable
+                return
+        self.corrupt += 1
+        _telemetry.current().counter("cache.corrupt")
 
     def contains(self, kind: str, key: Union[str, Netlist]) -> bool:
         """Presence test without decoding (does not count hit/miss)."""
@@ -809,6 +856,10 @@ class ResultCache:
             max_bytes=self.max_bytes,
             compile_hits=self.compile_hits,
             compile_misses=self.compile_misses,
+            corrupt=self.corrupt,
+            quarantined=sum(
+                1 for p in self.quarantine_dir().glob("*") if p.is_file()
+            ),
         )
 
     def prune(

@@ -25,6 +25,19 @@ The flow::
     # ... killed at bit 17/32?  Run the same call again: bits 0..16
     # load from the checkpoint, 17..31 are computed, and the
     # checkpoint file is deleted once the run completes.
+
+**Durability tradeoff.** By default each appended record is a single
+buffered ``write()`` + ``flush()`` — that survives any *process* death
+(SIGKILL, OOM-kill, ``os._exit``) because the data reaches the page
+cache before the append returns, but a power loss or kernel panic can
+still lose the most recent records the kernel had not written back
+yet.  Setting ``REPRO_CHECKPOINT_FSYNC=1`` adds an ``fsync`` after
+every append, upgrading the guarantee to power-loss durability at the
+cost of one disk flush per completed bit — on spinning disks or
+``fsync``-honest filesystems that can dominate small-cone extraction
+time, which is why it is opt-in.  The header and full-file rewrites
+(:meth:`ExtractionCheckpoint.save`) always fsync, as all
+``atomic_write_*`` paths do.
 """
 
 from __future__ import annotations
@@ -35,6 +48,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro import chaos as _chaos
 from repro import telemetry as _telemetry
 from repro.engine.reference import ReferenceExpression
 from repro.gf2.polynomial import Gf2Poly
@@ -56,6 +70,18 @@ from repro.service.fingerprint import fingerprint_netlist
 
 #: Bump on any change to the checkpoint layout.
 CHECKPOINT_SCHEMA = 1
+
+#: Opt-in power-loss durability: fsync every checkpoint append.
+CHECKPOINT_FSYNC_ENV = "REPRO_CHECKPOINT_FSYNC"
+
+
+def _fsync_appends() -> bool:
+    return os.environ.get(CHECKPOINT_FSYNC_ENV, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
 
 #: Output bits per fused substitution sweep (``fused=True``): each
 #: sweep-chunk is one multi-root engine call and its completions are
@@ -160,6 +186,8 @@ class ExtractionCheckpoint:
 
     def record(self, output: str, poly: Gf2Poly, stats: RewriteStats) -> None:
         """Persist one completed shard (one appended line)."""
+        chaos = _chaos.get_chaos()
+        chaos.io_error(where=f"checkpoint append {self.path.name}")
         self.bits[output] = (poly, stats)
         if not self._header_written:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -167,7 +195,14 @@ class ExtractionCheckpoint:
                 self.path, json.dumps(self._header(), sort_keys=True) + "\n"
             )
             self._header_written = True
-        atomic_append_line(self.path, self._bit_line(output, poly, stats))
+        atomic_append_line(
+            self.path,
+            self._bit_line(output, poly, stats),
+            fsync=_fsync_appends(),
+        )
+        # Post-append crash site: the bit is durably recorded, so a
+        # killed worker demonstrably resumes past it.
+        chaos.crash()
 
     def save(self) -> None:
         """Rewrite the whole file (rarely needed; record() appends)."""
@@ -230,6 +265,7 @@ def checkpointed_extract(
     fused_chunk: int = FUSED_CHUNK_BITS,
     telemetry=None,
     max_bytes=None,
+    deadline=None,
 ) -> CheckpointedExtraction:
     """:func:`~repro.rewrite.parallel.extract_expressions` with resume.
 
@@ -267,6 +303,12 @@ def checkpointed_extract(
     ``job.<fingerprint>.done_bits`` gauge, and each fused sweep-chunk
     runs inside a ``job.chunk`` span — the progress ticks ROADMAP
     item 1's poll/SSE feed reads.
+
+    ``deadline`` (a :class:`repro.service.resilience.Deadline`) is
+    checked cooperatively at every persist — i.e. at bit/chunk
+    granularity, the natural yield points — so a budgeted job stops
+    *between* durable completions and the checkpoint resumes exactly
+    the work already paid for.
     """
     chosen = list(outputs) if outputs is not None else list(netlist.outputs)
     if fingerprint is None:
@@ -304,6 +346,8 @@ def checkpointed_extract(
             checkpoint.record(output, cone.decode(), bit_stats)
             tel.counter("job.bits_completed")
             tel.gauge(done_gauge, len(checkpoint.bits))
+            if deadline is not None:
+                deadline.check()
 
         if fused:
             # Sweep-chunk scheduling: one fused pass per chunk of

@@ -12,12 +12,28 @@ composes the rest of the service layer:
 * cache misses extract through
   :func:`~repro.service.jobs.checkpointed_extract`, so a killed
   campaign resumes mid-netlist, not just mid-directory;
-* netlists are sharded over one shared ``multiprocessing`` pool
-  (``workers`` processes; each extraction then runs its own per-bit
-  shards with ``jobs`` workers — keep ``workers * jobs`` near the
-  core count);
+* netlists are sharded over *supervised* worker processes
+  (``workers`` forked processes, one per in-flight netlist; each
+  extraction then runs its own per-bit shards with ``jobs`` workers —
+  keep ``workers * jobs`` near the core count);
 * report lines are appended as results arrive, so a killed campaign
   leaves a valid JSONL prefix.
+
+**Supervision.** Every netlist runs under the
+:mod:`repro.service.resilience` tier: a :class:`RetryPolicy` retries
+transient failures (with exponential backoff and seeded jitter), a
+:class:`Deadline` bounds wall time and RSS, and with ``fallback=True``
+an unusable or failing engine degrades down the registry ladder —
+recorded per-record as ``engine_used``/``fallback_reason``.  The
+multi-worker scheduler is process-per-task with a result pipe per
+worker: a worker that dies (SIGKILL, OOM, injected
+:mod:`repro.chaos` crash) is *detected* via pipe EOF + process
+liveness and its netlist is resubmitted — resuming from the
+sweep-chunk checkpoints the dead worker already persisted — instead
+of hanging a shared ``imap_unordered``.  A netlist that exhausts its
+budget is recorded as ``status: "quarantined"`` (or
+``"worker_died"`` when every resubmission crashed) with a structured
+reason, and the campaign always completes its report.
 
 Manifest format: a text file with one netlist path per line
 (relative paths resolve against the manifest's directory; ``#``
@@ -33,12 +49,21 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro import chaos as _chaos
 from repro import telemetry as _telemetry
 from repro.engine import DEFAULT_ENGINE
 from repro.ioutil import atomic_append_line, atomic_write_text
 from repro.netlist.blif_io import read_blif
 from repro.netlist.eqn_io import read_eqn
 from repro.netlist.verilog_io import read_verilog
+from repro.service.resilience import (
+    Deadline,
+    Quarantined,
+    RetryPolicy,
+    engine_ladder,
+    run_supervised,
+    select_engine,
+)
 
 NETLIST_READERS = {".eqn": read_eqn, ".blif": read_blif, ".v": read_verilog}
 
@@ -92,7 +117,14 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
     """Audit one netlist; returns the JSON-safe report record.
 
     Errors are caught and reported as a record, never raised: one
-    broken design must not kill a thousand-netlist campaign.
+    broken design must not kill a thousand-netlist campaign.  The
+    mode-specific work runs under :func:`run_supervised` — transient
+    failures retry per the task's policy, engine failures walk the
+    fallback ladder when enabled, and an exhausted budget yields a
+    ``status: "quarantined"`` record with a structured reason.
+    Deterministic failures (parse errors, term-limit verdicts,
+    unavailable engine without fallback) keep their single-attempt
+    ``status: "error"`` record exactly as before.
     """
     from repro.extract.diagnose import diagnose
     from repro.extract.extractor import (
@@ -109,6 +141,8 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
     jobs = task["jobs"]
     fused = bool(task.get("fused"))
     max_bytes = task.get("max_bytes")
+    fallback = bool(task.get("fallback"))
+    policy: RetryPolicy = task.get("retry_policy") or RetryPolicy()
     import multiprocessing
 
     if jobs != 1 and multiprocessing.current_process().daemon:
@@ -139,10 +173,21 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
         "campaign.netlist", netlist=path.stem, mode=mode, engine=engine
     )
     span.__enter__()
+    deadline = Deadline(
+        wall_s=task.get("deadline_s"),
+        max_rss_bytes=task.get("max_rss_bytes"),
+    )
     try:
         reader = NETLIST_READERS.get(path.suffix)
         if reader is None:
             raise CampaignError(f"unknown netlist format {path.suffix!r}")
+
+        # Startup degradation: a registered-but-unusable engine walks
+        # the ladder here (recording why); without fallback this
+        # raises the registry's canonical "unavailable" error into
+        # the plain-error path below, unchanged.
+        engine_used, startup_reason = select_engine(engine, fallback=fallback)
+        ladder = engine_ladder(engine_used, fallback=fallback)
 
         # Lazy netlist loading: a warm rerun whose artifacts are all
         # cached (and whose file stat matches the fingerprint memo)
@@ -178,93 +223,120 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
             record["gates"] = len(load())
         record["fingerprint"] = fingerprint
 
-        if mode == "diagnose":
-            diagnosis = cache.get_diagnosis(fingerprint) if cache else None
-            if cache is not None:
-                record["cache"] = "hit" if diagnosis is not None else "miss"
-            if diagnosis is None:
-                diagnosis = diagnose(
-                    load(),
-                    jobs=jobs,
-                    engine=engine,
-                    cache=cache,
-                    compile_cache=cache,
-                    fused=fused,
-                    max_bytes=max_bytes,
-                )
+        def work(eng: Optional[str]) -> None:
+            deadline.check()
+            if mode == "diagnose":
+                diagnosis = cache.get_diagnosis(fingerprint) if cache else None
                 if cache is not None:
-                    cache.put_diagnosis(fingerprint, diagnosis)
-            record["verdict"] = diagnosis.verdict.value
-            record["clean"] = diagnosis.is_clean
-            if diagnosis.extraction is not None:
-                record["m"] = diagnosis.extraction.m
-                record["polynomial"] = diagnosis.extraction.polynomial_str
-                record["irreducible"] = diagnosis.extraction.irreducible
-        else:  # extract / audit share the extraction phase
-            result = cache.get_extraction(fingerprint) if cache else None
-            if cache is not None:
-                record["cache"] = "hit" if result is not None else "miss"
-            record["resumed_bits"] = 0
-            if result is None:
-                m = multiplier_field_size(load())
-                sharded = None
-                if task["checkpoint"] and cache is not None:
-                    # keep_checkpoint: the checkpoint may only die once
-                    # the result is durably in the cache — a kill
-                    # between discard and put would lose every bit.
-                    sharded = checkpointed_extract(
+                    record["cache"] = "hit" if diagnosis is not None else "miss"
+                if diagnosis is None:
+                    diagnosis = diagnose(
                         load(),
-                        outputs=[f"z{i}" for i in range(m)],
                         jobs=jobs,
-                        engine=engine,
-                        term_limit=task["term_limit"],
-                        checkpoint_dir=cache.jobs_dir(),
-                        fingerprint=fingerprint,
-                        keep_checkpoint=True,
+                        engine=eng,
+                        cache=cache,
                         compile_cache=cache,
                         fused=fused,
                         max_bytes=max_bytes,
                     )
-                    run = sharded.run
-                    record["resumed_bits"] = len(sharded.resumed_bits)
-                else:
-                    from repro.rewrite.parallel import extract_expressions
-
-                    run = extract_expressions(
-                        load(),
-                        outputs=[f"z{i}" for i in range(m)],
-                        jobs=jobs,
-                        engine=engine,
-                        term_limit=task["term_limit"],
-                        compile_cache=cache,
-                        fused=fused,
-                        max_bytes=max_bytes,
-                    )
-                result = result_from_run(run, m, total_time_s=run.wall_time_s)
-                if cache is not None:
-                    cache.put_extraction(fingerprint, result)
-                if sharded is not None:
-                    try:  # result is durable now; the checkpoint may go
-                        sharded.checkpoint_path.unlink()
-                    except FileNotFoundError:
-                        pass
-            record["m"] = result.m
-            record["polynomial"] = result.polynomial_str
-            record["irreducible"] = result.irreducible
-            record["member_bits"] = result.member_bits
-
-            if mode == "audit":
-                report = (
-                    cache.get_verification(fingerprint) if cache else None
-                )
-                if report is None:
-                    if record["cache"] == "hit":
-                        record["cache"] = "partial"
-                    report = verify_multiplier(load(), result, engine=engine)
                     if cache is not None:
-                        cache.put_verification(fingerprint, report)
-                record["equivalent"] = report.equivalent
-                record["simulation_vectors"] = report.simulation_vectors
+                        cache.put_diagnosis(fingerprint, diagnosis)
+                record["verdict"] = diagnosis.verdict.value
+                record["clean"] = diagnosis.is_clean
+                if diagnosis.extraction is not None:
+                    record["m"] = diagnosis.extraction.m
+                    record["polynomial"] = diagnosis.extraction.polynomial_str
+                    record["irreducible"] = diagnosis.extraction.irreducible
+            else:  # extract / audit share the extraction phase
+                result = cache.get_extraction(fingerprint) if cache else None
+                if cache is not None:
+                    record["cache"] = "hit" if result is not None else "miss"
+                record["resumed_bits"] = 0
+                if result is None:
+                    m = multiplier_field_size(load())
+                    sharded = None
+                    if task["checkpoint"] and cache is not None:
+                        # keep_checkpoint: the checkpoint may only die
+                        # once the result is durably in the cache — a
+                        # kill between discard and put would lose
+                        # every bit.
+                        sharded = checkpointed_extract(
+                            load(),
+                            outputs=[f"z{i}" for i in range(m)],
+                            jobs=jobs,
+                            engine=eng,
+                            term_limit=task["term_limit"],
+                            checkpoint_dir=cache.jobs_dir(),
+                            fingerprint=fingerprint,
+                            keep_checkpoint=True,
+                            compile_cache=cache,
+                            fused=fused,
+                            max_bytes=max_bytes,
+                            deadline=deadline if deadline.armed else None,
+                        )
+                        run = sharded.run
+                        record["resumed_bits"] = len(sharded.resumed_bits)
+                    else:
+                        from repro.rewrite.parallel import extract_expressions
+
+                        run = extract_expressions(
+                            load(),
+                            outputs=[f"z{i}" for i in range(m)],
+                            jobs=jobs,
+                            engine=eng,
+                            term_limit=task["term_limit"],
+                            compile_cache=cache,
+                            fused=fused,
+                            max_bytes=max_bytes,
+                        )
+                    result = result_from_run(
+                        run, m, total_time_s=run.wall_time_s
+                    )
+                    if cache is not None:
+                        cache.put_extraction(fingerprint, result)
+                    if sharded is not None:
+                        try:  # result is durable now; checkpoint may go
+                            sharded.checkpoint_path.unlink()
+                        except FileNotFoundError:
+                            pass
+                record["m"] = result.m
+                record["polynomial"] = result.polynomial_str
+                record["irreducible"] = result.irreducible
+                record["member_bits"] = result.member_bits
+
+                if mode == "audit":
+                    report = (
+                        cache.get_verification(fingerprint) if cache else None
+                    )
+                    if report is None:
+                        if record["cache"] == "hit":
+                            record["cache"] = "partial"
+                        report = verify_multiplier(load(), result, engine=eng)
+                        if cache is not None:
+                            cache.put_verification(fingerprint, report)
+                    record["equivalent"] = report.equivalent
+                    record["simulation_vectors"] = report.simulation_vectors
+
+        with deadline:
+            outcome = run_supervised(
+                work,
+                engines=ladder,
+                policy=policy,
+                deadline=deadline if deadline.armed else None,
+                telemetry=telemetry,
+                label=path.stem,
+            )
+        record["engine_used"] = outcome.engine_used
+        reason = startup_reason or outcome.fallback_reason
+        if reason is not None:
+            record["fallback_reason"] = reason
+        if outcome.attempts > 1:
+            record["attempts"] = outcome.attempts
+    except Quarantined as poison:
+        record["status"] = "quarantined"
+        record["reason"] = poison.reason
+        record["error"] = poison.reason.get("error")
+        telemetry.counter("campaign.errors")
     except Exception as error:  # noqa: BLE001 - campaign must survive
         record["status"] = "error"
         record["error"] = f"{type(error).__name__}: {error}"
@@ -274,6 +346,39 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
     telemetry.counter("campaign.netlists")
     record["wall_time_s"] = time.perf_counter() - started
     return record
+
+
+def _supervised_worker(task: Dict[str, Any], conn) -> None:
+    """Child-process entry for one supervised netlist task.
+
+    Enters a chaos scope keyed by netlist × submission attempt, so an
+    injected ``crash_worker`` schedule is deterministic per submission
+    but *fresh* on resubmission — a crashed-and-resubmitted netlist
+    draws new faults instead of replaying the fatal one forever.  The
+    scope keys on the file *name*, not the full path, so a seeded
+    schedule reproduces across checkouts and temp directories.
+    """
+    chaos = _chaos.get_chaos()
+    chaos.enter_scope(
+        f"{Path(task['path']).name}:{task.get('submission', 1)}"
+    )
+    chaos.crash()  # pre-work crash site: death before any progress
+    record = _process_netlist(task)
+    try:
+        conn.send(record)
+        conn.close()
+    except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+        pass
+
+
+@dataclass
+class _WorkerHandle:
+    process: Any
+    conn: Any
+    index: int
+    task: Dict[str, Any]
+    submission: int
+    started: float
 
 
 # ----------------------------------------------------------------------
@@ -299,6 +404,14 @@ class CampaignReport:
         return sum(1 for r in self.records if r["status"] != "ok")
 
     @property
+    def quarantined(self) -> int:
+        return sum(
+            1
+            for r in self.records
+            if r["status"] in ("quarantined", "worker_died")
+        )
+
+    @property
     def cache_hits(self) -> int:
         return sum(1 for r in self.records if r.get("cache") == "hit")
 
@@ -317,10 +430,14 @@ class CampaignReport:
 
     def summary(self) -> str:
         where = f" -> {self.report_path}" if self.report_path else ""
+        quarantined = (
+            f" ({self.quarantined} quarantined)" if self.quarantined else ""
+        )
         return (
             f"campaign ({self.mode}, engine={self.engine}): "
             f"{self.ok}/{len(self.records)} ok, "
-            f"{self.cache_hits} cache hits, {self.errors} errors, "
+            f"{self.cache_hits} cache hits, "
+            f"{self.errors} errors{quarantined}, "
             f"{self.wall_time_s:.2f} s{where}"
         )
 
@@ -341,6 +458,11 @@ class CampaignRunner:
         fused: bool = False,
         telemetry: Optional["_telemetry.Telemetry"] = None,
         max_bytes: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        retries: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        max_rss_bytes: Optional[int] = None,
+        fallback: bool = False,
     ):
         if mode not in ("extract", "audit", "diagnose"):
             raise ValueError(f"unknown campaign mode {mode!r}")
@@ -358,6 +480,19 @@ class CampaignRunner:
         #: Byte budget of each fused sweep's live matrix (the vector
         #: engine's out-of-core tier); ``None`` = unbounded.
         self.max_bytes = max_bytes
+        #: Per-netlist supervision: attempt budget/backoff (``retries``
+        #: is shorthand for ``RetryPolicy(max_attempts=retries)``),
+        #: wall/RSS deadline, and engine-ladder fallback.
+        if retry_policy is None:
+            retry_policy = (
+                RetryPolicy(max_attempts=max(1, retries))
+                if retries is not None
+                else RetryPolicy()
+            )
+        self.retry_policy = retry_policy
+        self.deadline_s = deadline_s
+        self.max_rss_bytes = max_rss_bytes
+        self.fallback = fallback
         if use_cache:
             from repro.service.cache import default_cache_dir
 
@@ -380,6 +515,10 @@ class CampaignRunner:
             "checkpoint": self.checkpoint,
             "fused": self.fused,
             "max_bytes": self.max_bytes,
+            "retry_policy": self.retry_policy,
+            "deadline_s": self.deadline_s,
+            "max_rss_bytes": self.max_rss_bytes,
+            "fallback": self.fallback,
         }
 
     def run(
@@ -420,19 +559,7 @@ class CampaignRunner:
                 for task in tasks:
                     emit(_process_netlist(task))
             else:
-                import multiprocessing
-
-                try:
-                    context = multiprocessing.get_context("fork")
-                except ValueError:  # pragma: no cover - non-POSIX
-                    context = multiprocessing.get_context()
-                with context.Pool(
-                    processes=min(self.workers, len(tasks))
-                ) as pool:
-                    for record in pool.imap_unordered(
-                        _process_netlist, tasks
-                    ):
-                        emit(record)
+                self._run_supervised_pool(tasks, emit, tel)
                 # Deterministic report order regardless of completion
                 # order.
                 order = {str(path): idx for idx, path in enumerate(paths)}
@@ -452,6 +579,133 @@ class CampaignRunner:
             mode=self.mode,
             engine=self.engine,
         )
+
+    # -- supervised multi-worker scheduler ------------------------------
+
+    def _run_supervised_pool(self, tasks, emit, tel) -> None:
+        """Process-per-task scheduling with death detection.
+
+        Unlike a shared ``Pool.imap_unordered`` — where a SIGKILLed
+        worker's task simply never completes and the iterator hangs —
+        each in-flight netlist owns one forked process and one result
+        pipe.  Liveness is observed two ways: the pipe (a result, or
+        EOF when the child died mid-task) and ``Process.is_alive`` /
+        ``exitcode``.  A dead worker's netlist is resubmitted up to
+        the retry policy's attempt budget — resuming from whatever
+        sweep-chunk checkpoints the dead worker persisted — and then
+        recorded as ``status: "worker_died"``.
+        """
+        import multiprocessing
+        from multiprocessing import connection as mp_connection
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            context = multiprocessing.get_context()
+
+        max_submissions = max(1, self.retry_policy.max_attempts)
+        # Hard wall for a stuck worker: generous multiple of the
+        # cooperative deadline (which the child enforces itself); no
+        # deadline means no hard kill.
+        kill_after = (
+            self.deadline_s * 2 + 5.0 if self.deadline_s is not None else None
+        )
+
+        pending: List[tuple] = [
+            (index, task, 1) for index, task in enumerate(tasks)
+        ]
+        pending.reverse()  # pop() from the front of the original order
+        running: Dict[Any, _WorkerHandle] = {}
+
+        def spawn() -> None:
+            while pending and len(running) < self.workers:
+                index, task, submission = pending.pop()
+                task = dict(task, submission=submission)
+                parent_conn, child_conn = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_supervised_worker,
+                    args=(task, child_conn),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                running[parent_conn] = _WorkerHandle(
+                    process=process,
+                    conn=parent_conn,
+                    index=index,
+                    task=task,
+                    submission=submission,
+                    started=time.monotonic(),
+                )
+
+        def reap(handle: _WorkerHandle, record: Optional[Dict[str, Any]]) -> None:
+            handle.conn.close()
+            handle.process.join()
+            if record is not None:
+                emit(record)
+                return
+            exitcode = handle.process.exitcode
+            if handle.submission < max_submissions:
+                tel.counter("resilience.retry")
+                pending.append(
+                    (handle.index, handle.task, handle.submission + 1)
+                )
+                return
+            tel.counter("resilience.quarantined")
+            task = handle.task
+            emit(
+                {
+                    "path": task["path"],
+                    "netlist": Path(task["path"]).stem,
+                    "mode": task["mode"],
+                    "engine": task["engine"],
+                    "fused": bool(task.get("fused")),
+                    "status": "worker_died",
+                    "error": (
+                        f"worker died (exitcode {exitcode}) "
+                        f"on submission {handle.submission}/{max_submissions}"
+                    ),
+                    "reason": {
+                        "kind": "worker_died",
+                        "exitcode": exitcode,
+                        "submissions": handle.submission,
+                    },
+                    "cache": "off" if task["cache_dir"] is None else "miss",
+                    "wall_time_s": time.monotonic() - handle.started,
+                }
+            )
+
+        while pending or running:
+            spawn()
+            ready = mp_connection.wait(list(running), timeout=0.1)
+            for conn in ready:
+                handle = running.pop(conn)
+                try:
+                    record = conn.recv()
+                except (EOFError, OSError):
+                    record = None  # died mid-task (pipe EOF)
+                reap(handle, record)
+            # Liveness sweep: a worker can die without its pipe ever
+            # becoming ready in this round; don't wait on it forever.
+            for conn, handle in list(running.items()):
+                if handle.process.is_alive():
+                    if (
+                        kill_after is not None
+                        and time.monotonic() - handle.started > kill_after
+                    ):
+                        handle.process.terminate()
+                        handle.process.join()
+                        running.pop(conn)
+                        reap(handle, None)
+                    continue
+                running.pop(conn)
+                record = None
+                if conn.poll():
+                    try:  # result sent just before the process exited
+                        record = conn.recv()
+                    except (EOFError, OSError):
+                        record = None
+                reap(handle, record)
 
 
 def run_campaign(

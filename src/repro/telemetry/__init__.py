@@ -96,6 +96,28 @@ def _parse_delays(raw: Optional[str]) -> Dict[str, float]:
 _SPAN_DELAYS = _parse_delays(os.environ.get("REPRO_TELEMETRY_DELAY"))
 
 
+def add_span_delays(delays: Dict[str, float]) -> None:
+    """Merge extra span slowdowns into the fault-injection hook.
+
+    Used by :mod:`repro.chaos` so ``REPRO_CHAOS="delay.sweep=0.2"``
+    rides the exact same mechanism as ``REPRO_TELEMETRY_DELAY``.
+    """
+    _SPAN_DELAYS.update(delays)
+
+
+def _chaos_span_delays(raw: Optional[str]) -> Dict[str, float]:
+    """``delay.<span>=s`` entries of a ``REPRO_CHAOS`` value."""
+    body = (raw or "").partition("@")[0]
+    return {
+        name[len("delay."):]: seconds
+        for name, seconds in _parse_delays(body).items()
+        if name.startswith("delay.")
+    }
+
+
+add_span_delays(_chaos_span_delays(os.environ.get("REPRO_CHAOS")))
+
+
 class Span:
     """One timed region; use as a context manager.
 

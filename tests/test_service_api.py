@@ -208,3 +208,270 @@ class TestRejections:
         view = wait_done(base, job["job_id"])
         assert view["status"] == "done"
         assert view["result"]["equivalent"] is False
+
+
+def delete(url, expect):
+    request = urllib.request.Request(url, method="DELETE")
+    try:
+        with urllib.request.urlopen(request) as response:
+            assert response.status == expect
+            return json.load(response)
+    except urllib.error.HTTPError as error:
+        assert error.code == expect, error.read()
+        return json.load(error)
+
+
+@pytest.fixture
+def blocked_server(tmp_path, monkeypatch):
+    """worker_threads=1, max_queue=1, pipeline parked on an event."""
+    import threading
+
+    from repro.service import api as api_mod
+    from repro.service.resilience import RetryPolicy
+
+    release = threading.Event()
+    entered = threading.Event()
+
+    def parked_pipeline(cache, netlist, mode, engine, jobs, **kwargs):
+        entered.set()
+        release.wait(15)
+        progress = kwargs.get("progress")
+        if progress is not None:
+            progress(None, None, None)  # cancellation observation point
+        return {"kind": "extraction", "stub": True}
+
+    monkeypatch.setattr(api_mod, "_run_pipeline", parked_pipeline)
+    api = api_mod.serve(
+        host="127.0.0.1",
+        port=0,
+        cache_dir=str(tmp_path / "cache"),
+        engine="bitpack",
+        worker_threads=1,
+        max_queue=1,
+    )
+    api.retry_policy = RetryPolicy(max_attempts=1)
+    api.start()
+    yield api, release, entered
+    release.set()
+    api.shutdown()
+
+
+class TestBackpressure:
+    def test_full_queue_gets_429_with_retry_after(self, blocked_server):
+        api, release, entered = blocked_server
+        host, port = api.address
+        base_url = f"http://{host}:{port}"
+        text = format_eqn(generate_mastrovito(0b1011))
+
+        running = post(f"{base_url}/v1/jobs", {"netlist": text})
+        assert entered.wait(5)  # the single worker is now parked
+        queued = post(f"{base_url}/v1/jobs", {"netlist": text})
+
+        request = urllib.request.Request(
+            f"{base_url}/v1/jobs",
+            data=json.dumps({"netlist": text}).encode(),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 429
+        assert int(excinfo.value.headers["Retry-After"]) >= 1
+        body = json.load(excinfo.value)
+        assert "queue full" in body["error"]
+
+        # The rejected job left no residue in the table.
+        assert api.job_view(json.loads("{}").get("job_id", "job-3")) is None
+        release.set()
+        wait_done(base_url, running["job_id"])
+        wait_done(base_url, queued["job_id"])
+
+
+class TestCancellation:
+    def test_delete_unknown_is_404(self, base):
+        assert "error" in delete(f"{base}/v1/jobs/job-999", expect=404)
+
+    def test_cancel_queued_running_finished(self, blocked_server):
+        api, release, entered = blocked_server
+        host, port = api.address
+        base_url = f"http://{host}:{port}"
+        text = format_eqn(generate_mastrovito(0b1011))
+
+        running = post(f"{base_url}/v1/jobs", {"netlist": text})
+        assert entered.wait(5)
+        queued = post(f"{base_url}/v1/jobs", {"netlist": text})
+
+        # Queued: cancelled immediately (200), idempotently.
+        view = delete(f"{base_url}/v1/jobs/{queued['job_id']}", expect=200)
+        assert view["status"] == "cancelled"
+        view = delete(f"{base_url}/v1/jobs/{queued['job_id']}", expect=200)
+        assert view["status"] == "cancelled"
+
+        # Running: accepted (202); observed at the next progress tick.
+        view = delete(f"{base_url}/v1/jobs/{running['job_id']}", expect=202)
+        assert view["status"] == "cancelling"
+        release.set()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            view = api.job_view(running["job_id"])
+            if view["status"] == "cancelled":
+                break
+            time.sleep(0.02)
+        assert view["status"] == "cancelled"
+
+        # A job that *ended* cancelled stays idempotently cancellable.
+        view = delete(f"{base_url}/v1/jobs/{running['job_id']}", expect=200)
+        assert view["status"] == "cancelled"
+
+    def test_delete_finished_job_conflicts(self, base):
+        text = format_eqn(generate_mastrovito(0b1011))
+        job = post(f"{base}/v1/jobs", {"netlist": text, "mode": "extract"})
+        wait_done(base, job["job_id"])
+        body = delete(f"{base}/v1/jobs/{job['job_id']}", expect=409)
+        assert "already done" in body["error"]
+
+    def test_nondrain_shutdown_cancels_queued_work(
+        self, tmp_path, monkeypatch
+    ):
+        import threading
+
+        from repro.service import api as api_mod
+
+        release = threading.Event()
+        entered = threading.Event()
+
+        def parked(cache, netlist, mode, engine, jobs, **kwargs):
+            entered.set()
+            progress = kwargs.get("progress")
+            # Tick the cancellation observation point until released
+            # (shutdown's cancel flag raises out of the hook).
+            while not release.wait(0.02):
+                if progress is not None:
+                    progress(None, None, None)
+            return {"kind": "extraction", "stub": True}
+
+        monkeypatch.setattr(api_mod, "_run_pipeline", parked)
+        api = api_mod.serve(
+            host="127.0.0.1",
+            port=0,
+            cache_dir=str(tmp_path / "cache"),
+            engine="bitpack",
+            worker_threads=1,
+            max_queue=4,
+        )
+        api.start()
+        net = generate_mastrovito(0b1011)
+        running = api.submit(net, mode="extract", engine="bitpack")
+        assert entered.wait(5)
+        queued = api.submit(net, mode="extract", engine="bitpack")
+        api.shutdown(drain=False)
+        release.set()
+        assert queued.status == "cancelled"
+        assert running.status == "cancelled"
+
+
+class TestSupervisedJobs:
+    def test_transient_failures_retry_to_done(self, tmp_path, monkeypatch):
+        from repro.service import api as api_mod
+        from repro.service.resilience import RetryPolicy
+
+        calls = []
+
+        def flaky(cache, netlist, mode, engine, jobs, **kwargs):
+            calls.append(engine)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return {"kind": "extraction", "stub": True}
+
+        monkeypatch.setattr(api_mod, "_run_pipeline", flaky)
+        api = api_mod.serve(
+            host="127.0.0.1",
+            port=0,
+            cache_dir=str(tmp_path / "cache"),
+            engine="bitpack",
+            worker_threads=1,
+        )
+        api.retry_policy = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        api.start()
+        try:
+            host, port = api.address
+            view = post(
+                f"http://{host}:{port}/v1/jobs",
+                {"netlist": format_eqn(generate_mastrovito(0b1011))},
+            )
+            view = wait_done(f"http://{host}:{port}", view["job_id"])
+            assert view["status"] == "done"
+            assert view["attempts"] == 3
+        finally:
+            api.shutdown()
+
+    def test_exhausted_retries_quarantine(self, tmp_path, monkeypatch):
+        from repro.service import api as api_mod
+        from repro.service.resilience import RetryPolicy
+
+        def broken(cache, netlist, mode, engine, jobs, **kwargs):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(api_mod, "_run_pipeline", broken)
+        api = api_mod.serve(
+            host="127.0.0.1",
+            port=0,
+            cache_dir=str(tmp_path / "cache"),
+            engine="bitpack",
+            worker_threads=1,
+        )
+        api.retry_policy = RetryPolicy(max_attempts=2, base_delay_s=0.0)
+        api.start()
+        try:
+            host, port = api.address
+            base_url = f"http://{host}:{port}"
+            view = post(
+                f"{base_url}/v1/jobs",
+                {"netlist": format_eqn(generate_mastrovito(0b1011))},
+            )
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                view = get(f"{base_url}/v1/jobs/{view['job_id']}")
+                if view["status"] in ("quarantined", "done", "error"):
+                    break
+                time.sleep(0.02)
+            assert view["status"] == "quarantined"
+            assert view["reason"]["kind"] == "retry_exhausted"
+            assert "disk on fire" in view["error"]
+        finally:
+            api.shutdown()
+
+
+class TestEngineFallbackSubmissions:
+    def test_unavailable_engine_degrades_when_asked(self, base):
+        from repro.engine import engine_availability
+
+        if engine_availability().get("cuda") is None:  # pragma: no cover
+            pytest.skip("cuda usable here; degradation not reachable")
+        text = format_eqn(generate_mastrovito(0b1011))
+        job = post(
+            f"{base}/v1/jobs",
+            {"netlist": text, "mode": "extract", "engine": "cuda",
+             "fallback": True},
+        )
+        assert job["engine"] == "cuda"
+        assert job["engine_used"] == "vector"
+        assert "cuda" in job["fallback_reason"]
+        view = wait_done(base, job["job_id"])
+        assert view["status"] == "done"
+        assert view["engine_used"] == "vector"
+        assert view["result"]["polynomial"] == "x^3 + x + 1"
+
+    def test_unavailable_engine_still_400_without_fallback(self, base):
+        from repro.engine import engine_availability
+
+        reason = engine_availability().get("cuda")
+        if reason is None:  # pragma: no cover - GPU hosts
+            pytest.skip("cuda usable here; degradation not reachable")
+        text = format_eqn(generate_mastrovito(0b1011))
+        body = post(
+            f"{base}/v1/jobs",
+            {"netlist": text, "engine": "cuda"},
+            expect=(400,),
+        )
+        # Byte-identical to the pre-fallback error contract.
+        assert body["error"] == f"engine 'cuda' is unavailable: {reason}"

@@ -345,3 +345,67 @@ class TestFingerprintSchemaMemo:
         stale["schema"] = FINGERPRINT_SCHEMA - 1
         memo_path.write_text(json.dumps(stale))
         assert cache.file_fingerprint(netlist_file) is None
+
+
+class TestCorruptionQuarantine:
+    def _poison(self, cache, net):
+        result = extract_irreducible_polynomial(net, engine="reference")
+        fingerprint = cache.fingerprint(net)
+        cache.put_extraction(fingerprint, result)
+        path = cache.path_for("extraction", fingerprint)
+        path.write_text('{"schema": 3, "payload": truncated-garbag')
+        return fingerprint, path, result
+
+    def test_corrupt_entry_moves_to_quarantine(self, cache, net):
+        fingerprint, path, _ = self._poison(cache, net)
+        assert cache.get_extraction(fingerprint) is None  # not a crash
+        assert not path.exists()
+        quarantined = list(cache.quarantine_dir().glob("*"))
+        assert len(quarantined) == 1
+        assert quarantined[0].name.startswith("extraction.")
+        # The bytes survive for diagnosis.
+        assert "truncated-garbag" in quarantined[0].read_text()
+        assert cache.corrupt == 1
+
+    def test_next_lookup_is_clean_miss_and_recompute_lands(self, cache, net):
+        fingerprint, _, result = self._poison(cache, net)
+        assert cache.get_extraction(fingerprint) is None
+        # Key unwedged: a recompute overwrites normally and hits.
+        cache.put_extraction(fingerprint, result)
+        roundtrip = cache.get_extraction(fingerprint)
+        assert roundtrip is not None
+        assert roundtrip.polynomial_str == result.polynomial_str
+        assert cache.corrupt == 1  # only the poisoned read counted
+
+    def test_corrupt_counter_in_telemetry_and_stats(self, cache, net):
+        from repro import telemetry as _telemetry
+
+        registry = _telemetry.Telemetry()
+        fingerprint, _, _ = self._poison(cache, net)
+        with _telemetry.use(registry):
+            assert cache.get_extraction(fingerprint) is None
+        counters = registry.metrics()["counters"]
+        assert counters.get("cache.corrupt") == 1
+        stats = cache.stats()
+        assert stats.corrupt == 1
+        assert stats.quarantined == 1
+        assert "corrupt=1 (1 quarantined on disk)" in str(stats)
+
+    def test_stats_counts_quarantine_files_across_sessions(self, cache, net):
+        fingerprint, _, _ = self._poison(cache, net)
+        assert cache.get_extraction(fingerprint) is None
+        # A fresh session did not *see* corruption, but the on-disk
+        # quarantine is still reported.
+        fresh = ResultCache(cache.root)
+        stats = fresh.stats()
+        assert stats.corrupt == 0
+        assert stats.quarantined == 1
+
+    def test_schema_mismatch_is_not_quarantined(self, cache, net):
+        # Old-schema entries are valid JSON from an older version —
+        # a miss, not corruption.
+        fingerprint, path, _ = self._poison(cache, net)
+        path.write_text('{"schema": "v0-ancient", "payload": {}}')
+        assert cache.get_extraction(fingerprint) is None
+        assert path.exists()
+        assert cache.corrupt == 0

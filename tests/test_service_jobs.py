@@ -337,3 +337,56 @@ class TestParallelHook:
         assert dict(sharded.run.expressions.items()) == dict(
             cold.expressions.items()
         )
+
+
+class TestCheckpointFsync:
+    """REPRO_CHECKPOINT_FSYNC=1 upgrades appends to power-loss durable."""
+
+    def _record_all(self, tmp_path, monkeypatch, env):
+        import os as os_mod
+
+        from repro.service import jobs as jobs_mod
+
+        if env is None:
+            monkeypatch.delenv(jobs_mod.CHECKPOINT_FSYNC_ENV, raising=False)
+        else:
+            monkeypatch.setenv(jobs_mod.CHECKPOINT_FSYNC_ENV, env)
+        synced = []
+        real_fsync = os_mod.fsync
+        monkeypatch.setattr(
+            "repro.ioutil.os.fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd))[1],
+        )
+        net = generate_mastrovito(0b1011)
+        path = tmp_path / "job.jsonl"
+        checkpoint = ExtractionCheckpoint.load(
+            path, fingerprint_netlist(net), "reference", None
+        )
+        extract_expressions(
+            net,
+            on_result=lambda o, c, s: checkpoint.record(o, c.decode(), s),
+        )
+        assert len(checkpoint.completed()) == 3
+        return synced
+
+    def test_default_appends_do_not_fsync(self, tmp_path, monkeypatch):
+        # atomic_write_text (the header) always syncs its temp file;
+        # the three appended bit records must add none by default.
+        synced = self._record_all(tmp_path, monkeypatch, None)
+        assert len(synced) == 1  # the header's atomic write only
+
+    def test_env_opts_into_durable_appends(self, tmp_path, monkeypatch):
+        synced = self._record_all(tmp_path, monkeypatch, "1")
+        assert len(synced) == 1 + 3  # header + one flush per record
+
+    def test_env_spellings(self, monkeypatch):
+        from repro.service import jobs as jobs_mod
+
+        for value, expected in (
+            ("1", True), ("true", True), ("YES", True), ("on", True),
+            ("0", False), ("", False), ("no", False),
+        ):
+            monkeypatch.setenv(jobs_mod.CHECKPOINT_FSYNC_ENV, value)
+            assert jobs_mod._fsync_appends() is expected
+        monkeypatch.delenv(jobs_mod.CHECKPOINT_FSYNC_ENV)
+        assert jobs_mod._fsync_appends() is False
