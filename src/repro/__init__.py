@@ -88,7 +88,7 @@ from repro.extract import (
     format_extraction_report,
     verify_multiplier,
 )
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 #: Service-layer conveniences re-exported lazily (PEP 562) so that a
 #: bare ``import repro`` stays as light as it was before the service

@@ -193,6 +193,25 @@ def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_baseline_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--baseline",
+        metavar="NETLIST",
+        default=None,
+        help=(
+            "verified baseline version of this netlist: diff per-output-"
+            "cone fingerprints and re-verify only the cones the edit "
+            "touched, reusing the rest from the result cache "
+            "(see 'repro eco')"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache for --baseline runs (override REPRO_CACHE_DIR)",
+    )
+
+
 def _infer_format(path: str, explicit: Optional[str]) -> str:
     if explicit:
         return explicit
@@ -225,7 +244,48 @@ def _cmd_gen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_eco(
+    args: argparse.Namespace,
+    baseline: str,
+    edited: str,
+    audit: bool,
+) -> int:
+    from repro.service.cache import ResultCache
+    from repro.service.eco import EcoError, eco_reverify
+
+    cache = ResultCache(getattr(args, "cache_dir", None))
+    try:
+        report = eco_reverify(
+            baseline,
+            edited,
+            cache,
+            engine=args.engine,
+            jobs=args.jobs,
+            term_limit=args.term_limit,
+            fused=args.fused,
+            max_bytes=args.max_ram,
+            audit=audit,
+            diagnose_on_failure=(
+                audit and not getattr(args, "no_diagnose", False)
+            ),
+        )
+    except EcoError as error:
+        raise SystemExit(str(error))
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_eco(args: argparse.Namespace) -> int:
+    return _run_eco(
+        args, args.baseline, args.edited, audit=not args.no_audit
+    )
+
+
 def _cmd_extract(args: argparse.Namespace) -> int:
+    if args.baseline is not None:
+        # Incremental path: diff output-cone fingerprints against the
+        # verified baseline and rewrite only the dirty cones.
+        return _run_eco(args, args.baseline, args.netlist, audit=False)
     fmt = _infer_format(args.netlist, args.format)
     netlist = _READERS[fmt](args.netlist)
     result = extract_irreducible_polynomial(
@@ -244,6 +304,8 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
+    if args.baseline is not None:
+        return _run_eco(args, args.baseline, args.netlist, audit=True)
     fmt = _infer_format(args.netlist, args.format)
     netlist = _READERS[fmt](args.netlist)
     result = extract_irreducible_polynomial(
@@ -546,6 +608,7 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument("--jobs", type=int, default=1)
     extract.add_argument("--term-limit", type=int, default=None)
     extract.add_argument("--format", choices=sorted(_READERS), default=None)
+    _add_baseline_arguments(extract)
     _add_fallback_argument(extract)
     _add_engine_argument(extract)
     _add_fused_argument(extract)
@@ -560,12 +623,44 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--jobs", type=int, default=1)
     audit.add_argument("--term-limit", type=int, default=None)
     audit.add_argument("--format", choices=sorted(_READERS), default=None)
+    _add_baseline_arguments(audit)
     _add_fallback_argument(audit)
     _add_engine_argument(audit)
     _add_fused_argument(audit)
     _add_max_ram_argument(audit)
     _add_trace_argument(audit)
     audit.set_defaults(func=_cmd_audit)
+
+    eco = sub.add_parser(
+        "eco",
+        help=(
+            "incrementally re-audit an edited netlist against its "
+            "verified baseline (dirty output cones only)"
+        ),
+    )
+    eco.add_argument("baseline", help="the previously verified version")
+    eco.add_argument("edited", help="the post-ECO version to re-audit")
+    eco.add_argument("--jobs", type=int, default=1)
+    eco.add_argument("--term-limit", type=int, default=None)
+    eco.add_argument(
+        "--cache-dir", default=None, help="override REPRO_CACHE_DIR"
+    )
+    eco.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="extract P(x) only; skip the golden-model verification",
+    )
+    eco.add_argument(
+        "--no-diagnose",
+        action="store_true",
+        help="on an audit failure, skip the full diagnose pass",
+    )
+    _add_fallback_argument(eco)
+    _add_engine_argument(eco)
+    _add_fused_argument(eco)
+    _add_max_ram_argument(eco)
+    _add_trace_argument(eco)
+    eco.set_defaults(func=_cmd_eco)
 
     synth = sub.add_parser("synth", help="optimize/map a netlist")
     synth.add_argument("netlist")

@@ -123,6 +123,7 @@ def diagnose(
     compile_cache=None,
     fused: bool = False,
     max_bytes=None,
+    cone_cache=None,
 ) -> Diagnosis:
     """Triage a netlist: verified multiplier, buggy, or out of scope.
 
@@ -137,6 +138,10 @@ def diagnose(
     both reach the squarer branch too.  ``fused=True`` runs the
     extraction as one fused multi-cone sweep (fastest with
     ``engine="vector"``); the verdict is mode-independent.
+    ``cone_cache`` enables the per-output-cone incremental tier: when
+    a baseline version of this netlist was already extracted, blame
+    analysis of an edited version rewrites only the cones the edit
+    touched (the ECO path — see :mod:`repro.service.eco`).
 
     >>> from repro.gen.mastrovito import generate_mastrovito
     >>> diagnose(generate_mastrovito(0b10011)).verdict.value
@@ -169,6 +174,7 @@ def diagnose(
             compile_cache=compile_cache,
             fused=fused,
             max_bytes=max_bytes,
+            cone_cache=cone_cache,
         )
     except ExtractionError as error:
         return finish(

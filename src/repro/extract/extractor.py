@@ -158,6 +158,7 @@ def extract_irreducible_polynomial(
     on_result=None,
     telemetry=None,
     max_bytes=None,
+    cone_cache=None,
 ) -> ExtractionResult:
     """Reverse engineer P(x) from a gate-level GF(2^m) multiplier.
 
@@ -192,6 +193,14 @@ def extract_irreducible_polynomial(
     registry the run's spans and counters land in (default: the
     active one).  A cache hit short-circuits both.
 
+    ``cone_cache`` (typically the same cache again) enables the
+    incremental tier below the whole-netlist cache: on a result-cache
+    miss, output cones whose Merkle digests already have stored
+    results are served from the per-cone cache and only the dirty
+    cones are rewritten — the ECO path
+    (:mod:`repro.service.eco`) relies on this to re-audit an edited
+    netlist at ~one-cone cost.
+
     >>> from repro.gen.mastrovito import generate_mastrovito
     >>> result = extract_irreducible_polynomial(generate_mastrovito(0b10011))
     >>> result.polynomial_str
@@ -221,6 +230,7 @@ def extract_irreducible_polynomial(
         fused=fused,
         telemetry=telemetry,
         max_bytes=max_bytes,
+        cone_cache=cone_cache,
     )
     result = result_from_run(run, m)
     # Stamp after the Algorithm-2 analysis phase so the total covers

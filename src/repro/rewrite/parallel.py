@@ -133,6 +133,12 @@ class ExtractionRun:
     #: Algorithm 2 and the verifier consult these so packed backends
     #: never decode just to answer a membership/equality question.
     cones: Dict[str, "ConeExpression"] = field(default_factory=dict)
+    #: Where each bit came from when a cone cache was in play:
+    #: ``"cone_hit"`` (served from the per-cone cache), ``"computed"``
+    #: (rewritten this run), or ``"checkpoint"`` (resumed by
+    #: :mod:`repro.service.jobs`).  Empty when no cone cache was
+    #: consulted.
+    cache_provenance: Dict[str, str] = field(default_factory=dict)
 
     def per_bit_runtimes(self) -> List[Tuple[int, float]]:
         """(bit position, runtime) series — the Figure 4 data."""
@@ -166,6 +172,7 @@ def extract_expressions(
     fused: bool = False,
     telemetry: Optional["_telemetry.Telemetry"] = None,
     max_bytes: Optional[int] = None,
+    cone_cache=None,
 ) -> ExtractionRun:
     """Extract the canonical GF(2) expression of every output bit.
 
@@ -213,6 +220,18 @@ def extract_expressions(
     out-of-core tier of the ``vector`` engine; ``--max-ram`` on the
     CLI, ``REPRO_SWEEP_MAX_BYTES`` in the environment).  Per-bit runs
     and backends without a fused matrix ignore it.
+
+    ``cone_cache`` is the incremental-verification hook
+    (:class:`repro.service.cache.ResultCache`): before dispatch the
+    requested outputs are partitioned by per-cone Merkle digest
+    (:func:`repro.service.fingerprint.cone_fingerprints`) into cached
+    and dirty sets; only the dirty set is rewritten (the fused sweep
+    takes the dirty subset of tags, per-bit jobs skip cached bits),
+    cached bits are served under a ``cone.cached`` span, and freshly
+    computed cones are stored back.  Theorem 1 makes cone results
+    engine-neutral, so any engine serves any engine's entries.  The
+    returned run is bit-identical to a cold run and carries per-bit
+    :attr:`ExtractionRun.cache_provenance`.
     """
     chosen = list(outputs) if outputs is not None else list(netlist.outputs)
     if fused:
@@ -239,14 +258,68 @@ def extract_expressions(
     ) as span:
         started_cpu = time.process_time()
 
-        if compile_cache is not None:
+        # Cone-cache partition: serve every output whose Merkle cone
+        # digest already has a stored result, and dispatch only the
+        # dirty remainder.  The digest pass is one AIG lowering —
+        # orders of magnitude below a rewrite — and it is inside the
+        # span, so the warm path's true cost is what the trace shows.
+        dirty = chosen
+        cone_digests: Optional[Dict[str, str]] = None
+        hit_outputs: List[str] = []
+        if cone_cache is not None and chosen:
+            from repro.engine.reference import ReferenceExpression
+            from repro.service.cache import poly_from_json, stats_from_json
+            from repro.service.fingerprint import cone_fingerprints
+
+            cone_digests = cone_fingerprints(netlist)
+            entries = {}
+            for output in chosen:
+                digest = cone_digests.get(output)
+                if digest is None:
+                    continue
+                entry = cone_cache.get_cone(digest)
+                if entry is not None:
+                    entries[output] = entry
+            dirty = [o for o in chosen if o not in entries]
+            hit_outputs = [o for o in chosen if o in entries]
+            if entries:
+                with tel.span(
+                    "cone.cached",
+                    netlist=netlist.name,
+                    bits=len(entries),
+                ):
+                    for output in hit_outputs:
+                        entry = entries[output]
+                        cone = ReferenceExpression(
+                            poly_from_json(entry["expression"])
+                        )
+                        stats = stats_from_json(entry["stats"])
+                        results.append((output, cone, stats))
+                        if on_result is not None:
+                            on_result(output, cone, stats)
+            jobs = max(1, min(jobs, len(dirty)))
+
+        # Backward rewriting of a bit only ever consults its own
+        # transitive fan-in (Theorem 2), so when the cache served part
+        # of the run the backend is handed just the dirty cones'
+        # sub-netlist: a compiling engine then prices the *edit*, not
+        # the design — on a single-gate ECO of a NAND-mapped m=64
+        # multiplier that is one cone's compile instead of 50k gates.
+        work = netlist
+        if hit_outputs and dirty:
+            work = _restrict_to_cones(netlist, dirty)
+
+        if compile_cache is not None and dirty:
             # Prepare inside the timed region (the compile is part of
             # this run's cost, cached or not) and in the *coordinating*
             # process, so forked workers inherit the program
-            # copy-on-write.
-            backend.prepare(netlist, compile_cache=compile_cache)
+            # copy-on-write.  A fully cone-cached run skips the
+            # compile entirely — that is the warm ECO path.
+            backend.prepare(work, compile_cache=compile_cache)
 
-        if fused:
+        if not dirty:
+            pass  # every requested cone was served from the cache
+        elif fused:
             # Forward the budget only when one was given: ad-hoc
             # backends written against the pre-budget rewrite_cones
             # signature keep working.
@@ -254,22 +327,22 @@ def extract_expressions(
                 {"max_bytes": max_bytes} if max_bytes is not None else {}
             )
             cones_by_output = backend.rewrite_cones(
-                netlist,
-                chosen,
+                work,
+                dirty,
                 term_limit=term_limit,
                 compile_cache=compile_cache,
                 **extra,
             )
-            for output in chosen:
+            for output in dirty:
                 expression, stats = cones_by_output[output]
                 results.append((output, expression, stats))
                 if on_result is not None:
                     on_result(output, expression, stats)
         elif jobs == 1:
-            netlist.topological_order()
-            for output in chosen:
+            work.topological_order()
+            for output in dirty:
                 expression, stats = backend.rewrite_cone(
-                    netlist, output, term_limit=term_limit
+                    work, output, term_limit=term_limit
                 )
                 results.append((output, expression, stats))
                 if on_result is not None:
@@ -294,26 +367,51 @@ def extract_expressions(
             with context.Pool(
                 processes=jobs,
                 initializer=_worker_init,
-                initargs=(netlist, term_limit, backend.name),
+                initargs=(work, term_limit, backend.name),
             ) as pool:
                 # Unordered iteration so the checkpoint hook observes
                 # each completion as it happens; re-sorted to the
                 # requested output order below for deterministic run
                 # composition.
-                for item in pool.imap_unordered(_worker_rewrite, chosen):
+                for item in pool.imap_unordered(_worker_rewrite, dirty):
                     results.append(item)
                     if on_result is not None:
                         on_result(*item)
-            position = {output: idx for idx, output in enumerate(chosen)}
-            results.sort(key=lambda item: position[item[0]])
 
-        if compile_cache is not None:
+        if compile_cache is not None and dirty:
             # Persist whatever the program accreted during rewriting
             # (lazily built cut models) so the next cold process
             # inherits it.  Pool workers grow their own forked copies,
             # which the coordinator cannot see — only sequential runs
             # re-store.
-            backend.finalize(netlist, compile_cache=compile_cache)
+            backend.finalize(work, compile_cache=compile_cache)
+
+        if cone_cache is not None and cone_digests is not None and dirty:
+            # Store back what this run actually rewrote, decoded to
+            # the engine-neutral polynomial form (Theorem 1: every
+            # backend produces the same canonical expression, so the
+            # entry is valid for all of them).
+            schema = getattr(backend, "compile_schema", None)
+            fresh = set(dirty)
+            for output, cone, st in results:
+                if output not in fresh:
+                    continue
+                digest = cone_digests.get(output)
+                if digest is None:
+                    continue
+                cone_cache.put_cone(
+                    digest,
+                    output,
+                    cone.decode(),
+                    st,
+                    engine=backend.name,
+                    compile_schema=schema,
+                )
+
+        # Deterministic composition regardless of hit/dirty interleave
+        # and pool completion order.
+        position = {output: idx for idx, output in enumerate(chosen)}
+        results.sort(key=lambda item: position[item[0]])
 
         wall = span.elapsed()
         cpu = time.process_time() - started_cpu
@@ -325,6 +423,15 @@ def extract_expressions(
     cones = {output: cone for output, cone, _ in results}
     expressions = LazyExpressions(cones)
     stats = {output: st for output, _, st in results}
+    hit_set = set(hit_outputs)
+    provenance = (
+        {
+            output: "cone_hit" if output in hit_set else "computed"
+            for output, _, _ in results
+        }
+        if cone_cache is not None
+        else {}
+    )
     return ExtractionRun(
         netlist_name=netlist.name,
         expressions=expressions,
@@ -336,7 +443,37 @@ def extract_expressions(
         peak_memory_bytes=peak_memory,
         engine=backend.name,
         cones=cones,
+        cache_provenance=provenance,
     )
+
+
+def _restrict_to_cones(netlist: Netlist, outputs: List[str]) -> Netlist:
+    """The union of the given outputs' fan-in cones, as a netlist.
+
+    Theorem 2: a bit's backward rewriting only consults its own
+    transitive fan-in, so the canonical expressions extracted from the
+    restriction are identical to the full netlist's — but a compiling
+    backend now compiles (and a pool now forks) only the dirty slice.
+    """
+    keep: set = set()
+    stack = list(outputs)
+    while stack:
+        net = stack.pop()
+        if net in keep:
+            continue
+        keep.add(net)
+        gate = netlist.driver_of(net)
+        if gate is not None:
+            stack.extend(gate.inputs)
+    sub = Netlist(
+        netlist.name,
+        [net for net in netlist.inputs if net in keep],
+        list(outputs),
+    )
+    for gate in netlist.gates:
+        if gate.output in keep:
+            sub.add_gate(gate)
+    return sub
 
 
 def _pool_context():

@@ -38,8 +38,13 @@ system around one primitive:
     a minimal stdlib ``ThreadingHTTPServer`` JSON API (submit a
     netlist, poll the job, fetch cached results) over the same cache.
 
-CLI verbs: ``repro batch``, ``repro serve``, ``repro cache
-{stats,clear}``.
+:mod:`~repro.service.eco`
+    incremental re-audit of an edited netlist: diff per-output-cone
+    fingerprints against a verified baseline, re-extract only the
+    dirty cones from the cone-level result cache, re-run the audit.
+
+CLI verbs: ``repro batch``, ``repro serve``, ``repro eco``,
+``repro cache {stats,clear}``.
 """
 
 # Exports resolve lazily (PEP 562): `import repro` (which re-exports a
@@ -52,6 +57,12 @@ _EXPORTS = {
     "ResultCache": "repro.service.cache",
     "default_cache_dir": "repro.service.cache",
     "fingerprint_netlist": "repro.service.fingerprint",
+    "cone_fingerprints": "repro.service.fingerprint",
+    "fingerprint_with_cones": "repro.service.fingerprint",
+    "ConeDiff": "repro.service.eco",
+    "EcoReport": "repro.service.eco",
+    "diff_cones": "repro.service.eco",
+    "eco_reverify": "repro.service.eco",
     "CheckpointedExtraction": "repro.service.jobs",
     "ExtractionCheckpoint": "repro.service.jobs",
     "checkpointed_extract": "repro.service.jobs",

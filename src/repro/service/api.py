@@ -21,9 +21,12 @@ Endpoints (all JSON)::
     POST /v1/jobs                      submit a netlist
          body: {"netlist": "<text>", "format": "eqn"|"blif"|"v",
                 "mode": "extract"|"audit"|"diagnose",
-                "engine": "<name>"?, "fallback": true?}
+                "engine": "<name>"?, "fallback": true?,
+                "baseline_fingerprint": "<v3-...>"?}
          -> 202 {"job_id": ..., "fingerprint": ..., "status": ...}
-            (status is "done" immediately on a cache hit)
+            (status is "done" immediately on a cache hit; ECO
+            re-submissions of an edited netlist reuse cached output
+            cones and report "cones_reused" on completion)
          -> 429 + Retry-After when the bounded job queue is full
             (backpressure instead of unbounded memory growth)
     GET  /v1/jobs/<job_id>             poll a job (summary result)
@@ -136,6 +139,13 @@ class Job:
     attempts: Optional[int] = None
     #: Structured quarantine reason (status == "quarantined").
     reason: Optional[Dict[str, Any]] = None
+    #: Client-declared fingerprint of the baseline this submission is
+    #: an ECO edit of (advisory — cone reuse is automatic either way;
+    #: recorded so the response names what the edit was diffed against).
+    baseline_fingerprint: Optional[str] = None
+    #: How many output cones the extraction served from the per-cone
+    #: cache instead of rewriting (set when a fresh extraction ran).
+    cones_reused: Optional[int] = None
     #: Whether engine-ladder fallback applies to this job.
     fallback: bool = False
     #: Cooperative cancellation flag, observed at progress ticks and
@@ -160,6 +170,8 @@ class Job:
         "fallback_reason",
         "attempts",
         "reason",
+        "baseline_fingerprint",
+        "cones_reused",
     )
 
     def view(self) -> Dict[str, Any]:
@@ -283,6 +295,7 @@ class ReproAPIServer:
         engine_used: Optional[str] = None,
         fallback_reason: Optional[str] = None,
         fallback: Optional[bool] = None,
+        baseline_fingerprint: Optional[str] = None,
     ) -> Job:
         """Register a job; cache hits complete synchronously.
 
@@ -300,6 +313,7 @@ class ReproAPIServer:
                 engine_used=engine_used,
                 fallback_reason=fallback_reason,
                 fallback=self.fallback if fallback is None else fallback,
+                baseline_fingerprint=baseline_fingerprint,
             )
             self._table[job.job_id] = job
             self._evict_finished_locked()
@@ -416,6 +430,8 @@ class ReproAPIServer:
                         label=job.job_id,
                     )
                     job.result = outcome.value
+                    if isinstance(outcome.value, dict):
+                        job.cones_reused = outcome.value.get("cones_reused")
                     job.engine_used = outcome.engine_used
                     if outcome.fallback_reason is not None:
                         job.fallback_reason = (
@@ -499,6 +515,8 @@ class ReproAPIServer:
             "evictions": cache_stats.evictions,
             "compile_hits": cache_stats.compile_hits,
             "compile_misses": cache_stats.compile_misses,
+            "cone_hits": cache_stats.cone_hits,
+            "cone_misses": cache_stats.cone_misses,
             "entries": cache_stats.entries,
             "disk_bytes": cache_stats.disk_bytes,
         }
@@ -601,14 +619,18 @@ def _run_pipeline(
 
     if fingerprint is None:
         fingerprint = cache.fingerprint(netlist)
+    cones_reused: Optional[int] = None
     if mode == "diagnose":
         # Re-check the cache: a duplicate submission may have finished
         # while this job sat in the queue (the extract branch below
         # guards the same race).
         if cache.get_diagnosis(fingerprint) is None:
-            cache.put_diagnosis(
-                fingerprint, diagnose(netlist, jobs=jobs, engine=engine)
+            diagnosis = diagnose(
+                netlist, jobs=jobs, engine=engine, cone_cache=cache
             )
+            cache.put_diagnosis(fingerprint, diagnosis)
+            if diagnosis.extraction is not None:
+                cones_reused = _count_reused(diagnosis.extraction)
     else:
         result = cache.get_extraction(fingerprint)
         if result is None:
@@ -618,15 +640,28 @@ def _run_pipeline(
                 engine=engine,
                 on_result=progress,
                 telemetry=telemetry,
+                cone_cache=cache,
             )
             cache.put_extraction(fingerprint, result)
+            cones_reused = _count_reused(result)
         if mode == "audit" and cache.get_verification(fingerprint) is None:
             cache.put_verification(
                 fingerprint, verify_multiplier(netlist, result, engine=engine)
             )
     summary = _cached_summary(cache, mode, fingerprint)
     assert summary is not None
+    if cones_reused is not None:
+        summary["cones_reused"] = cones_reused
     return summary
+
+
+def _count_reused(result) -> int:
+    """Bits of an extraction served from the per-cone cache."""
+    return sum(
+        1
+        for origin in result.run.cache_provenance.values()
+        if origin == "cone_hit"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -650,7 +685,9 @@ def _make_handler(server: "ReproAPIServer"):
             headers: Optional[Dict[str, str]] = None,
         ) -> None:
             self._last_status = status
-            body = json.dumps(payload).encode("utf-8")
+            # sort_keys: byte-stable responses for the same state, so
+            # CLI/HTTP diffing tools see real changes, not dict churn.
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
@@ -830,6 +867,10 @@ def _make_handler(server: "ReproAPIServer"):
                 return
             engine = body.get("engine", server.engine)
             fallback = bool(body.get("fallback", server.fallback))
+            baseline = body.get("baseline_fingerprint")
+            if baseline is not None and not isinstance(baseline, str):
+                self._error(400, "'baseline_fingerprint' must be a string")
+                return
             engine_used = None
             fallback_reason = None
             if engine not in available_engines():
@@ -871,6 +912,7 @@ def _make_handler(server: "ReproAPIServer"):
                     engine_used=engine_used,
                     fallback_reason=fallback_reason,
                     fallback=fallback,
+                    baseline_fingerprint=baseline,
                 )
             except ServiceSaturated as busy:
                 server.telemetry.counter("http.rejected")

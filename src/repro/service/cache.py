@@ -20,6 +20,7 @@ Layout (all JSON, all written atomically)::
         verification/<aa>/<fingerprint>.json
         diagnosis/<aa>/<fingerprint>.json
         squarer/<aa>/<fingerprint>.json
+        cone/<aa>/<cone digest>.json       (per-output-cone results)
         jobs/<fingerprint>.jsonl           (checkpoints; repro.service.jobs)
 
 where ``<aa>`` is a two-hex-digit shard of the fingerprint digest (so
@@ -110,6 +111,13 @@ KINDS = ("extraction", "verification", "diagnosis", "squarer")
 #: separately from :data:`KINDS` because they are pickles, not JSON.
 COMPILED_KIND = "compiled"
 
+#: Per-output-cone results, keyed by cone digest (not netlist
+#: fingerprint — the whole point is that a cone entry survives edits
+#: to the *rest* of the netlist).  Listed separately from
+#: :data:`KINDS` because its key space and payload shape differ; it
+#: is budgeted/evicted/quarantined exactly like the other kinds.
+CONE_KIND = "cone"
+
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
@@ -167,6 +175,10 @@ def encode_extraction_run(run: ExtractionRun) -> Dict[str, Any]:
             output: stats_to_json(stats)
             for output, stats in sorted(run.stats.items())
         },
+        "cache_provenance": {
+            output: run.cache_provenance[output]
+            for output in sorted(run.cache_provenance)
+        },
     }
 
 
@@ -213,6 +225,7 @@ def decode_extraction_run(data: Dict[str, Any]) -> ExtractionRun:
         peak_memory_bytes=data.get("peak_memory_bytes"),
         engine=data["engine"],
         cones=cones,
+        cache_provenance=dict(data.get("cache_provenance", {})),
     )
 
 
@@ -358,6 +371,8 @@ class CacheStats:
     max_bytes: Optional[int] = None
     compile_hits: int = 0
     compile_misses: int = 0
+    cone_hits: int = 0
+    cone_misses: int = 0
     corrupt: int = 0
     quarantined: int = 0
 
@@ -387,6 +402,7 @@ class CacheStats:
             f"evictions={self.evictions} ({self.hit_rate:.0%} hit rate), "
             f"compiled hits={self.compile_hits} "
             f"misses={self.compile_misses}, "
+            f"cone hits={self.cone_hits} misses={self.cone_misses}, "
             f"corrupt={self.corrupt} "
             f"({self.quarantined} quarantined on disk)"
         )
@@ -425,6 +441,8 @@ class ResultCache:
         self.evictions = 0
         self.compile_hits = 0
         self.compile_misses = 0
+        self.cone_hits = 0
+        self.cone_misses = 0
         self.corrupt = 0
         if max_entries is None:
             max_entries = self._int_env(CACHE_MAX_ENTRIES_ENV)
@@ -513,7 +531,8 @@ class ResultCache:
     def file_fingerprint(
         self, path: Union[str, os.PathLike]
     ) -> Optional[Dict[str, Any]]:
-        """The memoized ``{"fingerprint", "gates"}`` for an unchanged
+        """The memoized ``{"fingerprint", "gates"}`` (plus ``"cones"``
+        when recorded — see :meth:`remember_file`) for an unchanged
         file, or None when unseen/stale/unreadable."""
         try:
             stat = os.stat(path)
@@ -542,12 +561,18 @@ class ResultCache:
         fingerprint: str,
         gates: Optional[int] = None,
         stat: Optional[os.stat_result] = None,
+        cones: Optional[Dict[str, str]] = None,
     ) -> None:
         """Record a file's fingerprint against its stat.
 
         Pass the ``stat`` taken *before* reading the file; statting
         here, after the parse, would memoize the old content's
         fingerprint against the stat of a concurrent overwrite.
+
+        ``cones`` optionally records the per-output-cone digests
+        (:func:`repro.service.fingerprint.cone_fingerprints`) so a
+        repeated ECO diff against an unchanged file skips the strash
+        entirely — the memo hit already carries every cone digest.
         """
         if stat is None:
             try:
@@ -556,19 +581,17 @@ class ResultCache:
                 return
         memo_path = self._file_memo_path(path)
         memo_path.parent.mkdir(parents=True, exist_ok=True)
-        atomic_write_text(
-            memo_path,
-            json.dumps(
-                {
-                    "path": os.fsdecode(os.path.abspath(path)),
-                    "mtime_ns": stat.st_mtime_ns,
-                    "size": stat.st_size,
-                    "schema": FINGERPRINT_SCHEMA,
-                    "fingerprint": fingerprint,
-                    "gates": gates,
-                }
-            ),
-        )
+        memo = {
+            "path": os.fsdecode(os.path.abspath(path)),
+            "mtime_ns": stat.st_mtime_ns,
+            "size": stat.st_size,
+            "schema": FINGERPRINT_SCHEMA,
+            "fingerprint": fingerprint,
+            "gates": gates,
+        }
+        if cones is not None:
+            memo["cones"] = cones
+        atomic_write_text(memo_path, json.dumps(memo))
 
     # -- generic get/put ------------------------------------------------
 
@@ -791,6 +814,161 @@ class ResultCache:
         self._after_budgeted_write(path, replaced)
         return path
 
+    # -- per-output-cone results ----------------------------------------
+    #
+    # Theorem 1 of the paper makes each output bit's canonical
+    # expression unique and backend-independent, so a cone result is
+    # engine-neutral: it is keyed only by the cone digest
+    # (repro.service.fingerprint.cone_fingerprints — a Merkle hash of
+    # the output's transitive fan-in), and any engine may serve or
+    # store it.  Engine identity and compile schema are *recorded* in
+    # the payload as provenance, and the optional compiled-program
+    # fragment for a cone IS engine/schema-keyed, mirroring the
+    # netlist-level compiled kind.
+
+    def cone_path_for(self, digest: str) -> Path:
+        """Location of one output cone's cached result."""
+        return self.version_dir / CONE_KIND / digest[:2] / f"{digest}.json"
+
+    def get_cone(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached cone payload, or ``None`` (a miss).
+
+        The payload is the raw JSON dict: ``output``, ``expression``
+        (``poly_to_json`` form), ``stats`` (``stats_to_json`` form),
+        plus ``engine``/``compile_schema`` provenance.  Decoding to a
+        backend expression belongs to the extraction driver.
+        """
+        started = time.perf_counter()
+        try:
+            path = self.cone_path_for(digest)
+            try:
+                _chaos.get_chaos().io_error(where=f"cache.get {CONE_KIND}")
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+            except OSError:
+                # Any unreadable entry — missing, or a flaky read —
+                # is a miss: the driver recomputes the cone.  Reads
+                # happen per bit inside extraction, so propagating
+                # would abort (and retry) the whole design for an
+                # artifact that is purely an optimization.
+                self.cone_misses += 1
+                _telemetry.current().counter("cache.cone_miss")
+                return None
+            except json.JSONDecodeError:
+                self._quarantine_corrupt(CONE_KIND, path)
+                self.cone_misses += 1
+                _telemetry.current().counter("cache.cone_miss")
+                return None
+            if entry.get("schema") != CACHE_SCHEMA_VERSION:
+                self.cone_misses += 1
+                _telemetry.current().counter("cache.cone_miss")
+                return None
+            self.cone_hits += 1
+            _telemetry.current().counter("cache.cone_hit")
+            return entry["payload"]
+        finally:
+            _telemetry.current().observe(
+                "cache.lookup", time.perf_counter() - started
+            )
+
+    def put_cone(
+        self,
+        digest: str,
+        output: str,
+        expression: Gf2Poly,
+        stats: RewriteStats,
+        engine: Optional[str] = None,
+        compile_schema: Optional[int] = None,
+    ) -> Path:
+        """Atomically store one output cone's result (best-effort).
+
+        A failed store is swallowed: population happens per bit
+        inside extraction, and losing one cache entry must not abort
+        (and force a retry of) the surrounding design.
+        """
+        path = self.cone_path_for(digest)
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": CONE_KIND,
+            "cone": digest,
+            "created_unix": time.time(),
+            "payload": {
+                "output": output,
+                "expression": poly_to_json(expression),
+                "stats": stats_to_json(stats),
+                "engine": engine,
+                "compile_schema": compile_schema,
+            },
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            replaced = self._size_before_write(path)
+            chaos = _chaos.get_chaos()
+            chaos.io_error(where=f"cache.put {CONE_KIND}")
+            payload = json.dumps(
+                entry, indent=1, sort_keys=True
+            ).encode("utf-8")
+            payload = chaos.corrupt(payload, key=f"{CONE_KIND}:{digest}")
+            atomic_write_bytes(path, payload)
+        except OSError:
+            return path
+        _telemetry.current().counter("cache.put")
+        self._after_budgeted_write(path, replaced)
+        return path
+
+    def cone_compiled_path_for(
+        self, digest: str, engine: str, schema: Optional[int]
+    ) -> Path:
+        """Location of one engine's compiled fragment for a cone.
+
+        Like :meth:`compiled_path_for`, the engine and its compile
+        schema are part of the file name, so a schema bump retires
+        that engine's fragments without touching the cone results.
+        """
+        return (
+            self.version_dir
+            / CONE_KIND
+            / digest[:2]
+            / f"{digest}.{engine}.s{schema}.bin"
+        )
+
+    def get_cone_compiled(
+        self, digest: str, engine: str, schema: Optional[int]
+    ) -> Optional[bytes]:
+        """A cone's stored compiled fragment (opaque bytes), or None."""
+        path = self.cone_compiled_path_for(digest, engine, schema)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            self.compile_misses += 1
+            _telemetry.current().counter("cache.compile_miss")
+            return None
+        self.compile_hits += 1
+        _telemetry.current().counter("cache.compile_hit")
+        return payload
+
+    def put_cone_compiled(
+        self,
+        digest: str,
+        engine: str,
+        schema: Optional[int],
+        payload: bytes,
+    ) -> Path:
+        """Atomically store one engine's compiled fragment for a cone.
+
+        Best-effort like :meth:`put_cone`: a failed store is never
+        worth aborting the extraction that produced the fragment.
+        """
+        path = self.cone_compiled_path_for(digest, engine, schema)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            replaced = self._size_before_write(path)
+            atomic_write_bytes(path, payload)
+        except OSError:
+            return path
+        self._after_budgeted_write(path, replaced)
+        return path
+
     # -- typed convenience ----------------------------------------------
 
     def get_extraction(self, key) -> Optional[ExtractionResult]:
@@ -798,6 +976,55 @@ class ResultCache:
 
     def put_extraction(self, key, result: ExtractionResult) -> None:
         self.put("extraction", key, result)
+        # Sidecar: Algorithm 2's verdict alone, so the ECO warm path
+        # can re-report P(x) without parsing the full per-bit
+        # expression payload (which dominates the entry at large m).
+        # Keyed by content fingerprint it can never go stale; an
+        # evicted main entry may strand a (tiny) sidecar, which is why
+        # readers must pair it with their own freshness evidence.
+        path = self.extraction_summary_path(key)
+        try:
+            atomic_write_text(
+                path,
+                json.dumps(
+                    {
+                        "schema": CACHE_SCHEMA_VERSION,
+                        "modulus": result.modulus,
+                        "m": result.m,
+                        "irreducible": result.irreducible,
+                        "member_bits": list(result.member_bits),
+                    },
+                    sort_keys=True,
+                ),
+            )
+        except OSError:
+            # Best-effort: the sidecar only accelerates repeat
+            # re-audits; the main entry above already landed.
+            pass
+
+    def extraction_summary_path(self, key) -> Path:
+        return self.path_for("extraction", key).with_suffix(".sum")
+
+    def get_extraction_summary(self, key) -> Optional[Dict[str, Any]]:
+        """The verdict sidecar of a stored extraction, or None.
+
+        Milliseconds where :meth:`get_extraction` is tenths of a
+        second: no expressions, just ``modulus``/``m``/``irreducible``/
+        ``member_bits``.  Because eviction can strand a sidecar after
+        its main entry is gone, treat a hit as authoritative only
+        alongside independent evidence the result is still servable
+        (the ECO path requires every cone entry to be present).
+        """
+        try:
+            with open(
+                self.extraction_summary_path(key), "r", encoding="utf-8"
+            ) as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if data.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        return data
 
     def get_verification(self, key) -> Optional[VerificationReport]:
         return self.get("verification", key)
@@ -829,6 +1056,13 @@ class ResultCache:
             if kind_dir.is_dir():
                 for path in kind_dir.rglob("*.json"):
                     yield kind, path
+        cone_dir = self.version_dir / CONE_KIND
+        if cone_dir.is_dir():
+            # Cone results (.json) and per-cone compiled fragments
+            # (.bin) both count against the budgets.
+            for pattern in ("*.json", "*.bin"):
+                for path in cone_dir.rglob(pattern):
+                    yield CONE_KIND, path
         compiled_dir = self.version_dir / COMPILED_KIND
         if compiled_dir.is_dir():
             for path in compiled_dir.rglob("*.bin"):
@@ -837,6 +1071,7 @@ class ResultCache:
     def stats(self) -> CacheStats:
         """Session hit/miss counters plus an on-disk census."""
         entries: Dict[str, int] = {kind: 0 for kind in KINDS}
+        entries[CONE_KIND] = 0
         entries[COMPILED_KIND] = 0
         disk_bytes = 0
         for kind, path in self._artifact_files():
@@ -856,6 +1091,8 @@ class ResultCache:
             max_bytes=self.max_bytes,
             compile_hits=self.compile_hits,
             compile_misses=self.compile_misses,
+            cone_hits=self.cone_hits,
+            cone_misses=self.cone_misses,
             corrupt=self.corrupt,
             quarantined=sum(
                 1 for p in self.quarantine_dir().glob("*") if p.is_file()

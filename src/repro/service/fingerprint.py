@@ -35,7 +35,7 @@ entries — including this one: the AIG derivation is schema 2.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.aig import Aig, lit_is_complemented, lit_node
 from repro.netlist.netlist import Netlist
@@ -94,7 +94,12 @@ def fingerprint_netlist(netlist: Netlist, strash: bool = True) -> str:
     del strash  # normalisation is inherent in the AIG lowering
     aig = Aig.from_netlist(netlist)
     labels = _canonical_labels(aig)
+    return _fingerprint_from_labels(netlist, aig, labels)
 
+
+def _fingerprint_from_labels(
+    netlist: Netlist, aig: Aig, labels: Dict[int, str]
+) -> str:
     ports = [
         "in:" + ",".join(sorted(netlist.inputs)),
         "out:" + ",".join(
@@ -110,3 +115,48 @@ def fingerprint_netlist(netlist: Netlist, strash: bool = True) -> str:
         [f"schema:{FINGERPRINT_SCHEMA}"] + ports + node_labels
     )
     return f"v{FINGERPRINT_SCHEMA}-{_digest(payload)}"
+
+
+def _cone_digest(name: str, edge_label: str) -> str:
+    return _digest(f"cone:{FINGERPRINT_SCHEMA}:{name}={edge_label}")
+
+
+def cone_fingerprints(netlist: Netlist) -> Dict[str, str]:
+    """Per-output-cone digests: ``{output name: sha256 hex}``.
+
+    The canonical labels are already a Merkle tree over the AIG, so
+    an output's edge label *is* a digest of its entire transitive
+    fan-in — one traversal yields every cone's fingerprint.  Each
+    digest folds in the output's name (the z-port position is part of
+    what a cached per-bit result means) and the fingerprint schema,
+    and inherits every invariance of :func:`fingerprint_netlist`:
+    editing a gate changes exactly the digests of the cones that see
+    it, while strash-equivalent edits (gate reorder, BUF chains,
+    inverter pairs, De-Morgan recodings) change none.
+
+    >>> from repro.gen.mastrovito import generate_mastrovito
+    >>> cones = cone_fingerprints(generate_mastrovito(0b10011))
+    >>> sorted(cones) == ["z0", "z1", "z2", "z3"]
+    True
+    """
+    aig = Aig.from_netlist(netlist)
+    labels = _canonical_labels(aig)
+    return {
+        name: _cone_digest(name, _edge_label(labels, lit))
+        for name, lit in aig.outputs
+    }
+
+
+def fingerprint_with_cones(
+    netlist: Netlist,
+) -> Tuple[str, Dict[str, str]]:
+    """``(fingerprint_netlist(n), cone_fingerprints(n))`` from one
+    AIG lowering — the ECO path needs both, and the lowering (strash)
+    dominates the cost of either."""
+    aig = Aig.from_netlist(netlist)
+    labels = _canonical_labels(aig)
+    cones = {
+        name: _cone_digest(name, _edge_label(labels, lit))
+        for name, lit in aig.outputs
+    }
+    return _fingerprint_from_labels(netlist, aig, labels), cones

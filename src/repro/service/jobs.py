@@ -266,6 +266,7 @@ def checkpointed_extract(
     telemetry=None,
     max_bytes=None,
     deadline=None,
+    cone_cache=None,
 ) -> CheckpointedExtraction:
     """:func:`~repro.rewrite.parallel.extract_expressions` with resume.
 
@@ -309,6 +310,15 @@ def checkpointed_extract(
     granularity, the natural yield points — so a budgeted job stops
     *between* durable completions and the checkpoint resumes exactly
     the work already paid for.
+
+    ``cone_cache`` is forwarded to
+    :func:`~repro.rewrite.parallel.extract_expressions`: bits not
+    resumed from the checkpoint are first looked up in the per-cone
+    result cache, so the checkpoint plan skips both resumed *and*
+    cached bits.  The assembled run's
+    :attr:`~repro.rewrite.parallel.ExtractionRun.cache_provenance`
+    records ``"checkpoint"`` for resumed bits alongside the
+    partition's ``"cone_hit"``/``"computed"`` entries.
     """
     chosen = list(outputs) if outputs is not None else list(netlist.outputs)
     if fingerprint is None:
@@ -331,10 +341,12 @@ def checkpointed_extract(
 
     cones: Dict[str, ReferenceExpression] = {}
     stats: Dict[str, RewriteStats] = {}
+    provenance: Dict[str, str] = {}
     for output in resumed:
         poly, bit_stats = checkpoint.bits[output]
         cones[output] = ReferenceExpression(poly)
         stats[output] = bit_stats
+        provenance[output] = "checkpoint"
 
     tel = _telemetry.resolve(telemetry)
     done_gauge = f"job.{fingerprint[:12]}.done_bits"
@@ -377,9 +389,11 @@ def checkpointed_extract(
                         fused=True,
                         telemetry=tel,
                         max_bytes=max_bytes,
+                        cone_cache=cone_cache,
                     )
                 cones.update(fresh.cones)
                 stats.update(fresh.stats)
+                provenance.update(fresh.cache_provenance)
                 wall += fresh.wall_time_s
                 cpu += fresh.cpu_time_s
                 run_engine = fresh.engine
@@ -394,9 +408,11 @@ def checkpointed_extract(
                 compile_cache=compile_cache,
                 telemetry=tel,
                 max_bytes=max_bytes,
+                cone_cache=cone_cache,
             )
             cones.update(fresh.cones)
             stats.update(fresh.stats)
+            provenance.update(fresh.cache_provenance)
             wall, cpu = fresh.wall_time_s, fresh.cpu_time_s
             run_jobs = fresh.jobs
             run_engine = fresh.engine
@@ -419,6 +435,11 @@ def checkpointed_extract(
         ),
         engine=run_engine,
         cones=ordered_cones,
+        cache_provenance={
+            output: provenance[output]
+            for output in chosen
+            if output in provenance
+        },
     )
     # Discard only when this call consumed *everything* the checkpoint
     # holds — a subset-outputs run must not destroy the persisted

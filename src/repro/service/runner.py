@@ -213,11 +213,22 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
                 fingerprint = memo["fingerprint"]
                 record["gates"] = memo.get("gates")
             else:
+                from repro.service.fingerprint import fingerprint_with_cones
+
                 stat = os.stat(path)  # before the read: overwrite-safe
-                fingerprint = cache.fingerprint(load())
+                # One AIG lowering yields the netlist fingerprint AND
+                # every per-cone digest; memoizing both means a later
+                # `repro eco` against this unchanged file never
+                # strashes it again.
+                fingerprint, cone_digests = fingerprint_with_cones(load())
+                cache.remember_fingerprint(netlist, fingerprint)
                 record["gates"] = len(netlist)
                 cache.remember_file(
-                    path, fingerprint, gates=len(netlist), stat=stat
+                    path,
+                    fingerprint,
+                    gates=len(netlist),
+                    stat=stat,
+                    cones=cone_digests,
                 )
         else:
             record["gates"] = len(load())
@@ -238,9 +249,19 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
                         compile_cache=cache,
                         fused=fused,
                         max_bytes=max_bytes,
+                        cone_cache=cache,
                     )
                     if cache is not None:
                         cache.put_diagnosis(fingerprint, diagnosis)
+                        extraction = diagnosis.extraction
+                        if extraction is not None:
+                            record["cones_reused"] = sum(
+                                1
+                                for origin in (
+                                    extraction.run.cache_provenance.values()
+                                )
+                                if origin == "cone_hit"
+                            )
                 record["verdict"] = diagnosis.verdict.value
                 record["clean"] = diagnosis.is_clean
                 if diagnosis.extraction is not None:
@@ -273,6 +294,7 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
                             fused=fused,
                             max_bytes=max_bytes,
                             deadline=deadline if deadline.armed else None,
+                            cone_cache=cache,
                         )
                         run = sharded.run
                         record["resumed_bits"] = len(sharded.resumed_bits)
@@ -288,7 +310,13 @@ def _process_netlist(task: Dict[str, Any]) -> Dict[str, Any]:
                             compile_cache=cache,
                             fused=fused,
                             max_bytes=max_bytes,
+                            cone_cache=cache,
                         )
+                    record["cones_reused"] = sum(
+                        1
+                        for origin in run.cache_provenance.values()
+                        if origin == "cone_hit"
+                    )
                     result = result_from_run(
                         run, m, total_time_s=run.wall_time_s
                     )

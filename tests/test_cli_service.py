@@ -104,8 +104,9 @@ class TestCacheVerb:
         out = capsys.readouterr().out
         assert "extraction:2" in out
         assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
-        # 2 extractions + 2 verifications + 2 file-fingerprint memos.
-        assert "cleared 6 cached entries" in capsys.readouterr().out
+        # 2 extractions + 2 verdict sidecars + 2 verifications +
+        # 2 file-fingerprint memos + 7 output cones (m=4 + m=3).
+        assert "cleared 13 cached entries" in capsys.readouterr().out
         assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
         assert "0 entries" in capsys.readouterr().out
 
@@ -119,7 +120,8 @@ class TestCacheVerb:
             ]
         )
         capsys.readouterr()
-        # 2 extractions + 2 verifications on disk; prune down to 1.
+        # 2 extractions + 2 verifications + 7 output cones (m=4 +
+        # m=3) on disk; prune down to 1.
         assert main(
             [
                 "cache", "prune",
@@ -127,7 +129,7 @@ class TestCacheVerb:
                 "--max-entries", "1",
             ]
         ) == 0
-        assert "pruned 3 cached entries" in capsys.readouterr().out
+        assert "pruned 10 cached entries" in capsys.readouterr().out
         assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
         assert "1 entries" in capsys.readouterr().out
 

@@ -107,6 +107,42 @@ class TestEndpoints:
         assert second["cache"] == "hit"
         assert second["result"]["polynomial"] == "x^3 + x + 1"
 
+    def test_eco_resubmission_reports_cone_reuse(self, base):
+        from repro.gen.faults import flip_gate
+        from repro.service.fingerprint import fingerprint_netlist
+
+        net = generate_mastrovito(0b100101)
+        mutant, _ = flip_gate(net, net.gates[10].output)
+        first = post(
+            f"{base}/v1/jobs",
+            {"netlist": format_eqn(net), "mode": "extract"},
+        )
+        wait_done(base, first["job_id"])
+        # Submit the single-gate edit with the baseline's fingerprint:
+        # the clean cones come from the per-cone cache and the view
+        # reports how many were reused.
+        job = post(
+            f"{base}/v1/jobs",
+            {
+                "netlist": format_eqn(mutant),
+                "mode": "extract",
+                "baseline_fingerprint": fingerprint_netlist(net),
+            },
+        )
+        view = wait_done(base, job["job_id"])
+        assert view["status"] == "done"
+        assert view["baseline_fingerprint"] == fingerprint_netlist(net)
+        assert view["cones_reused"] > 0
+
+    def test_bad_baseline_fingerprint_type_rejected(self, base):
+        text = format_eqn(generate_mastrovito(0b1011))
+        view = post(
+            f"{base}/v1/jobs",
+            {"netlist": text, "baseline_fingerprint": 7},
+            expect=(400,),
+        )
+        assert "baseline_fingerprint" in view["error"]
+
     def test_blif_submission_and_diagnose(self, base):
         net = generate_mastrovito(0b10011)
         mutant, _ = stuck_at(net, "z0", 1)
